@@ -1,0 +1,107 @@
+//! The FaaS function of §7.3: a Python "Hello World" behind HTTP.
+//!
+//! The paper deploys "a simple Python function returning a 'Hello World'
+//! string" on Unikraft + Python 3.7 with "the Python runtime shared between
+//! all unikernel instances via a 9pfs root file system". At boot the app
+//! loads its function source through 9pfs; requests are answered over HTTP.
+
+use devices::p9fs::{P9Request, P9Response};
+use guest::{ForkOutcome, GuestApp, GuestEnv};
+use netmux::SockEvent;
+
+/// Function gateway port inside the instance.
+pub const FN_PORT: u16 = 8080;
+
+/// The function handler source file inside the 9pfs export.
+pub const HANDLER_FILE: &str = "handler.py";
+
+/// The FaaS function instance.
+#[derive(Debug, Clone)]
+pub struct FaasFnApp {
+    /// Loaded function source (from the shared rootfs).
+    pub handler_source: Option<String>,
+    /// Invocations served by this instance.
+    pub invocations: u64,
+}
+
+impl FaasFnApp {
+    /// Creates a cold function instance.
+    pub fn new() -> Self {
+        FaasFnApp {
+            handler_source: None,
+            invocations: 0,
+        }
+    }
+
+    fn load_handler(&mut self, env: &mut GuestEnv) {
+        // Walk to and read handler.py from the shared 9pfs root.
+        if env.p9(P9Request::Attach { fid: 0 }).is_none() {
+            return;
+        }
+        let walked = env.p9(P9Request::Walk {
+            fid: 0,
+            newfid: 1,
+            names: vec![HANDLER_FILE.to_string()],
+        });
+        if !matches!(walked, Some(P9Response::Ok)) {
+            env.console_log("faas: no handler.py in rootfs\n");
+            return;
+        }
+        env.p9(P9Request::Open { fid: 1 });
+        if let Some(P9Response::Data(src)) =
+            env.p9(P9Request::Read { fid: 1, offset: 0, count: 65536 })
+        {
+            self.handler_source = Some(String::from_utf8_lossy(&src).to_string());
+        }
+        env.p9(P9Request::Clunk { fid: 1 });
+        env.p9(P9Request::Clunk { fid: 0 });
+    }
+}
+
+impl Default for FaasFnApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GuestApp for FaasFnApp {
+    fn boxed_clone(&self) -> Box<dyn GuestApp> {
+        Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_boot(&mut self, env: &mut GuestEnv) {
+        self.load_handler(env);
+        env.stack.tcp_listen(FN_PORT);
+        env.console_log("faas: function ready\n");
+    }
+
+    fn on_fork(&mut self, env: &mut GuestEnv, outcome: ForkOutcome) {
+        if let ForkOutcome::Child { .. } = outcome {
+            // A cloned instance is immediately warm: the interpreter and
+            // handler are already in (shared) memory.
+            self.invocations = 0;
+            env.console_log("faas: warm clone ready\n");
+        }
+    }
+
+    fn on_net_event(&mut self, env: &mut GuestEnv, evt: SockEvent) {
+        if let SockEvent::TcpData { conn, data } = evt {
+            if data.starts_with(b"GET ") || data.starts_with(b"POST ") {
+                self.invocations += 1;
+                let body = "Hello World";
+                let resp = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{}",
+                    body.len(),
+                    body
+                );
+                if let Some(p) = env.stack.tcp_send(conn, resp.into_bytes()) {
+                    env.transmit(0, p);
+                }
+            }
+        }
+    }
+}

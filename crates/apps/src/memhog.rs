@@ -1,0 +1,76 @@
+//! The memory-scaling workload of §6.2 (Fig. 6).
+//!
+//! "The application allocates a chunk of memory that must be resident.
+//! [...] Once the required memory is allocated, the application starts a
+//! simple TCP server that receives requests for forking/cloning." Built
+//! with the tinyalloc allocator, as in the paper.
+
+use guest::{ForkOutcome, GuestApp, GuestEnv, GuestPtr};
+use netmux::SockEvent;
+
+/// TCP port the fork-request server listens on.
+pub const MEMHOG_PORT: u16 = 4242;
+
+/// The resident-memory + fork-server workload.
+#[derive(Debug, Clone)]
+pub struct MemhogApp {
+    /// Bytes to allocate and touch at boot.
+    pub resident_bytes: u64,
+    /// The resident allocation, once made.
+    pub region: Option<GuestPtr>,
+    /// Forks performed in this instance.
+    pub forks: u64,
+    /// Whether this instance is a clone.
+    pub is_clone: bool,
+}
+
+impl MemhogApp {
+    /// Creates the workload with `mib` MiB of resident memory.
+    pub fn new(mib: u64) -> Self {
+        MemhogApp {
+            resident_bytes: mib * 1024 * 1024,
+            region: None,
+            forks: 0,
+            is_clone: false,
+        }
+    }
+}
+
+impl GuestApp for MemhogApp {
+    fn boxed_clone(&self) -> Box<dyn GuestApp> {
+        Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_boot(&mut self, env: &mut GuestEnv) {
+        self.region = env.heap.alloc_resident(env.hv, self.resident_bytes);
+        debug_assert!(self.region.is_some(), "resident allocation failed");
+        env.stack.tcp_listen(MEMHOG_PORT);
+        env.console_log("memhog resident, fork server up\n");
+    }
+
+    fn on_net_event(&mut self, env: &mut GuestEnv, evt: SockEvent) {
+        match evt {
+            SockEvent::TcpData { conn, data } if data.starts_with(b"fork") => {
+                env.fork(1);
+                if let Some(p) = env.stack.tcp_send(conn, b"forking\n".to_vec()) {
+                    env.transmit(0, p);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_fork(&mut self, env: &mut GuestEnv, outcome: ForkOutcome) {
+        match outcome {
+            ForkOutcome::Parent { .. } => self.forks += 1,
+            ForkOutcome::Child { .. } => {
+                self.is_clone = true;
+                env.console_log("memhog clone alive\n");
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! An NGINX-like HTTP server scaling via clone workers (§7.1, Fig. 7).
+//!
+//! NGINX "uses fork() to launch worker processes for scaling up request
+//! throughput", one worker pinned per CPU core. With unikernel clones the
+//! kernel-side socket sharding (`SO_REUSEPORT`) is unnecessary: the
+//! parent's and clones' vifs share one MAC/IP and the Linux bond in Dom0
+//! load-balances incoming connections across them.
+
+use guest::{ForkOutcome, GuestApp, GuestEnv};
+use netmux::SockEvent;
+
+/// HTTP listening port.
+pub const HTTP_PORT: u16 = 80;
+
+/// Role of an instance in the worker family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NginxRole {
+    /// The original instance; forks the workers.
+    Master,
+    /// A cloned worker.
+    Worker,
+}
+
+/// The web server.
+#[derive(Debug, Clone)]
+pub struct NginxApp {
+    /// Worker clones to fork at boot (0 = serve from the master alone).
+    pub workers: u32,
+    /// This instance's role.
+    pub role: NginxRole,
+    /// Requests served by this instance.
+    pub served: u64,
+    /// Static response body.
+    pub body: String,
+}
+
+impl NginxApp {
+    /// Creates a server that forks `workers` clones at boot.
+    pub fn new(workers: u32) -> Self {
+        NginxApp {
+            workers,
+            role: NginxRole::Master,
+            served: 0,
+            body: "<html>nephele-nginx</html>".to_string(),
+        }
+    }
+
+    fn respond(&mut self, env: &mut GuestEnv, conn: netmux::ConnId) {
+        self.served += 1;
+        let resp = format!(
+            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{}",
+            self.body.len(),
+            self.body
+        );
+        if let Some(p) = env.stack.tcp_send(conn, resp.into_bytes()) {
+            env.transmit(0, p);
+        }
+    }
+}
+
+impl GuestApp for NginxApp {
+    fn boxed_clone(&self) -> Box<dyn GuestApp> {
+        Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_boot(&mut self, env: &mut GuestEnv) {
+        env.stack.tcp_listen(HTTP_PORT);
+        env.console_log("nginx: listening on :80\n");
+        if self.workers > 0 {
+            env.fork(self.workers);
+        }
+    }
+
+    fn on_fork(&mut self, env: &mut GuestEnv, outcome: ForkOutcome) {
+        match outcome {
+            ForkOutcome::Parent { children } => {
+                env.console_log(&format!("nginx: spawned {} workers\n", children.len()));
+            }
+            ForkOutcome::Child { .. } => {
+                self.role = NginxRole::Worker;
+                self.served = 0;
+                // One worker per core, pinned ("each CPU core is used
+                // exclusively by its pinned worker clone").
+                let dom = env.dom;
+                if let Ok(d) = env.hv.domain_mut(dom) {
+                    let core = (dom.0 as usize).wrapping_sub(1) % 4;
+                    for v in &mut d.vcpus {
+                        v.affinity = Some(core);
+                    }
+                }
+                env.console_log("nginx: worker online\n");
+            }
+        }
+    }
+
+    fn on_net_event(&mut self, env: &mut GuestEnv, evt: SockEvent) {
+        match evt {
+            SockEvent::TcpData { conn, data } => {
+                if data.starts_with(b"GET ") {
+                    self.respond(env, conn);
+                }
+            }
+            SockEvent::TcpAccepted { .. } | SockEvent::TcpClosed { .. } => {}
+            _ => {}
+        }
+    }
+}

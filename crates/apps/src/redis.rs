@@ -1,0 +1,232 @@
+//! A Redis-like in-memory key-value store with fork-based snapshots
+//! (§7.1, Fig. 8).
+//!
+//! Redis "relies on fork() to create processes for saving the in-memory
+//! database to storage" — the snapshot is the COW image of the parent's
+//! memory at the fork point. Here the database values live in real guest
+//! heap pages, so a mass insert dirties memory (raising the next clone's
+//! cost) and the forked saver serializes the *fork-point* state through
+//! 9pfs even while the parent keeps mutating.
+
+use std::collections::BTreeMap;
+
+use devices::p9fs::{P9Request, P9Response};
+use guest::{ForkOutcome, GuestApp, GuestEnv, GuestPtr};
+use netmux::SockEvent;
+
+/// Redis listening port.
+pub const REDIS_PORT: u16 = 6379;
+
+/// Dump file name inside the 9pfs export.
+pub const DUMP_FILE: &str = "dump.rdb";
+
+/// Role of an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedisRole {
+    /// The serving instance.
+    Server,
+    /// A forked snapshot saver (writes the RDB then shuts down).
+    Saver,
+}
+
+/// The key-value store.
+#[derive(Debug, Clone)]
+pub struct RedisApp {
+    /// Role (flips to `Saver` in the forked child).
+    pub role: RedisRole,
+    /// Index: key → (heap location, length). Values live in guest memory.
+    index: BTreeMap<String, (GuestPtr, u32)>,
+    /// Database updates since the last save.
+    pub dirty_keys: u64,
+    /// Completed background saves observed by the parent.
+    pub saves_completed: u64,
+    /// Bytes written by this instance's last save (saver side).
+    pub last_save_bytes: u64,
+}
+
+impl RedisApp {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        RedisApp {
+            role: RedisRole::Server,
+            index: BTreeMap::new(),
+            dirty_keys: 0,
+            saves_completed: 0,
+            last_save_bytes: 0,
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn key_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Inserts or updates a key; the value bytes are written into guest
+    /// heap memory (dirtying pages).
+    pub fn set(&mut self, env: &mut GuestEnv, key: &str, value: &[u8]) {
+        if let Some((ptr, len)) = self.index.get(key).copied() {
+            if len as usize >= value.len() {
+                let _ = env.heap.write(env.hv, ptr, value);
+                self.index.insert(key.to_string(), (ptr, value.len() as u32));
+                self.dirty_keys += 1;
+                return;
+            }
+            env.heap.free(ptr);
+        }
+        let Some(ptr) = env.heap.alloc(value.len().max(1) as u64) else {
+            return;
+        };
+        if env.heap.write(env.hv, ptr, value).is_ok() {
+            self.index.insert(key.to_string(), (ptr, value.len() as u32));
+            self.dirty_keys += 1;
+        }
+    }
+
+    /// Reads a key's value back from guest memory.
+    pub fn get(&self, env: &mut GuestEnv, key: &str) -> Option<Vec<u8>> {
+        let (ptr, len) = self.index.get(key).copied()?;
+        env.heap.read(env.hv, ptr, len as usize).ok()
+    }
+
+    /// Mass insertion (the paper populates the database with mass insert
+    /// between the two saves).
+    pub fn mass_insert(&mut self, env: &mut GuestEnv, count: u64, value_len: usize) {
+        for i in 0..count {
+            let key = format!("key:{i:08}");
+            let value = vec![b'a' + (i % 23) as u8; value_len];
+            self.set(env, &key, &value);
+        }
+    }
+
+    /// Triggers a background save: forks a saver child.
+    pub fn bgsave(&mut self, env: &mut GuestEnv) {
+        env.fork(1);
+    }
+
+    /// Serializes the database to the 9pfs share (runs in the saver).
+    pub fn dump_to_fs(&mut self, env: &mut GuestEnv) -> Option<u64> {
+        self.write_dump(env)
+    }
+
+    fn write_dump(&mut self, env: &mut GuestEnv) -> Option<u64> {
+        env.p9(P9Request::Attach { fid: 0 })?;
+        match env.p9(P9Request::Create { fid: 0, name: DUMP_FILE.to_string() })? {
+            P9Response::Ok => {}
+            other => {
+                env.console_log(&format!("redis: create failed: {other:?}\n"));
+                return None;
+            }
+        }
+        // Serialize into buffered chunks; one 9p write per 64 KiB, as the
+        // real RDB writer streams through a buffered file.
+        const CHUNK: usize = 64 * 1024;
+        let mut offset = 0usize;
+        let mut buf: Vec<u8> = Vec::with_capacity(CHUNK);
+        let keys: Vec<(String, (GuestPtr, u32))> =
+            self.index.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let serialize_cost = env.hv.costs().redis_serialize_per_key;
+        for (key, (ptr, len)) in keys {
+            env.hv.clock().advance(serialize_cost);
+            let value = env.heap.read(env.hv, ptr, len as usize).ok()?;
+            buf.extend_from_slice(key.as_bytes());
+            buf.push(b'=');
+            buf.extend_from_slice(&value);
+            buf.push(b'\n');
+            if buf.len() >= CHUNK {
+                let data = std::mem::take(&mut buf);
+                let n = data.len();
+                match env.p9(P9Request::Write { fid: 0, offset, data })? {
+                    P9Response::Count(w) if w == n => offset += n,
+                    other => {
+                        env.console_log(&format!("redis: write failed: {other:?}\n"));
+                        return None;
+                    }
+                }
+            }
+        }
+        if !buf.is_empty() {
+            let n = buf.len();
+            match env.p9(P9Request::Write { fid: 0, offset, data: buf })? {
+                P9Response::Count(w) if w == n => offset += n,
+                other => {
+                    env.console_log(&format!("redis: write failed: {other:?}\n"));
+                    return None;
+                }
+            }
+        }
+        env.p9(P9Request::Clunk { fid: 0 })?;
+        Some(offset as u64)
+    }
+}
+
+impl Default for RedisApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GuestApp for RedisApp {
+    fn boxed_clone(&self) -> Box<dyn GuestApp> {
+        Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_boot(&mut self, env: &mut GuestEnv) {
+        env.stack.tcp_listen(REDIS_PORT);
+        env.console_log("redis: ready\n");
+    }
+
+    fn on_fork(&mut self, env: &mut GuestEnv, outcome: ForkOutcome) {
+        match outcome {
+            ForkOutcome::Parent { .. } => {
+                // The snapshot is now safely COW-isolated in the child.
+                self.saves_completed += 1;
+                self.dirty_keys = 0;
+            }
+            ForkOutcome::Child { .. } => {
+                self.role = RedisRole::Saver;
+                if let Some(bytes) = self.write_dump(env) {
+                    self.last_save_bytes = bytes;
+                    env.console_log(&format!("redis: saved {bytes} bytes\n"));
+                }
+                env.shutdown();
+            }
+        }
+    }
+
+    fn on_net_event(&mut self, env: &mut GuestEnv, evt: SockEvent) {
+        let SockEvent::TcpData { conn, data } = evt else {
+            return;
+        };
+        let text = String::from_utf8_lossy(&data);
+        let mut parts = text.trim_end().splitn(3, ' ');
+        let reply: Vec<u8> = match (parts.next(), parts.next(), parts.next()) {
+            (Some("PING"), _, _) => b"+PONG\r\n".to_vec(),
+            (Some("SET"), Some(k), Some(v)) => {
+                self.set(env, k, v.as_bytes());
+                b"+OK\r\n".to_vec()
+            }
+            (Some("GET"), Some(k), _) => match self.get(env, k) {
+                Some(v) => {
+                    let mut r = format!("${}\r\n", v.len()).into_bytes();
+                    r.extend_from_slice(&v);
+                    r.extend_from_slice(b"\r\n");
+                    r
+                }
+                None => b"$-1\r\n".to_vec(),
+            },
+            (Some("BGSAVE"), _, _) => {
+                self.bgsave(env);
+                b"+Background saving started\r\n".to_vec()
+            }
+            (Some("DBSIZE"), _, _) => format!(":{}\r\n", self.key_count()).into_bytes(),
+            _ => b"-ERR unknown command\r\n".to_vec(),
+        };
+        if let Some(p) = env.stack.tcp_send(conn, reply) {
+            env.transmit(0, p);
+        }
+    }
+}

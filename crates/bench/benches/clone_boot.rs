@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks for the instantiation paths: full boot,
+//! clone (both Xenstore copy modes) and save/restore, plus the process
+//! fork baseline. These measure the *simulator's* host-side performance;
+//! the virtual-time results are produced by the `fig4`/`fig6` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::support::{udp_guest_cfg, udp_image};
+use nephele::linux_procs::ProcessModel;
+use nephele::sim_core::{Clock, CostModel};
+use nephele::{MuxKind, Platform, PlatformConfig};
+
+fn small_platform() -> Platform {
+    let mut pc = PlatformConfig::small();
+    pc.machine.guest_pool_mib = 2048;
+    pc.mux = MuxKind::None;
+    Platform::new(pc)
+}
+
+fn bench_boot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("instantiation");
+    g.sample_size(20);
+    g.bench_function("boot_4mib_guest", |b| {
+        let mut p = small_platform();
+        let img = udp_image();
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            let cfg = udp_guest_cfg(&format!("b{i}"), 0);
+            let d = p
+                .launch(&cfg, &img, Box::new(nephele::apps::UdpEchoApp::new(7000)))
+                .unwrap();
+            p.destroy(d).unwrap();
+        });
+    });
+
+    g.bench_function("clone_4mib_guest", |b| {
+        let mut p = small_platform();
+        let img = udp_image();
+        let cfg = udp_guest_cfg("parent", u32::MAX);
+        let parent = p
+            .launch(&cfg, &img, Box::new(nephele::apps::UdpEchoApp::new(7000)))
+            .unwrap();
+        b.iter(|| {
+            let kids = p.guest_fork(parent, 1).unwrap();
+            p.destroy(kids[0]).unwrap();
+        });
+    });
+
+    g.bench_function("clone_4mib_guest_deep_copy", |b| {
+        let mut p = small_platform();
+        p.daemon.config.use_xs_clone = false;
+        let img = udp_image();
+        let cfg = udp_guest_cfg("parent", u32::MAX);
+        let parent = p
+            .launch(&cfg, &img, Box::new(nephele::apps::UdpEchoApp::new(7000)))
+            .unwrap();
+        b.iter(|| {
+            let kids = p.guest_fork(parent, 1).unwrap();
+            p.destroy(kids[0]).unwrap();
+        });
+    });
+
+    g.bench_function("save_restore_4mib_guest", |b| {
+        let mut p = small_platform();
+        let img = udp_image();
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            let cfg = udp_guest_cfg(&format!("s{i}"), 0);
+            let d = p
+                .launch(&cfg, &img, Box::new(nephele::apps::UdpEchoApp::new(7000)))
+                .unwrap();
+            p.xl
+                .save(&mut p.hv, &mut p.xs, &mut p.dm, &mut p.udev, d, "slot", &img)
+                .unwrap();
+            let r = p
+                .xl
+                .restore(&mut p.hv, &mut p.xs, &mut p.dm, &mut p.udev, "slot", None)
+                .unwrap();
+            p.destroy(r.id).unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_fork_model(c: &mut Criterion) {
+    c.bench_function("process_fork_model_256mib", |b| {
+        let clock = Clock::new();
+        let mut pm = ProcessModel::new(clock, std::rc::Rc::new(CostModel::calibrated()));
+        let mut p = pm.spawn(256);
+        b.iter(|| pm.fork(&mut p));
+    });
+}
+
+criterion_group!(benches, bench_boot, bench_fork_model);
+criterion_main!(benches);

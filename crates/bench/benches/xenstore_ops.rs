@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks for Xenstore: basic requests, watch
+//! matching, and the `xs_clone` request against its deep-copy equivalent
+//! (the mechanism behind the Fig. 4 gap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nephele::sim_core::{Clock, CostModel, DomId};
+use nephele::xenstore::{XsCloneOp, Xenstore};
+
+fn fresh_store() -> Xenstore {
+    Xenstore::new(Clock::new(), std::rc::Rc::new(CostModel::free()))
+}
+
+fn populate_device_dir(xs: &mut Xenstore, dom: u32) {
+    let f = format!("/local/domain/{dom}/device/vif/0");
+    for (k, v) in [
+        ("backend", format!("/local/domain/0/backend/vif/{dom}/0")),
+        ("backend-id", "0".into()),
+        ("mac", "00:16:3e:00:00:01".into()),
+        ("handle", "0".into()),
+        ("tx-ring-ref", "1022".into()),
+        ("rx-ring-ref", "1023".into()),
+        ("state", "4".into()),
+    ] {
+        xs.write(DomId::DOM0, &format!("{f}/{k}"), &v).unwrap();
+    }
+}
+
+fn bench_requests(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xenstore");
+    g.bench_function("write", |b| {
+        let mut xs = fresh_store();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            xs.write(DomId::DOM0, &format!("/tool/k{}", i % 4096), "v").unwrap();
+        });
+    });
+    g.bench_function("read", |b| {
+        let mut xs = fresh_store();
+        xs.write(DomId::DOM0, "/tool/key", "value").unwrap();
+        b.iter(|| xs.read(DomId::DOM0, "/tool/key").unwrap());
+    });
+    g.bench_function("write_with_1000_watches", |b| {
+        let mut xs = fresh_store();
+        for i in 0..1000 {
+            xs.watch(DomId::DOM0, &format!("w{i}"), &format!("/local/domain/{i}"))
+                .unwrap();
+        }
+        b.iter(|| {
+            xs.write(DomId::DOM0, "/local/domain/500/state", "4").unwrap();
+            xs.drain_watch_events()
+        });
+    });
+    g.finish();
+}
+
+fn bench_xs_clone(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xs_clone");
+    g.bench_function("xs_clone_device_dir", |b| {
+        let mut xs = fresh_store();
+        populate_device_dir(&mut xs, 3);
+        let mut child = 100u32;
+        b.iter(|| {
+            child += 1;
+            xs.xs_clone(
+                DomId::DOM0,
+                XsCloneOp::DevVif,
+                DomId(3),
+                DomId(child),
+                "/local/domain/3/device/vif/0",
+                &format!("/local/domain/{child}/device/vif/0"),
+            )
+            .unwrap();
+        });
+    });
+    g.bench_function("deep_copy_device_dir", |b| {
+        let mut xs = fresh_store();
+        populate_device_dir(&mut xs, 3);
+        let mut child = 100u32;
+        b.iter(|| {
+            child += 1;
+            // One read + one write request per entry, client-side rewrite.
+            let keys = xs.directory(DomId::DOM0, "/local/domain/3/device/vif/0").unwrap();
+            for k in keys {
+                let v = xs
+                    .read(DomId::DOM0, &format!("/local/domain/3/device/vif/0/{k}"))
+                    .unwrap();
+                let v = v.replace("/3/", &format!("/{child}/"));
+                xs.write(
+                    DomId::DOM0,
+                    &format!("/local/domain/{child}/device/vif/0/{k}"),
+                    &v,
+                )
+                .unwrap();
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_requests, bench_xs_clone);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Regenerates Fig. 10: OpenFaaS memory consumption, containers vs.
+//! unikernels.
+//!
+//! Usage: `cargo run -p bench --release --bin fig10 [seconds]`
+//! (default 200, the paper's window).
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    eprintln!("fig10: FaaS memory consumption over {secs} s...");
+    let (series, containers, unikernels) = bench::fig10::run(secs);
+    bench::support::print_csv("fig10: FaaS memory (MB)", &series);
+
+    eprintln!();
+    eprintln!("summary:");
+    eprintln!(
+        "  containers: first instance {:.0} MB, final {:.0} MB across {} instances",
+        containers.memory_series[0].1,
+        containers.memory_series.last().unwrap().1,
+        containers.instances
+    );
+    eprintln!(
+        "  unikernels: first instance {:.0} MB, final {:.0} MB across {} instances",
+        unikernels.memory_series[0].1,
+        unikernels.memory_series.last().unwrap().1,
+        unikernels.instances
+    );
+    eprintln!("  ready times (s): containers {:?}", round(&containers.ready_times));
+    eprintln!("                   unikernels {:?}", round(&unikernels.ready_times));
+    eprintln!("  (paper: ~90 vs ~85 MB first; ~220 vs ~35 MB per additional instance)");
+}
+
+fn round(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|x| (x * 10.0).round() / 10.0).collect()
+}

@@ -1,0 +1,30 @@
+//! Regenerates Fig. 11: reaction of containers vs. unikernels to
+//! increasing function call demand.
+//!
+//! Usage: `cargo run -p bench --release --bin fig11 [seconds]`
+//! (default 150, the paper's window).
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+    eprintln!("fig11: FaaS throughput reaction over {secs} s...");
+    let (series, containers, unikernels) = bench::fig11::run(secs);
+    bench::support::print_csv("fig11: FaaS served throughput (req/s)", &series);
+
+    eprintln!();
+    eprintln!("summary:");
+    eprintln!("  instance-ready marks (s):");
+    eprintln!("    containers: {:?} (paper: 33/42/56 s)", round(&containers.ready_times));
+    eprintln!("    unikernels: {:?} (paper: 3/14/25 s)", round(&unikernels.ready_times));
+    eprintln!(
+        "  total served: containers {:.0}, unikernels {:.0}",
+        containers.served_total, unikernels.served_total
+    );
+    eprintln!("  (expected: unikernel clones track the demand closely)");
+}
+
+fn round(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|x| (x * 10.0).round() / 10.0).collect()
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 4: instantiation times for the Mini-OS UDP server.
+//!
+//! Usage: `cargo run -p bench --release --bin fig4 [instances]`
+//! (default 1000, as in the paper).
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    eprintln!("fig4: measuring boot / restore / clone curves for {n} instances each...");
+    let r = bench::fig4::run(n);
+    bench::support::print_csv("fig4: instantiation times (ms)", &r.series);
+
+    let [boot, restore, deep, clone] = r.means;
+    eprintln!();
+    eprintln!("summary (means over {n} instances):");
+    eprintln!("  boot               = {boot:8.1} ms");
+    eprintln!("  restore            = {restore:8.1} ms");
+    eprintln!("  clone + deep copy  = {deep:8.1} ms");
+    eprintln!("  clone (xs_clone)   = {clone:8.1} ms");
+    eprintln!("  clone speedup over boot = {:.1}x (paper: ~8x)", boot / clone);
+    eprintln!(
+        "  access-log rotations: boot run = {}, clone run = {} (paper: spikes drop to 2)",
+        r.boot_run_rotations, r.clone_run_rotations
+    );
+}

@@ -1,0 +1,34 @@
+//! Regenerates Fig. 5: memory consumption for booting vs. cloning.
+//!
+//! Usage: `cargo run -p bench --release --bin fig5 [max_instances]`
+//! (default: run both to memory exhaustion, as in the paper).
+
+fn main() {
+    let limit: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(u64::MAX);
+    eprintln!("fig5: packing the 12 GiB guest pool by booting, then by cloning...");
+    let r = bench::fig5::run(limit);
+
+    bench::support::print_csv("fig5: free memory while booting", &r.booting.series);
+    println!();
+    bench::support::print_csv("fig5: free memory while cloning", &r.cloning.series);
+
+    eprintln!();
+    eprintln!("summary:");
+    eprintln!(
+        "  booted instances = {} ({} KiB each)",
+        r.booting.max_instances,
+        r.booting.bytes_per_instance / 1024
+    );
+    eprintln!(
+        "  cloned instances = {} ({} KiB each; paper: ~1.6 MB, 1 MB RX ring)",
+        r.cloning.max_instances,
+        r.cloning.bytes_per_instance / 1024
+    );
+    eprintln!(
+        "  density gain = {:.1}x (paper: ~3x, 2800 vs 8900)",
+        r.cloning.max_instances as f64 / r.booting.max_instances as f64
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerates Fig. 7: NGINX HTTP request throughput vs. workers.
+//!
+//! Usage: `cargo run -p bench --release --bin fig7 [repetitions]`
+//! (default 30, as in the paper).
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    eprintln!("fig7: wrk (400 conns/worker, 5 s, {reps} reps) vs 1..4 workers...");
+    let (series, pts) = bench::fig7::run(reps);
+    bench::support::print_csv("fig7: NGINX throughput (req/s)", &series);
+
+    eprintln!();
+    eprintln!("summary:");
+    for (proc, clone) in &pts {
+        eprintln!(
+            "  {} workers: processes {:7.0} ± {:5.0} req/s | clones {:7.0} ± {:5.0} req/s",
+            proc.workers, proc.mean_rps, proc.stddev_rps, clone.mean_rps, clone.stddev_rps
+        );
+    }
+    eprintln!("  (expected: linear growth; clones higher and less variable)");
+}

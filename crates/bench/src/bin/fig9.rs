@@ -1,0 +1,24 @@
+//! Regenerates Fig. 9: fuzzing throughput over time.
+//!
+//! Usage: `cargo run -p bench --release --bin fig9 [seconds]`
+//! (default 300, as in the paper).
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    eprintln!("fig9: running 7 fuzzing campaigns for {secs} virtual seconds each...");
+    let (series, reports) = bench::fig9::run(secs);
+    bench::support::print_csv("fig9: fuzzing throughput (executions/s)", &series);
+
+    eprintln!();
+    eprintln!("summary (mean executions/second):");
+    for (label, r) in &reports {
+        eprintln!(
+            "  {label:28} {:8.1} exec/s  (crashes {:5}, edges {:5}, reset {:6.1} us, dirty {:4.1} pages)",
+            r.avg_throughput, r.crashes, r.edges, r.avg_reset_us, r.avg_dirty_pages
+        );
+    }
+    eprintln!("  (paper: boot-each ~2, cloning ~470, process ~590, module ~320 exec/s)");
+}

@@ -1,0 +1,68 @@
+//! Fig. 10 — OpenFaaS memory consumption: containers vs. unikernels.
+//!
+//! Delegates to the [`faas`] crate with the paper's setup: a Python
+//! "Hello World" function, RPS autoscaling, and either Kubernetes
+//! containers or Nephele unikernel clones as instances. Reports the memory
+//! occupied by the deployment over time and the instants at which new
+//! instances are reported Ready (the dashed lines).
+
+use faas::{run_faas, Backend, FaasConfig, FaasReport};
+use nephele::sim_core::SimDuration;
+use sim_core::stats::Series;
+
+/// Runs both backends for `secs` seconds.
+pub fn run(secs: u64) -> (Series, FaasReport, FaasReport) {
+    let base = FaasConfig {
+        duration: SimDuration::from_secs(secs),
+        ..Default::default()
+    };
+    let containers = run_faas(&FaasConfig {
+        backend: Backend::Containers,
+        ..base.clone()
+    });
+    let unikernels = run_faas(&FaasConfig {
+        backend: Backend::Unikernels,
+        ..base
+    });
+
+    let mut series = Series::new("second", &["containers_mb", "unikernels_mb"]);
+    for s in 0..secs as usize {
+        series.row(
+            s as f64,
+            &[
+                containers.memory_series.get(s).map(|(_, m)| *m).unwrap_or(0.0),
+                unikernels.memory_series.get(s).map(|(_, m)| *m).unwrap_or(0.0),
+            ],
+        );
+    }
+    (series, containers, unikernels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unikernel_memory_grows_by_tens_not_hundreds_of_mb() {
+        let (_, containers, unikernels) = run(90);
+        // Per-added-instance growth.
+        let growth = |r: &FaasReport| {
+            let first = r.memory_series[5].1;
+            let last = r.memory_series.last().unwrap().1;
+            (last - first) / (r.instances as f64 - 1.0).max(1.0)
+        };
+        let c = growth(&containers);
+        let u = growth(&unikernels);
+        assert!(c > 120.0, "container growth {c:.0} MB/instance");
+        assert!(u < 80.0, "unikernel growth {u:.0} MB/instance");
+        // Clones become ready sooner (paper: ~5 s on average).
+        let avg_delta: f64 = containers
+            .ready_times
+            .iter()
+            .zip(&unikernels.ready_times)
+            .map(|(c, u)| c - u)
+            .sum::<f64>()
+            / containers.ready_times.len() as f64;
+        assert!(avg_delta > 3.0, "avg readiness advantage {avg_delta:.1}s");
+    }
+}

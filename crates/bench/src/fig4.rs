@@ -1,0 +1,144 @@
+//! Fig. 4 — Instantiation times for the Mini-OS UDP server.
+//!
+//! Four curves, 1000 instances each, methodology per §6.1:
+//!
+//! * **boot** — iteratively `xl create` new 4 MiB VMs (name validation
+//!   disabled, as the paper does for a fair baseline);
+//! * **restore** — per iteration: create, save to an image, restore; the
+//!   plotted value is the restore duration (it copies the *entire*
+//!   configured memory back);
+//! * **clone + XS deep copy** — `fork()` from the parent guest with
+//!   `xencloned` copying Xenstore entries one write request at a time;
+//! * **clone** — the same with the `xs_clone` request.
+//!
+//! Latency spikes come from Xenstore access-log rotation; with `xs_clone`
+//! only a couple of rotations remain across the 1000 clones.
+
+use apps::UdpEchoApp;
+use sim_core::stats::Series;
+
+use crate::support::{paper_platform, udp_guest_cfg, udp_image};
+
+/// Measured instantiation curves.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// instance-index → milliseconds, one column per curve.
+    pub series: Series,
+    /// Access-log rotations observed during the plain-clone run.
+    pub clone_run_rotations: u64,
+    /// Access-log rotations observed during the boot run.
+    pub boot_run_rotations: u64,
+    /// Mean of each curve (boot, restore, deep-copy clone, clone), ms.
+    pub means: [f64; 4],
+}
+
+fn measure_boot(n: usize) -> (Vec<f64>, u64) {
+    let mut p = paper_platform();
+    let img = udp_image();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let cfg = udp_guest_cfg(&format!("udp-{i}"), 0);
+        let t0 = p.clock.now();
+        p.launch(&cfg, &img, Box::new(UdpEchoApp::new(7000)))
+            .expect("boot");
+        out.push(p.clock.now().since(t0).as_ms_f64());
+    }
+    (out, p.xs.log_rotations())
+}
+
+fn measure_restore(n: usize) -> Vec<f64> {
+    let mut p = paper_platform();
+    let img = udp_image();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let cfg = udp_guest_cfg(&format!("udp-{i}"), 0);
+        let created = p.launch(&cfg, &img, Box::new(UdpEchoApp::new(7000))).unwrap();
+        let slot = format!("img-{i}");
+        p.xl
+            .save(&mut p.hv, &mut p.xs, &mut p.dm, &mut p.udev, created, &slot, &img)
+            .expect("save");
+        let t0 = p.clock.now();
+        p.xl
+            .restore(&mut p.hv, &mut p.xs, &mut p.dm, &mut p.udev, &slot, None)
+            .expect("restore");
+        out.push(p.clock.now().since(t0).as_ms_f64());
+    }
+    out
+}
+
+fn measure_clone(n: usize, use_xs_clone: bool) -> (Vec<f64>, u64) {
+    let mut p = paper_platform();
+    p.daemon.config.use_xs_clone = use_xs_clone;
+    let img = udp_image();
+    let cfg = udp_guest_cfg("udp", n as u32 + 1);
+    let parent = p
+        .launch(&cfg, &img, Box::new(UdpEchoApp::new(7000)))
+        .expect("parent boot");
+    p.enlist_in_mux(parent);
+    let rotations_before = p.xs.log_rotations();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t0 = p.clock.now();
+        p.guest_fork(parent, 1).expect("fork");
+        out.push(p.clock.now().since(t0).as_ms_f64());
+    }
+    (out, p.xs.log_rotations() - rotations_before)
+}
+
+/// Runs the experiment with `n` instances per curve (the paper uses 1000).
+pub fn run(n: usize) -> Fig4Result {
+    let (boot, boot_rot) = measure_boot(n);
+    let restore = measure_restore(n);
+    let (deep, _) = measure_clone(n, false);
+    let (clone, clone_rot) = measure_clone(n, true);
+
+    let mut series = Series::new(
+        "instance",
+        &["boot_ms", "restore_ms", "clone_deepcopy_ms", "clone_ms"],
+    );
+    let mut sums = [0.0f64; 4];
+    for i in 0..n {
+        series.row(
+            (i + 1) as f64,
+            &[boot[i], restore[i], deep[i], clone[i]],
+        );
+        for (s, v) in sums.iter_mut().zip([boot[i], restore[i], deep[i], clone[i]]) {
+            *s += v;
+        }
+    }
+    Fig4Result {
+        series,
+        clone_run_rotations: clone_rot,
+        boot_run_rotations: boot_rot,
+        means: sums.map(|s| s / n as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_the_paper() {
+        // A reduced run keeps the test fast; trends already show at 120.
+        let r = run(120);
+        let [boot, restore, deep, clone] = r.means;
+
+        // Clone is several times faster than boot (paper: ~8x).
+        assert!(boot / clone > 4.0, "boot {boot:.1} / clone {clone:.1}");
+        // Restore is slower than boot.
+        assert!(restore > boot, "restore {restore:.1} vs boot {boot:.1}");
+        // Deep copy sits between plain clone and boot.
+        assert!(deep > clone && deep < boot, "deep {deep:.1}");
+
+        // Boot grows with the instance count; clone stays much flatter.
+        let boots = r.series.column("boot_ms").unwrap();
+        let clones = r.series.column("clone_ms").unwrap();
+        let boot_growth = boots[110..].iter().sum::<f64>() / 10.0
+            - boots[..10].iter().sum::<f64>() / 10.0;
+        let clone_growth = clones[110..].iter().sum::<f64>() / 10.0
+            - clones[..10].iter().sum::<f64>() / 10.0;
+        assert!(boot_growth > 2.0 * clone_growth.max(0.01),
+            "boot growth {boot_growth:.2} vs clone growth {clone_growth:.2}");
+    }
+}

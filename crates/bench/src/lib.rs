@@ -1,0 +1,18 @@
+//! The benchmark harness: one module per figure of the paper's evaluation.
+//!
+//! Every module exposes a `run(...)` function returning a
+//! [`Series`](sim_core::stats::Series) (or a set of labelled series) with
+//! the same curves the paper plots, plus a binary (`cargo run -p bench
+//! --release --bin figN`) that prints the series as CSV together with a
+//! summary of the headline comparisons. See `DESIGN.md` for the experiment
+//! index and `EXPERIMENTS.md` for recorded paper-vs-measured results.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod support;

@@ -1,0 +1,41 @@
+//! Shared helpers for the figure experiments.
+
+use std::net::Ipv4Addr;
+
+use nephele::toolstack::{DomainConfig, KernelImage};
+use nephele::{Platform, PlatformConfig};
+
+/// The service IP every UDP-server family shares.
+pub const UDP_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+/// Builds the paper's Fig. 4/5 machine: 12 GiB guest pool, 4 cores.
+pub fn paper_platform() -> Platform {
+    Platform::new(PlatformConfig::default())
+}
+
+/// Builds a platform with a custom guest pool (MiB).
+pub fn platform_with_pool(pool_mib: u64) -> Platform {
+    let mut cfg = PlatformConfig::default();
+    cfg.machine.guest_pool_mib = pool_mib;
+    Platform::new(cfg)
+}
+
+/// The Fig. 4/5 guest: 4 MiB Mini-OS UDP server with one vif.
+pub fn udp_guest_cfg(name: &str, max_clones: u32) -> DomainConfig {
+    DomainConfig::builder(name)
+        .memory_mib(4)
+        .vif(UDP_IP)
+        .max_clones(max_clones)
+        .build()
+}
+
+/// The Mini-OS image for the UDP server.
+pub fn udp_image() -> KernelImage {
+    KernelImage::minios("minios-udp")
+}
+
+/// Prints a series as CSV to stdout with a `# figN` header comment.
+pub fn print_csv(fig: &str, series: &sim_core::stats::Series) {
+    println!("# {fig}");
+    print!("{}", series.to_csv());
+}

@@ -1,0 +1,800 @@
+//! Split-driver paravirtualized devices and their Dom0 management.
+//!
+//! This crate implements both halves of Xen's split-device model for the
+//! three device types Nephele supports — console, network and 9pfs — plus
+//! the plumbing around them: Xenbus negotiation ([`xenbus`]), shared rings
+//! ([`ring`]), the udev event bus ([`udev`]), the QEMU process model
+//! ([`qemu`]) and the Dom0 ramdisk ([`memfs`]).
+//!
+//! [`DeviceManager`] is the Dom0-side registry gluing it together. It
+//! offers two setup paths per device, mirroring the paper:
+//!
+//! * the **boot path** walks the full frontend/backend Xenbus negotiation
+//!   and writes every Xenstore entry individually;
+//! * the **clone path** copies the Xenstore state with `xs_clone` (or a
+//!   deep per-entry copy, for the Fig. 4 comparison), creates the backend
+//!   state directly in the Connected state, and reuses backend processes
+//!   across the clone family.
+
+pub mod console;
+pub mod memfs;
+pub mod net;
+pub mod p9fs;
+pub mod qemu;
+pub mod ring;
+pub mod udev;
+pub mod xenbus;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use hypervisor::domain::PrivatePolicy;
+use hypervisor::error::HvError;
+use hypervisor::Hypervisor;
+use netmux::{IfaceId, MacAddr, Packet};
+use sim_core::{Clock, CostModel, DomId, Pfn};
+use xenstore::{XsCloneOp, XsError, Xenstore};
+
+use crate::console::ConsoleBackend;
+use crate::memfs::MemFs;
+use crate::net::{Vif, RX_RING_SLOTS, TX_RING_SLOTS};
+use crate::p9fs::{P9Request, P9Response};
+use crate::qemu::{QemuProcess, QmpRequest};
+use crate::ring::SharedRing;
+use crate::udev::{UdevBus, UdevEvent};
+use crate::xenbus::{XenbusState, NEGOTIATION_STEPS};
+
+/// Errors from device management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DevError {
+    /// Underlying Xenstore failure.
+    Xs(XsError),
+    /// Underlying hypervisor failure.
+    Hv(HvError),
+    /// The referenced device does not exist.
+    NoSuchDevice(DomId, u32),
+    /// No backend process serves this domain.
+    NoBackend(DomId),
+}
+
+impl fmt::Display for DevError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DevError::Xs(e) => write!(f, "xenstore: {e}"),
+            DevError::Hv(e) => write!(f, "hypervisor: {e}"),
+            DevError::NoSuchDevice(d, i) => write!(f, "no vif {i} on {d}"),
+            DevError::NoBackend(d) => write!(f, "no backend process for {d}"),
+        }
+    }
+}
+
+impl std::error::Error for DevError {}
+
+impl From<XsError> for DevError {
+    fn from(e: XsError) -> Self {
+        DevError::Xs(e)
+    }
+}
+
+impl From<HvError> for DevError {
+    fn from(e: HvError) -> Self {
+        DevError::Hv(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, DevError>;
+
+/// Frontend-supplied parameters for creating a vif at boot.
+#[derive(Debug, Clone)]
+pub struct VifConfig {
+    /// Device index within the guest.
+    pub devid: u32,
+    /// The guest's IP address.
+    pub ip: Ipv4Addr,
+    /// Guest page backing the TX ring.
+    pub tx_pfn: Pfn,
+    /// Guest page backing the RX ring.
+    pub rx_pfn: Pfn,
+    /// Guest pages preallocated for RX payloads (one per RX slot).
+    pub rx_buffers: Vec<Pfn>,
+}
+
+fn vif_front_dir(dom: DomId, devid: u32) -> String {
+    format!("/local/domain/{}/device/vif/{devid}", dom.0)
+}
+
+fn vif_back_dir(dom: DomId, devid: u32) -> String {
+    format!("/local/domain/0/backend/vif/{}/{devid}", dom.0)
+}
+
+fn console_dir(dom: DomId) -> String {
+    format!("/local/domain/{}/console", dom.0)
+}
+
+fn p9_front_dir(dom: DomId) -> String {
+    format!("/local/domain/{}/device/9pfs/0", dom.0)
+}
+
+fn p9_back_dir(dom: DomId) -> String {
+    format!("/local/domain/0/backend/9pfs/{}/0", dom.0)
+}
+
+/// The Dom0 device registry and backend host.
+#[derive(Debug)]
+pub struct DeviceManager {
+    clock: Clock,
+    costs: Rc<CostModel>,
+    /// The Dom0 ramdisk filesystem (9pfs exports live here).
+    pub fs: MemFs,
+    vifs: HashMap<(u32, u32), Vif>,
+    iface_map: HashMap<IfaceId, (DomId, u32)>,
+    next_iface: u32,
+    console: ConsoleBackend,
+    qemus: Vec<QemuProcess>,
+    next_pid: u32,
+}
+
+impl DeviceManager {
+    /// Creates an empty manager.
+    pub fn new(clock: Clock, costs: Rc<CostModel>) -> Self {
+        DeviceManager {
+            clock,
+            costs,
+            fs: MemFs::new(),
+            vifs: HashMap::new(),
+            iface_map: HashMap::new(),
+            next_iface: 1,
+            console: ConsoleBackend::new(),
+            qemus: Vec::new(),
+            next_pid: 1000,
+        }
+    }
+
+    fn alloc_iface(&mut self) -> IfaceId {
+        let id = IfaceId(self.next_iface);
+        self.next_iface += 1;
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Console
+    // ------------------------------------------------------------------
+
+    /// Boot-path console setup: Xenstore entries plus backend attach.
+    pub fn setup_console_boot(
+        &mut self,
+        hv: &mut Hypervisor,
+        xs: &mut Xenstore,
+        udev: &mut UdevBus,
+        dom: DomId,
+    ) -> Result<()> {
+        let _ = udev;
+        let ring_pfn = hv.domain(dom)?.console_pfn;
+        let dir = console_dir(dom);
+        xs.write(DomId::DOM0, &format!("{dir}/ring-ref"), &ring_pfn.0.to_string())?;
+        xs.write(DomId::DOM0, &format!("{dir}/port"), "2")?;
+        xs.write(DomId::DOM0, &format!("{dir}/type"), "xenconsoled")?;
+        xs.write(DomId::DOM0, &format!("{dir}/output"), "pty")?;
+        self.clock.advance(self.costs.console_attach);
+        self.console.attach(dom, ring_pfn);
+        Ok(())
+    }
+
+    /// Clone-path console setup: only the Xenstore entries are cloned; the
+    /// managing process picks the change up via its watch and creates the
+    /// child state with a fresh ring (§4.2, §5.2.1).
+    pub fn clone_console(
+        &mut self,
+        hv: &mut Hypervisor,
+        xs: &mut Xenstore,
+        parent: DomId,
+        child: DomId,
+        deep_copy: bool,
+    ) -> Result<()> {
+        if deep_copy {
+            self.deep_copy_dir(xs, &console_dir(parent), &console_dir(child), parent, child)?;
+        } else {
+            xs.xs_clone(
+                DomId::DOM0,
+                XsCloneOp::DevConsole,
+                parent,
+                child,
+                &console_dir(parent),
+                &console_dir(child),
+            )?;
+        }
+        let ring_pfn = hv.domain(child)?.console_pfn;
+        self.clock.advance(self.costs.console_attach);
+        self.console.attach_clone(parent, child, ring_pfn);
+        Ok(())
+    }
+
+    /// Guest-side console write.
+    pub fn console_write(&mut self, dom: DomId, bytes: &[u8]) {
+        self.console.guest_write(dom, bytes);
+        self.console.drain(dom);
+    }
+
+    /// The accumulated console output of a domain.
+    pub fn console_output(&self, dom: DomId) -> &[u8] {
+        self.console.output(dom)
+    }
+
+    /// Whether a console is attached for `dom`.
+    pub fn console_attached(&self, dom: DomId) -> bool {
+        self.console.is_attached(dom)
+    }
+
+    // ------------------------------------------------------------------
+    // Network
+    // ------------------------------------------------------------------
+
+    /// Boot-path vif setup: full Xenstore population plus Xenbus
+    /// negotiation, backend creation and a udev event for userspace.
+    pub fn setup_vif_boot(
+        &mut self,
+        hv: &mut Hypervisor,
+        xs: &mut Xenstore,
+        udev: &mut UdevBus,
+        dom: DomId,
+        cfg: VifConfig,
+    ) -> Result<IfaceId> {
+        let mac = MacAddr::xen(dom.0, cfg.devid as u8);
+        let f = vif_front_dir(dom, cfg.devid);
+        let b = vif_back_dir(dom, cfg.devid);
+
+        // Frontend entries.
+        xs.write(DomId::DOM0, &format!("{f}/backend"), &b)?;
+        xs.write(DomId::DOM0, &format!("{f}/backend-id"), "0")?;
+        xs.write(DomId::DOM0, &format!("{f}/mac"), &mac.to_string())?;
+        xs.write(DomId::DOM0, &format!("{f}/handle"), &cfg.devid.to_string())?;
+        xs.write(DomId::DOM0, &format!("{f}/tx-ring-ref"), &cfg.tx_pfn.0.to_string())?;
+        xs.write(DomId::DOM0, &format!("{f}/rx-ring-ref"), &cfg.rx_pfn.0.to_string())?;
+        // Backend entries.
+        xs.write(DomId::DOM0, &format!("{b}/frontend"), &f)?;
+        xs.write(DomId::DOM0, &format!("{b}/frontend-id"), &dom.0.to_string())?;
+        xs.write(DomId::DOM0, &format!("{b}/mac"), &mac.to_string())?;
+        xs.write(DomId::DOM0, &format!("{b}/handle"), &cfg.devid.to_string())?;
+        xs.write(DomId::DOM0, &format!("{b}/bridge"), "xenbr0")?;
+
+        // Ring pages and RX buffers are private on clone (§4.1/§4.2).
+        hv.register_private_pfn(dom, cfg.tx_pfn, PrivatePolicy::Copy)?;
+        hv.register_private_pfn(dom, cfg.rx_pfn, PrivatePolicy::Copy)?;
+        for pfn in &cfg.rx_buffers {
+            hv.register_private_pfn(dom, *pfn, PrivatePolicy::Copy)?;
+        }
+
+        // Full Xenbus negotiation, one state write per end per step.
+        for (front, back) in NEGOTIATION_STEPS {
+            self.clock.advance(self.costs.xenbus_transition);
+            xs.write(DomId::DOM0, &format!("{f}/state"), front.to_xs())?;
+            self.clock.advance(self.costs.xenbus_transition);
+            xs.write(DomId::DOM0, &format!("{b}/state"), back.to_xs())?;
+        }
+
+        // Backend creates the in-kernel vif and announces it via udev.
+        self.clock.advance(self.costs.backend_create);
+        let (guest_port, back_port) = hv.evtchn_connect_pair(dom, DomId::DOM0)?;
+        let iface = self.alloc_iface();
+        let vif = Vif {
+            dom,
+            devid: cfg.devid,
+            mac,
+            ip: cfg.ip,
+            iface,
+            frontend_state: XenbusState::Connected,
+            backend_state: XenbusState::Connected,
+            tx: SharedRing::new(cfg.tx_pfn, TX_RING_SLOTS),
+            rx: SharedRing::new(cfg.rx_pfn, RX_RING_SLOTS),
+            rx_buffers: cfg.rx_buffers,
+            guest_port,
+            back_port,
+        };
+        self.vifs.insert((dom.0, cfg.devid), vif);
+        self.iface_map.insert(iface, (dom, cfg.devid));
+        self.clock.advance(self.costs.udev_event);
+        udev.emit(UdevEvent::VifCreated { dom, devid: cfg.devid });
+        Ok(iface)
+    }
+
+    /// Clone-path vif setup: Xenstore state is cloned (via `xs_clone` or a
+    /// deep per-entry copy), the backend shortcuts the negotiation and the
+    /// rings are copied. Emits the udev event that prompts userspace to
+    /// enslave the new interface.
+    pub fn clone_vif(
+        &mut self,
+        hv: &mut Hypervisor,
+        xs: &mut Xenstore,
+        udev: &mut UdevBus,
+        parent: DomId,
+        child: DomId,
+        devid: u32,
+        deep_copy: bool,
+    ) -> Result<IfaceId> {
+        let pf = vif_front_dir(parent, devid);
+        let pb = vif_back_dir(parent, devid);
+        let cf = vif_front_dir(child, devid);
+        let cb = vif_back_dir(child, devid);
+        if deep_copy {
+            self.deep_copy_dir(xs, &pf, &cf, parent, child)?;
+            self.deep_copy_dir(xs, &pb, &cb, parent, child)?;
+        } else {
+            xs.xs_clone(DomId::DOM0, XsCloneOp::DevVif, parent, child, &pf, &cf)?;
+            xs.xs_clone(DomId::DOM0, XsCloneOp::DevVif, parent, child, &pb, &cb)?;
+        }
+
+        let parent_vif = self
+            .vifs
+            .get(&(parent.0, devid))
+            .ok_or(DevError::NoSuchDevice(parent, devid))?
+            .clone();
+
+        // The netback shortcut: connect directly, no negotiation.
+        self.clock.advance(self.costs.backend_create);
+        let (guest_port, back_port) = hv.evtchn_connect_pair(child, DomId::DOM0)?;
+        let iface = self.alloc_iface();
+        let vif = parent_vif.clone_for_child(child, iface, guest_port, back_port);
+        self.vifs.insert((child.0, devid), vif);
+        self.iface_map.insert(iface, (child, devid));
+        self.clock.advance(self.costs.udev_event);
+        udev.emit(UdevEvent::VifCreated { dom: child, devid });
+        Ok(iface)
+    }
+
+    /// Looks up a vif.
+    pub fn vif(&self, dom: DomId, devid: u32) -> Option<&Vif> {
+        self.vifs.get(&(dom.0, devid))
+    }
+
+    /// Device ids of the vifs a domain owns (sorted).
+    pub fn vif_devids(&self, dom: DomId) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .vifs
+            .keys()
+            .filter(|(d, _)| *d == dom.0)
+            .map(|(_, i)| *i)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Total vifs registered.
+    pub fn vif_count(&self) -> usize {
+        self.vifs.len()
+    }
+
+    /// All `(domain, devid)` vif keys, sorted.
+    pub fn all_vif_keys(&self) -> Vec<(DomId, u32)> {
+        let mut keys: Vec<(DomId, u32)> = self
+            .vifs
+            .keys()
+            .map(|(d, i)| (DomId(*d), *i))
+            .collect();
+        keys.sort_unstable_by_key(|(d, i)| (d.0, *i));
+        keys
+    }
+
+    /// Whether a vif has pending TX entries.
+    pub fn has_pending_tx(&self, dom: DomId, devid: u32) -> bool {
+        self.vifs
+            .get(&(dom.0, devid))
+            .map(|v| !v.tx.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Resolves a host interface to its (domain, devid).
+    pub fn iface_target(&self, iface: IfaceId) -> Option<(DomId, u32)> {
+        self.iface_map.get(&iface).copied()
+    }
+
+    /// Guest transmits a packet: pushed onto the TX ring (dropped if full).
+    pub fn guest_tx(&mut self, dom: DomId, devid: u32, pkt: Packet) -> Result<bool> {
+        self.clock.advance(
+            self.costs
+                .net_per_byte
+                .saturating_mul(pkt.len() as u64),
+        );
+        let vif = self
+            .vifs
+            .get_mut(&(dom.0, devid))
+            .ok_or(DevError::NoSuchDevice(dom, devid))?;
+        Ok(vif.tx.push(pkt))
+    }
+
+    /// Backend drains all pending TX packets from a vif.
+    pub fn take_tx(&mut self, dom: DomId, devid: u32) -> Vec<Packet> {
+        let Some(vif) = self.vifs.get_mut(&(dom.0, devid)) else {
+            return Vec::new();
+        };
+        std::iter::from_fn(|| vif.tx.pop()).collect()
+    }
+
+    /// Backend delivers a packet into a vif's RX ring; `false` if dropped.
+    pub fn deliver_rx(&mut self, iface: IfaceId, pkt: Packet) -> bool {
+        let Some((dom, devid)) = self.iface_map.get(&iface).copied() else {
+            return false;
+        };
+        self.clock.advance(
+            self.costs
+                .net_per_byte
+                .saturating_mul(pkt.len() as u64),
+        );
+        match self.vifs.get_mut(&(dom.0, devid)) {
+            Some(vif) => vif.rx.push(pkt),
+            None => false,
+        }
+    }
+
+    /// Guest drains its RX ring.
+    pub fn take_rx(&mut self, dom: DomId, devid: u32) -> Vec<Packet> {
+        let Some(vif) = self.vifs.get_mut(&(dom.0, devid)) else {
+            return Vec::new();
+        };
+        std::iter::from_fn(|| vif.rx.pop()).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // 9pfs
+    // ------------------------------------------------------------------
+
+    /// Boot-path 9pfs setup: `xl` launches a QEMU backend process for the
+    /// guest and the device negotiates like any other.
+    pub fn setup_9pfs_boot(
+        &mut self,
+        hv: &mut Hypervisor,
+        xs: &mut Xenstore,
+        dom: DomId,
+        export_root: &str,
+    ) -> Result<()> {
+        let f = p9_front_dir(dom);
+        let b = p9_back_dir(dom);
+        xs.write(DomId::DOM0, &format!("{f}/backend"), &b)?;
+        xs.write(DomId::DOM0, &format!("{f}/backend-id"), "0")?;
+        xs.write(DomId::DOM0, &format!("{f}/tag"), "rootfs")?;
+        xs.write(DomId::DOM0, &format!("{b}/frontend"), &f)?;
+        xs.write(DomId::DOM0, &format!("{b}/frontend-id"), &dom.0.to_string())?;
+        xs.write(DomId::DOM0, &format!("{b}/path"), export_root)?;
+        xs.write(DomId::DOM0, &format!("{b}/security_model"), "none")?;
+        for (front, back) in NEGOTIATION_STEPS {
+            self.clock.advance(self.costs.xenbus_transition);
+            xs.write(DomId::DOM0, &format!("{f}/state"), front.to_xs())?;
+            self.clock.advance(self.costs.xenbus_transition);
+            xs.write(DomId::DOM0, &format!("{b}/state"), back.to_xs())?;
+        }
+        hv.evtchn_connect_pair(dom, DomId::DOM0)?;
+
+        self.clock.advance(self.costs.qemu_launch);
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.fs.mkdir_p(export_root).map_err(|_| DevError::NoBackend(dom))?;
+        self.qemus.push(QemuProcess::launch(pid, dom, export_root));
+        Ok(())
+    }
+
+    /// Clone-path 9pfs setup: Xenstore state cloned, then a QMP request to
+    /// the *parent's existing* backend process duplicates the fid table —
+    /// no new process is launched (§5.2.1).
+    pub fn clone_9pfs(
+        &mut self,
+        xs: &mut Xenstore,
+        parent: DomId,
+        child: DomId,
+        deep_copy: bool,
+    ) -> Result<usize> {
+        let pf = p9_front_dir(parent);
+        let pb = p9_back_dir(parent);
+        let cf = p9_front_dir(child);
+        let cb = p9_back_dir(child);
+        if deep_copy {
+            self.deep_copy_dir(xs, &pf, &cf, parent, child)?;
+            self.deep_copy_dir(xs, &pb, &cb, parent, child)?;
+        } else {
+            xs.xs_clone(DomId::DOM0, XsCloneOp::Dev9pfs, parent, child, &pf, &cf)?;
+            xs.xs_clone(DomId::DOM0, XsCloneOp::Dev9pfs, parent, child, &pb, &cb)?;
+        }
+        self.clock.advance(self.costs.qmp_request);
+        let q = self
+            .qemus
+            .iter_mut()
+            .find(|q| q.serves(parent))
+            .ok_or(DevError::NoBackend(parent))?;
+        let fids = q.qmp(QmpRequest::CloneP9 { parent, child });
+        self.clock
+            .advance(self.costs.qmp_clone_per_fid.saturating_mul(fids as u64));
+        Ok(fids)
+    }
+
+    /// Whether any backend process serves `dom`'s 9pfs.
+    pub fn p9_served(&self, dom: DomId) -> bool {
+        self.qemus.iter().any(|q| q.serves(dom))
+    }
+
+    /// Number of QEMU backend processes alive.
+    pub fn qemu_count(&self) -> usize {
+        self.qemus.len()
+    }
+
+    /// Handles a 9p RPC from a guest, charging the protocol round-trip and
+    /// per-page write costs.
+    pub fn p9_request(&mut self, dom: DomId, req: P9Request) -> Result<P9Response> {
+        self.clock.advance(self.costs.p9fs_rpc);
+        if let P9Request::Write { data, .. } = &req {
+            let pages = (data.len() as u64).div_ceil(sim_core::PAGE_SIZE as u64);
+            self.clock
+                .advance(self.costs.p9fs_write_per_page.saturating_mul(pages));
+        }
+        let q = self
+            .qemus
+            .iter_mut()
+            .find(|q| q.serves(dom))
+            .ok_or(DevError::NoBackend(dom))?;
+        Ok(q.p9.handle(&mut self.fs, dom, req))
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle / accounting
+    // ------------------------------------------------------------------
+
+    /// The deep-copy fallback for device directories: one Xenstore write
+    /// request per entry, with the domid rewriting done client-side. This
+    /// is what `xencloned` does *without* the `xs_clone` optimization and
+    /// is measured by the "clone + XS deep copy" curve of Fig. 4.
+    fn deep_copy_dir(
+        &mut self,
+        xs: &mut Xenstore,
+        from: &str,
+        to: &str,
+        parent: DomId,
+        child: DomId,
+    ) -> Result<()> {
+        let keys = xs.directory(DomId::DOM0, from)?;
+        for key in keys {
+            let v = xs.read(DomId::DOM0, &format!("{from}/{key}"))?;
+            let old_home = format!("/local/domain/{}/", parent.0);
+            let new_home = format!("/local/domain/{}/", child.0);
+            let mut nv = v.replace(&old_home, &new_home);
+            if nv == parent.0.to_string() {
+                nv = child.0.to_string();
+            }
+            let seg_old = format!("/{}/", parent.0);
+            let seg_new = format!("/{}/", child.0);
+            if nv.starts_with("/local/domain/0/backend/") && nv.contains(&seg_old) {
+                nv = nv.replacen(&seg_old, &seg_new, 1);
+            }
+            xs.write(DomId::DOM0, &format!("{to}/{key}"), &nv)?;
+        }
+        Ok(())
+    }
+
+    /// Releases every device of a destroyed domain.
+    pub fn forget_domain(&mut self, udev: &mut UdevBus, dom: DomId) {
+        let owned: Vec<(u32, u32)> = self
+            .vifs
+            .keys()
+            .filter(|(d, _)| *d == dom.0)
+            .copied()
+            .collect();
+        for key in owned {
+            if let Some(v) = self.vifs.remove(&key) {
+                self.iface_map.remove(&v.iface);
+                udev.emit(UdevEvent::VifRemoved { dom, devid: key.1 });
+            }
+        }
+        self.console.detach(dom);
+        for q in &mut self.qemus {
+            q.forget_domain(dom);
+        }
+        self.qemus.retain(|q| !q.is_idle());
+    }
+
+    /// Modelled Dom0 resident memory for backend state, in bytes (Fig. 5's
+    /// "Dom0 free" decline): per-vif netback state, per-console state,
+    /// per-QEMU process plus per-served-domain state, and ramdisk contents.
+    pub fn dom0_backend_bytes(&self) -> u64 {
+        const PER_VIF: u64 = 96 * 1024;
+        const PER_CONSOLE: u64 = 48 * 1024;
+        const PER_QEMU: u64 = 9 * 1024 * 1024;
+        const PER_SERVED: u64 = 128 * 1024;
+        let served: u64 = self.qemus.iter().map(|q| q.serves.len() as u64).sum();
+        self.vifs.len() as u64 * PER_VIF
+            + self.console.attached_count() as u64 * PER_CONSOLE
+            + self.qemus.len() as u64 * PER_QEMU
+            + served * PER_SERVED
+            + self.fs.total_bytes() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use hypervisor::MachineConfig;
+
+    use super::*;
+
+    fn setup() -> (Hypervisor, Xenstore, DeviceManager, UdevBus, DomId) {
+        let clock = Clock::new();
+        let costs = Rc::new(CostModel::free());
+        let mut hv = Hypervisor::new(
+            clock.clone(),
+            costs.clone(),
+            &MachineConfig {
+                guest_pool_mib: 128,
+                cores: 4,
+                notification_ring_capacity: 16,
+            },
+        );
+        let xs = Xenstore::new(clock.clone(), costs.clone());
+        let dm = DeviceManager::new(clock, costs);
+        let dom = hv.create_domain("guest", 4, 1).unwrap();
+        (hv, xs, dm, UdevBus::new(), dom)
+    }
+
+    fn vif_cfg() -> VifConfig {
+        VifConfig {
+            devid: 0,
+            ip: Ipv4Addr::new(10, 0, 0, 2),
+            tx_pfn: Pfn(100),
+            rx_pfn: Pfn(101),
+            rx_buffers: (102..110).map(Pfn).collect(),
+        }
+    }
+
+    fn pkt() -> Packet {
+        Packet::udp(
+            MacAddr::xen(1, 0),
+            MacAddr::xen(0, 0),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            5000,
+            7,
+            b"ping".to_vec(),
+        )
+    }
+
+    #[test]
+    fn vif_boot_negotiates_and_announces() {
+        let (mut hv, mut xs, mut dm, mut udev, dom) = setup();
+        let iface = dm.setup_vif_boot(&mut hv, &mut xs, &mut udev, dom, vif_cfg()).unwrap();
+        let vif = dm.vif(dom, 0).unwrap();
+        assert!(vif.is_connected());
+        assert_eq!(
+            xs.read(DomId::DOM0, &format!("{}/state", vif_front_dir(dom, 0))).unwrap(),
+            "4"
+        );
+        assert!(matches!(udev.next(), Some(UdevEvent::VifCreated { .. })));
+        assert_eq!(dm.iface_target(iface), Some((dom, 0)));
+        // Ring pages are registered private.
+        assert!(hv.domain(dom).unwrap().private_pfns.contains_key(&Pfn(100)));
+        assert!(hv.domain(dom).unwrap().private_pfns.contains_key(&Pfn(105)));
+    }
+
+    #[test]
+    fn vif_data_path_roundtrip() {
+        let (mut hv, mut xs, mut dm, mut udev, dom) = setup();
+        let iface = dm.setup_vif_boot(&mut hv, &mut xs, &mut udev, dom, vif_cfg()).unwrap();
+
+        assert!(dm.guest_tx(dom, 0, pkt()).unwrap());
+        let out = dm.take_tx(dom, 0);
+        assert_eq!(out.len(), 1);
+
+        assert!(dm.deliver_rx(iface, pkt()));
+        let inp = dm.take_rx(dom, 0);
+        assert_eq!(inp.len(), 1);
+        assert_eq!(inp[0].payload(), b"ping");
+    }
+
+    #[test]
+    fn rx_ring_overflow_drops() {
+        let (mut hv, mut xs, mut dm, mut udev, dom) = setup();
+        let iface = dm.setup_vif_boot(&mut hv, &mut xs, &mut udev, dom, vif_cfg()).unwrap();
+        for _ in 0..RX_RING_SLOTS {
+            assert!(dm.deliver_rx(iface, pkt()));
+        }
+        assert!(!dm.deliver_rx(iface, pkt()), "full RX ring drops");
+    }
+
+    #[test]
+    fn clone_vif_keeps_mac_ip_and_skips_negotiation() {
+        let (mut hv, mut xs, mut dm, mut udev, dom) = setup();
+        dm.setup_vif_boot(&mut hv, &mut xs, &mut udev, dom, vif_cfg()).unwrap();
+        let child = hv.create_domain("child", 4, 1).unwrap();
+        let ifc = dm
+            .clone_vif(&mut hv, &mut xs, &mut udev, dom, child, 0, false)
+            .unwrap();
+        let cv = dm.vif(child, 0).unwrap();
+        let pv = dm.vif(dom, 0).unwrap();
+        assert_eq!(cv.mac, pv.mac);
+        assert_eq!(cv.ip, pv.ip);
+        assert!(cv.is_connected());
+        assert_eq!(
+            xs.read(DomId::DOM0, &format!("{}/state", vif_front_dir(child, 0))).unwrap(),
+            "4",
+            "cloned entries exist and are Connected"
+        );
+        assert_eq!(dm.iface_target(ifc), Some((child, 0)));
+    }
+
+    #[test]
+    fn deep_copy_clone_matches_xs_clone_content() {
+        let (mut hv, mut xs, mut dm, mut udev, dom) = setup();
+        dm.setup_vif_boot(&mut hv, &mut xs, &mut udev, dom, vif_cfg()).unwrap();
+        let c1 = hv.create_domain("c1", 4, 1).unwrap();
+        let c2 = hv.create_domain("c2", 4, 1).unwrap();
+        dm.clone_vif(&mut hv, &mut xs, &mut udev, dom, c1, 0, false).unwrap();
+        dm.clone_vif(&mut hv, &mut xs, &mut udev, dom, c2, 0, true).unwrap();
+        for key in ["mac", "state", "handle", "backend-id"] {
+            let a = xs.read(DomId::DOM0, &format!("{}/{key}", vif_front_dir(c1, 0))).unwrap();
+            let b = xs.read(DomId::DOM0, &format!("{}/{key}", vif_front_dir(c2, 0))).unwrap();
+            assert_eq!(a, b, "entry {key} must match between copy modes");
+        }
+        let b1 = xs.read(DomId::DOM0, &format!("{}/backend", vif_front_dir(c1, 0))).unwrap();
+        let b2 = xs.read(DomId::DOM0, &format!("{}/backend", vif_front_dir(c2, 0))).unwrap();
+        assert_eq!(b1, vif_back_dir(c1, 0));
+        assert_eq!(b2, vif_back_dir(c2, 0));
+    }
+
+    #[test]
+    fn console_boot_and_clone() {
+        let (mut hv, mut xs, mut dm, mut udev, dom) = setup();
+        dm.setup_console_boot(&mut hv, &mut xs, &mut udev, dom).unwrap();
+        dm.console_write(dom, b"booted\n");
+        assert_eq!(dm.console_output(dom), b"booted\n");
+
+        let child = hv.create_domain("child", 4, 1).unwrap();
+        dm.clone_console(&mut hv, &mut xs, dom, child, false).unwrap();
+        assert!(dm.console_attached(child));
+        assert!(dm.console_output(child).is_empty(), "no parent output replay");
+        assert!(xs.exists(&format!("{}/ring-ref", console_dir(child))));
+    }
+
+    #[test]
+    fn p9_boot_clone_and_io() {
+        let (mut hv, mut xs, mut dm, _udev, dom) = setup();
+        dm.setup_9pfs_boot(&mut hv, &mut xs, dom, "/export").unwrap();
+        assert_eq!(dm.qemu_count(), 1);
+
+        // Parent opens a file.
+        dm.p9_request(dom, P9Request::Attach { fid: 0 }).unwrap();
+        dm.p9_request(dom, P9Request::Create { fid: 0, name: "db".into() }).unwrap();
+        dm.p9_request(dom, P9Request::Write { fid: 0, offset: 0, data: b"v1".to_vec() })
+            .unwrap();
+
+        // Clone: same process, fids duplicated.
+        let child = hv.create_domain("child", 4, 1).unwrap();
+        let fids = dm.clone_9pfs(&mut xs, dom, child, false).unwrap();
+        assert_eq!(fids, 1);
+        assert_eq!(dm.qemu_count(), 1, "no new backend process per clone");
+        assert!(dm.p9_served(child));
+
+        // The child's cloned fid is immediately usable.
+        let r = dm
+            .p9_request(child, P9Request::Read { fid: 0, offset: 0, count: 10 })
+            .unwrap();
+        assert_eq!(r, P9Response::Data(b"v1".to_vec()));
+    }
+
+    #[test]
+    fn forget_domain_cleans_everything() {
+        let (mut hv, mut xs, mut dm, mut udev, dom) = setup();
+        dm.setup_vif_boot(&mut hv, &mut xs, &mut udev, dom, vif_cfg()).unwrap();
+        dm.setup_console_boot(&mut hv, &mut xs, &mut udev, dom).unwrap();
+        dm.setup_9pfs_boot(&mut hv, &mut xs, dom, "/export").unwrap();
+        udev.drain();
+        dm.forget_domain(&mut udev, dom);
+        assert_eq!(dm.vif_count(), 0);
+        assert!(!dm.console_attached(dom));
+        assert_eq!(dm.qemu_count(), 0, "idle qemu exits");
+        assert!(matches!(udev.next(), Some(UdevEvent::VifRemoved { .. })));
+    }
+
+    #[test]
+    fn dom0_memory_grows_with_devices() {
+        let (mut hv, mut xs, mut dm, mut udev, dom) = setup();
+        let before = dm.dom0_backend_bytes();
+        dm.setup_vif_boot(&mut hv, &mut xs, &mut udev, dom, vif_cfg()).unwrap();
+        dm.setup_console_boot(&mut hv, &mut xs, &mut udev, dom).unwrap();
+        assert!(dm.dom0_backend_bytes() > before);
+    }
+}

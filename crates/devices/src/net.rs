@@ -1,0 +1,133 @@
+//! The paravirtualized network device (netfront/netback pair).
+//!
+//! Each vif has a TX and an RX shared ring plus guest-preallocated RX
+//! buffers. The RX entries "are preallocated by the guest and may contain
+//! allocator metadata" (§4.2), which is why Nephele *copies* the network
+//! rings when cloning. Clone devices keep the parent's MAC and IP and are
+//! created directly in the Connected state, shortcutting the Xenbus
+//! negotiation (the 14-line netback change of §5.2.1).
+
+use std::net::Ipv4Addr;
+
+use netmux::{IfaceId, MacAddr, Packet};
+use sim_core::{DomId, Pfn};
+
+use crate::ring::SharedRing;
+use crate::xenbus::XenbusState;
+
+/// Capacity of the TX ring in packets.
+pub const TX_RING_SLOTS: usize = 256;
+/// Capacity of the RX ring in packets; the guest preallocates one page per
+/// slot, giving the 1 MiB of RX memory per clone reported in §6.2.
+pub const RX_RING_SLOTS: usize = 256;
+
+/// A connected vif: frontend and backend halves of one network device.
+#[derive(Debug, Clone)]
+pub struct Vif {
+    /// Owning guest.
+    pub dom: DomId,
+    /// Device index within the guest.
+    pub devid: u32,
+    /// MAC address (shared verbatim by all clones).
+    pub mac: MacAddr,
+    /// IP address (shared verbatim by all clones).
+    pub ip: Ipv4Addr,
+    /// Host-side interface identity used by bridges/bonds/OVS.
+    pub iface: IfaceId,
+    /// Frontend Xenbus state.
+    pub frontend_state: XenbusState,
+    /// Backend Xenbus state.
+    pub backend_state: XenbusState,
+    /// Guest → host ring.
+    pub tx: SharedRing<Packet>,
+    /// Host → guest ring.
+    pub rx: SharedRing<Packet>,
+    /// Guest pages preallocated for RX payloads.
+    pub rx_buffers: Vec<Pfn>,
+    /// Guest-side event channel port.
+    pub guest_port: u32,
+    /// Dom0-side event channel port.
+    pub back_port: u32,
+}
+
+impl Vif {
+    /// Whether both ends are connected.
+    pub fn is_connected(&self) -> bool {
+        self.frontend_state == XenbusState::Connected
+            && self.backend_state == XenbusState::Connected
+    }
+
+    /// Produces the child's vif at clone time: same MAC/IP/devid, copied
+    /// rings (per §4.2), a new host interface identity and new event
+    /// channel ports; both ends are born Connected.
+    #[allow(clippy::too_many_arguments)]
+    pub fn clone_for_child(
+        &self,
+        child: DomId,
+        iface: IfaceId,
+        guest_port: u32,
+        back_port: u32,
+    ) -> Vif {
+        Vif {
+            dom: child,
+            devid: self.devid,
+            mac: self.mac,
+            ip: self.ip,
+            iface,
+            frontend_state: XenbusState::Connected,
+            backend_state: XenbusState::Connected,
+            tx: self.tx.clone_copy(self.tx.pfn()),
+            rx: self.rx.clone_copy(self.rx.pfn()),
+            rx_buffers: self.rx_buffers.clone(),
+            guest_port,
+            back_port,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vif() -> Vif {
+        Vif {
+            dom: DomId(3),
+            devid: 0,
+            mac: MacAddr::xen(3, 0),
+            ip: Ipv4Addr::new(10, 0, 0, 3),
+            iface: IfaceId(1),
+            frontend_state: XenbusState::Connected,
+            backend_state: XenbusState::Connected,
+            tx: SharedRing::new(Pfn(10), TX_RING_SLOTS),
+            rx: SharedRing::new(Pfn(11), RX_RING_SLOTS),
+            rx_buffers: (12..20).map(Pfn).collect(),
+            guest_port: 4,
+            back_port: 9,
+        }
+    }
+
+    #[test]
+    fn clone_keeps_identity_and_rings() {
+        let mut parent = vif();
+        let pkt = Packet::udp(
+            parent.mac,
+            MacAddr::BROADCAST,
+            parent.ip,
+            Ipv4Addr::new(10, 0, 0, 1),
+            5000,
+            53,
+            vec![1],
+        );
+        parent.tx.push(pkt.clone());
+
+        let mut child = parent.clone_for_child(DomId(9), IfaceId(7), 4, 22);
+        assert_eq!(child.mac, parent.mac, "transparent cloning: same MAC");
+        assert_eq!(child.ip, parent.ip, "transparent cloning: same IP");
+        assert!(child.is_connected(), "negotiation skipped");
+        assert_ne!(child.iface, parent.iface);
+        // In-flight TX entries were copied (pending requests must be
+        // serviced in both parent and child, §4.2).
+        assert_eq!(child.tx.pop(), Some(pkt));
+        assert_eq!(parent.tx.len(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! The QEMU process model.
+//!
+//! On Xen, `xl` launches a QEMU process per guest to host userspace device
+//! backends — here the 9pfs backend. Nephele's QMP extension lets
+//! `xencloned` send cloning requests to an existing process so the **same
+//! backend serves the parent and all its clones** instead of one process
+//! per clone (§5.2.1: the per-clone-process alternative "stresses the
+//! limits of the host system when reaching a high density of clones").
+
+use sim_core::DomId;
+
+use crate::p9fs::P9Backend;
+
+/// QMP management requests (the cloning extension).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QmpRequest {
+    /// Clone the parent's 9pfs state (fid table) for a child.
+    CloneP9 {
+        /// Parent domain.
+        parent: DomId,
+        /// Child domain.
+        child: DomId,
+    },
+}
+
+/// A QEMU process hosting the 9pfs backend for one clone family.
+#[derive(Debug)]
+pub struct QemuProcess {
+    /// Process id (cosmetic).
+    pub pid: u32,
+    /// The family root this process was launched for.
+    pub family_root: DomId,
+    /// Domains currently served.
+    pub serves: Vec<DomId>,
+    /// The 9pfs backend state.
+    pub p9: P9Backend,
+}
+
+impl QemuProcess {
+    /// Launches a process serving `root` with a 9pfs export.
+    pub fn launch(pid: u32, root: DomId, export_root: &str) -> Self {
+        QemuProcess {
+            pid,
+            family_root: root,
+            serves: vec![root],
+            p9: P9Backend::new(export_root),
+        }
+    }
+
+    /// Whether this process serves `dom`.
+    pub fn serves(&self, dom: DomId) -> bool {
+        self.serves.contains(&dom)
+    }
+
+    /// Handles a QMP request; returns the number of fids cloned.
+    pub fn qmp(&mut self, req: QmpRequest) -> usize {
+        match req {
+            QmpRequest::CloneP9 { parent, child } => {
+                debug_assert!(self.serves(parent), "QMP clone for foreign domain");
+                if !self.serves(child) {
+                    self.serves.push(child);
+                }
+                self.p9.clone_fids(parent, child)
+            }
+        }
+    }
+
+    /// Drops a destroyed domain's state.
+    pub fn forget_domain(&mut self, dom: DomId) {
+        self.serves.retain(|d| *d != dom);
+        self.p9.forget_domain(dom);
+    }
+
+    /// Whether the process serves no domains and can exit.
+    pub fn is_idle(&self) -> bool {
+        self.serves.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::memfs::MemFs;
+    use crate::p9fs::P9Request;
+
+    use super::*;
+
+    #[test]
+    fn one_process_serves_whole_family() {
+        let mut fs = MemFs::new();
+        fs.mkdir_p("/root").unwrap();
+        let mut q = QemuProcess::launch(1000, DomId(5), "/root");
+        q.p9.handle(&mut fs, DomId(5), P9Request::Attach { fid: 0 });
+
+        let n = q.qmp(QmpRequest::CloneP9 { parent: DomId(5), child: DomId(6) });
+        assert_eq!(n, 1);
+        assert!(q.serves(DomId(6)));
+        assert_eq!(q.serves.len(), 2, "no new process per clone");
+
+        // A grandchild cloned from the child is served by the same process.
+        q.qmp(QmpRequest::CloneP9 { parent: DomId(6), child: DomId(7) });
+        assert!(q.serves(DomId(7)));
+    }
+
+    #[test]
+    fn forget_domain_and_idle() {
+        let mut q = QemuProcess::launch(1, DomId(5), "/root");
+        q.qmp(QmpRequest::CloneP9 { parent: DomId(5), child: DomId(6) });
+        q.forget_domain(DomId(5));
+        assert!(!q.is_idle());
+        q.forget_domain(DomId(6));
+        assert!(q.is_idle());
+    }
+}

@@ -1,0 +1,92 @@
+//! The udev event bus.
+//!
+//! When a backend driver creates a kernel object (e.g. netback creating a
+//! vif), udev events are generated and delivered to userspace, where
+//! `xencloned` (or `xl` at boot) completes the setup — adding the interface
+//! to a bridge, bond or OVS group (§4.2, step 2.3).
+
+use sim_core::DomId;
+
+/// A userspace-visible device event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UdevEvent {
+    /// A vif was created for (domain, device id).
+    VifCreated {
+        /// Owning guest.
+        dom: DomId,
+        /// Device index within the guest.
+        devid: u32,
+    },
+    /// A vif was removed.
+    VifRemoved {
+        /// Owning guest.
+        dom: DomId,
+        /// Device index within the guest.
+        devid: u32,
+    },
+}
+
+/// A FIFO bus of udev events awaiting userspace handling.
+#[derive(Debug, Default)]
+pub struct UdevBus {
+    queue: std::collections::VecDeque<UdevEvent>,
+}
+
+impl UdevBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        UdevBus::default()
+    }
+
+    /// Emits an event (kernel side).
+    pub fn emit(&mut self, e: UdevEvent) {
+        self.queue.push_back(e);
+    }
+
+    /// Takes the next pending event (userspace side).
+    pub fn next(&mut self) -> Option<UdevEvent> {
+        self.queue.pop_front()
+    }
+
+    /// Drains all pending events.
+    pub fn drain(&mut self) -> Vec<UdevEvent> {
+        self.queue.drain(..).collect()
+    }
+
+    /// Pending event count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the bus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_delivery() {
+        let mut bus = UdevBus::new();
+        bus.emit(UdevEvent::VifCreated { dom: DomId(1), devid: 0 });
+        bus.emit(UdevEvent::VifRemoved { dom: DomId(1), devid: 0 });
+        assert_eq!(bus.len(), 2);
+        assert!(matches!(bus.next(), Some(UdevEvent::VifCreated { .. })));
+        assert!(matches!(bus.next(), Some(UdevEvent::VifRemoved { .. })));
+        assert!(bus.next().is_none());
+        assert!(bus.is_empty());
+    }
+
+    #[test]
+    fn drain_takes_everything() {
+        let mut bus = UdevBus::new();
+        for i in 0..5 {
+            bus.emit(UdevEvent::VifCreated { dom: DomId(i), devid: 0 });
+        }
+        assert_eq!(bus.drain().len(), 5);
+        assert!(bus.is_empty());
+    }
+}

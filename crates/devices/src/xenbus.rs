@@ -1,0 +1,102 @@
+//! Xenbus device states and the frontend/backend negotiation.
+//!
+//! On regular instantiation a paravirtualized device comes up through a
+//! negotiation in which each end walks the Xenbus state machine until both
+//! sides are [`XenbusState::Connected`]. On cloning, Nephele *skips the
+//! negotiation entirely*: "the two ends are created connected from the
+//! start" (§5.2.1). Both paths are implemented here so the instantiation
+//! experiments exercise the real difference.
+
+use std::fmt;
+
+/// The standard Xenbus device states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum XenbusState {
+    /// State unknown / entry missing.
+    Unknown = 0,
+    /// Device being initialized.
+    Initialising = 1,
+    /// Backend waiting for frontend details.
+    InitWait = 2,
+    /// Frontend provided ring/event-channel details.
+    Initialised = 3,
+    /// Both ends operational.
+    Connected = 4,
+    /// Shutting down.
+    Closing = 5,
+    /// Closed.
+    Closed = 6,
+}
+
+impl XenbusState {
+    /// Parses the numeric Xenstore representation.
+    pub fn from_xs(s: &str) -> XenbusState {
+        match s.trim() {
+            "1" => XenbusState::Initialising,
+            "2" => XenbusState::InitWait,
+            "3" => XenbusState::Initialised,
+            "4" => XenbusState::Connected,
+            "5" => XenbusState::Closing,
+            "6" => XenbusState::Closed,
+            _ => XenbusState::Unknown,
+        }
+    }
+
+    /// The numeric Xenstore representation.
+    pub fn to_xs(self) -> &'static str {
+        match self {
+            XenbusState::Unknown => "0",
+            XenbusState::Initialising => "1",
+            XenbusState::InitWait => "2",
+            XenbusState::Initialised => "3",
+            XenbusState::Connected => "4",
+            XenbusState::Closing => "5",
+            XenbusState::Closed => "6",
+        }
+    }
+}
+
+impl fmt::Display for XenbusState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The state transitions each end performs during a successful boot-time
+/// negotiation, in order. The instantiation path charges one
+/// `xenbus_transition` per step; the cloning path charges none.
+pub const NEGOTIATION_STEPS: &[(XenbusState, XenbusState)] = &[
+    // (frontend, backend)
+    (XenbusState::Initialising, XenbusState::Initialising),
+    (XenbusState::Initialising, XenbusState::InitWait),
+    (XenbusState::Initialised, XenbusState::InitWait),
+    (XenbusState::Connected, XenbusState::Connected),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xs_roundtrip() {
+        for s in [
+            XenbusState::Unknown,
+            XenbusState::Initialising,
+            XenbusState::InitWait,
+            XenbusState::Initialised,
+            XenbusState::Connected,
+            XenbusState::Closing,
+            XenbusState::Closed,
+        ] {
+            assert_eq!(XenbusState::from_xs(s.to_xs()), s);
+        }
+        assert_eq!(XenbusState::from_xs("junk"), XenbusState::Unknown);
+    }
+
+    #[test]
+    fn negotiation_ends_connected() {
+        let (f, b) = NEGOTIATION_STEPS.last().unwrap();
+        assert_eq!(*f, XenbusState::Connected);
+        assert_eq!(*b, XenbusState::Connected);
+    }
+}

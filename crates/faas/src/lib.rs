@@ -1,0 +1,17 @@
+//! An OpenFaaS-like Function-as-a-Service autoscaling simulation
+//! (§7.3, Figs. 10–11).
+//!
+//! The gateway watches the request rate; whenever demand rises above the
+//! per-instance RPS threshold a scale-up launches **one** new instance
+//! (the paper's configuration). Two backends are compared:
+//!
+//! * **containers** — the vanilla setup: Kubernetes pods whose readiness
+//!   takes tens of seconds and whose runtime weighs hundreds of MB each;
+//! * **unikernels** — Nephele clones of a template Unikraft+Python VM on
+//!   the real simulated platform: ready in seconds, with only the private
+//!   (COW-unshared) pages plus per-instance orchestration state as
+//!   footprint, and the Python runtime shared via the 9pfs root.
+
+pub mod sim;
+
+pub use sim::{run_faas, Backend, FaasConfig, FaasReport};

@@ -1,0 +1,365 @@
+//! The FaaS gateway/autoscaler simulation.
+
+use std::net::Ipv4Addr;
+
+use apps::FaasFnApp;
+use linux_procs::ContainerRuntime;
+use nephele::sim_core::{DomId, SimDuration, SimTime};
+use nephele::toolstack::{DomainConfig, KernelImage};
+use nephele::{MuxKind, Platform, PlatformConfig};
+
+/// Instance backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Kubernetes-orchestrated containers (the vanilla OpenFaaS setup).
+    Containers,
+    /// Unikernel clones via Nephele (the KubeKraft setup).
+    Unikernels,
+}
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct FaasConfig {
+    /// Which backend serves the function.
+    pub backend: Backend,
+    /// Offered load steps: `(time, requests-per-second)`; demand holds its
+    /// last value until the next step.
+    pub demand_steps: Vec<(SimDuration, f64)>,
+    /// Total simulated duration.
+    pub duration: SimDuration,
+    /// RPS-per-ready-instance threshold above which the autoscaler adds
+    /// one instance (OpenFaaS default: 10 RPS; the paper keeps it).
+    pub threshold_rps: f64,
+    /// Delay between demand crossing the threshold and the scale-up
+    /// decision (alert evaluation latency).
+    pub detect_latency: SimDuration,
+    /// Native-stack per-instance capacity in req/s (the paper measures
+    /// ~600 req/s for the Linux stack).
+    pub container_capacity: f64,
+    /// lwip per-instance capacity in req/s (~300 req/s).
+    pub unikernel_capacity: f64,
+    /// Per-instance orchestration overhead in Dom0/host (kubelet, pod
+    /// wrapper, KubeKraft state), bytes.
+    pub orchestrator_per_instance: u64,
+    /// Heap the Python interpreter dirties once an instance starts serving
+    /// (bytes; COW-unshared in clones).
+    pub warmup_dirty_bytes: u64,
+}
+
+impl Default for FaasConfig {
+    fn default() -> Self {
+        FaasConfig {
+            backend: Backend::Unikernels,
+            demand_steps: vec![
+                (SimDuration::from_secs(0), 250.0),
+                (SimDuration::from_secs(10), 550.0),
+                (SimDuration::from_secs(21), 900.0),
+            ],
+            duration: SimDuration::from_secs(150),
+            threshold_rps: 10.0,
+            detect_latency: SimDuration::from_secs(2),
+            container_capacity: 600.0,
+            unikernel_capacity: 300.0,
+            orchestrator_per_instance: 21 * 1024 * 1024,
+            warmup_dirty_bytes: 9 * 1024 * 1024,
+        }
+    }
+}
+
+/// Experiment output.
+#[derive(Debug, Clone)]
+pub struct FaasReport {
+    /// `(second, served req/s)` — the Fig. 11 curves.
+    pub throughput_series: Vec<(f64, f64)>,
+    /// `(second, memory MB)` — the Fig. 10 curves.
+    pub memory_series: Vec<(f64, f64)>,
+    /// Seconds at which instances became Ready (the dashed lines).
+    pub ready_times: Vec<f64>,
+    /// Total requests served.
+    pub served_total: f64,
+    /// Instances running at the end.
+    pub instances: usize,
+}
+
+trait InstanceBackend {
+    /// Launches one instance at `now`; returns its ready time.
+    fn launch(&mut self, now: SimTime) -> SimTime;
+    /// Memory attributable to the function deployment, bytes.
+    fn memory_bytes(&mut self) -> u64;
+    /// Per-instance serving capacity, req/s.
+    fn capacity(&self) -> f64;
+}
+
+struct ContainerBackend {
+    rt: ContainerRuntime,
+    capacity: f64,
+}
+
+impl InstanceBackend for ContainerBackend {
+    fn launch(&mut self, now: SimTime) -> SimTime {
+        // The runtime tracks footprint on its own clock; readiness is
+        // relative to the experiment's timeline.
+        let c = self.rt.launch();
+        now + c.ready_at.since(c.launched_at)
+    }
+    fn memory_bytes(&mut self) -> u64 {
+        self.rt.total_mem_bytes()
+    }
+    fn capacity(&self) -> f64 {
+        self.capacity
+    }
+}
+
+struct UnikernelBackend {
+    platform: Platform,
+    template: DomId,
+    baseline_hyp_free: u64,
+    baseline_dom0_free: u64,
+    instances: u32,
+    capacity: f64,
+    orchestrator_per_instance: u64,
+    warmup_dirty_bytes: u64,
+    ready_latency: SimDuration,
+}
+
+impl UnikernelBackend {
+    fn new(cfg: &FaasConfig) -> Self {
+        let mut pc = PlatformConfig::small();
+        pc.machine.guest_pool_mib = 2048;
+        pc.mux = MuxKind::Bond;
+        let mut platform = Platform::new(pc);
+        // The shared rootfs carries the handler (and stands in for the
+        // shared Python runtime).
+        platform.dm.fs.mkdir_p("/srv/faas").unwrap();
+        platform.dm.fs.create("/srv/faas/handler.py").unwrap();
+        platform
+            .dm
+            .fs
+            .write("/srv/faas/handler.py", 0, b"def handle(req):\n    return 'Hello World'\n")
+            .unwrap();
+
+        // Template VM: Unikraft + Python, 64 MiB, cloned per scale-up.
+        let dom_cfg = DomainConfig::builder("faas-py")
+            .memory_mib(64)
+            .vif(Ipv4Addr::new(10, 0, 0, 50))
+            .p9fs("/srv/faas")
+            .max_clones(1024)
+            .build();
+        let ready_latency = platform.costs.unikernel_ready_latency;
+        let baseline_hyp_free = platform.hyp_free_bytes();
+        let baseline_dom0_free = platform.dom0_free_bytes();
+        let template = platform
+            .launch(
+                &dom_cfg,
+                &KernelImage::unikraft_python("faas-py"),
+                Box::new(FaasFnApp::new()),
+            )
+            .expect("template boot");
+        platform.enlist_in_mux(template);
+        UnikernelBackend {
+            platform,
+            template,
+            baseline_hyp_free,
+            baseline_dom0_free,
+            instances: 1,
+            capacity: cfg.unikernel_capacity,
+            orchestrator_per_instance: cfg.orchestrator_per_instance,
+            warmup_dirty_bytes: cfg.warmup_dirty_bytes,
+            ready_latency,
+        }
+    }
+
+    fn warm_up(&mut self, dom: DomId) {
+        let bytes = self.warmup_dirty_bytes;
+        self.platform.with_app::<FaasFnApp, ()>(dom, |_app, env| {
+            // The interpreter dirties its heap as it starts serving.
+            let _ = env.heap.alloc_resident(env.hv, bytes);
+        });
+    }
+}
+
+impl InstanceBackend for UnikernelBackend {
+    fn launch(&mut self, now: SimTime) -> SimTime {
+        // The first "launch" is the pre-deployed template itself.
+        if self.instances == 1 && now == SimTime::ZERO {
+            self.warm_up(self.template);
+            return now + self.ready_latency;
+        }
+        let child = self
+            .platform
+            .clone_domain(self.template, 1)
+            .expect("clone instance")[0];
+        self.instances += 1;
+        self.warm_up(child);
+        now + self.ready_latency
+    }
+
+    fn memory_bytes(&mut self) -> u64 {
+        let vm = self
+            .baseline_hyp_free
+            .saturating_sub(self.platform.hyp_free_bytes());
+        let dom0 = self
+            .baseline_dom0_free
+            .saturating_sub(self.platform.dom0_free_bytes());
+        vm + dom0 + self.instances as u64 * self.orchestrator_per_instance
+    }
+
+    fn capacity(&self) -> f64 {
+        self.capacity
+    }
+}
+
+fn demand_at(steps: &[(SimDuration, f64)], t: SimDuration) -> f64 {
+    let mut current = 0.0;
+    for (at, rps) in steps {
+        if t >= *at {
+            current = *rps;
+        }
+    }
+    current
+}
+
+/// Runs the FaaS experiment.
+pub fn run_faas(cfg: &FaasConfig) -> FaasReport {
+    let mut backend: Box<dyn InstanceBackend> = match cfg.backend {
+        Backend::Containers => Box::new(ContainerBackend {
+            rt: ContainerRuntime::new(
+                nephele::sim_core::Clock::new(),
+                std::rc::Rc::new(nephele::sim_core::CostModel::calibrated()),
+            ),
+            capacity: cfg.container_capacity,
+        }),
+        Backend::Unikernels => Box::new(UnikernelBackend::new(cfg)),
+    };
+
+    let mut ready_at: Vec<SimTime> = Vec::new();
+    let mut ready_times = Vec::new();
+    let mut throughput_series = Vec::new();
+    let mut memory_series = Vec::new();
+    let mut served_total = 0.0;
+
+    // One instance is deployed at t = 0.
+    let first_ready = backend.launch(SimTime::ZERO);
+    ready_at.push(first_ready);
+    ready_times.push(first_ready.as_ns() as f64 / 1e9);
+
+    // A pending scale-up: (decision time, demand level that triggered it).
+    let mut pending_decision: Option<SimTime> = None;
+    let mut last_demand = 0.0;
+
+    let secs = cfg.duration.as_secs_f64() as u64;
+    for s in 0..secs {
+        let now = SimTime::from_ns(s * 1_000_000_000);
+        let t = SimDuration::from_secs(s);
+        let demand = demand_at(&cfg.demand_steps, t);
+
+        // Demand increase above threshold arms a scale-up decision.
+        let ready = ready_at.iter().filter(|r| **r <= now).count().max(1);
+        if demand > last_demand && demand / ready as f64 > cfg.threshold_rps {
+            pending_decision = Some(now + cfg.detect_latency);
+        }
+        last_demand = demand;
+
+        if let Some(at) = pending_decision {
+            if now >= at {
+                pending_decision = None;
+                let r = backend.launch(now);
+                ready_at.push(r);
+                ready_times.push(r.as_ns() as f64 / 1e9);
+            }
+        }
+
+        let ready = ready_at.iter().filter(|r| **r <= now).count();
+        let capacity = ready as f64 * backend.capacity();
+        let served = demand.min(capacity);
+        served_total += served;
+        throughput_series.push((s as f64, served));
+        memory_series.push((s as f64, backend.memory_bytes() as f64 / (1024.0 * 1024.0)));
+    }
+
+    FaasReport {
+        throughput_series,
+        memory_series,
+        ready_times,
+        served_total,
+        instances: ready_at.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short(backend: Backend) -> FaasReport {
+        run_faas(&FaasConfig {
+            backend,
+            duration: SimDuration::from_secs(80),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn unikernels_become_ready_much_sooner() {
+        let u = short(Backend::Unikernels);
+        let c = short(Backend::Containers);
+        assert_eq!(u.instances, c.instances, "same scale-up decisions");
+        assert!(u.instances >= 3);
+        for (ur, cr) in u.ready_times.iter().zip(&c.ready_times) {
+            assert!(
+                ur + 3.0 < *cr,
+                "unikernel ready {ur}s should beat container {cr}s by seconds"
+            );
+        }
+    }
+
+    #[test]
+    fn container_memory_dwarfs_unikernel_memory() {
+        let u = short(Backend::Unikernels);
+        let c = short(Backend::Containers);
+        let u_final = u.memory_series.last().unwrap().1;
+        let c_final = c.memory_series.last().unwrap().1;
+        assert!(
+            c_final > 2.0 * u_final,
+            "containers {c_final:.0} MB vs unikernels {u_final:.0} MB"
+        );
+        // Both setups start in the same ballpark (paper: 90 vs 85 MB).
+        let u_first = u.memory_series[0].1;
+        let c_first = c.memory_series[0].1;
+        assert!((u_first - c_first).abs() < 60.0, "{u_first} vs {c_first}");
+    }
+
+    #[test]
+    fn unikernels_track_demand_closely() {
+        let u = short(Backend::Unikernels);
+        let c = short(Backend::Containers);
+        // In the ramp window (first 40 s) the unikernel setup should serve
+        // at least as much as containers despite lower per-instance
+        // capacity, because instances come up in seconds.
+        let ramp_u: f64 = u.throughput_series.iter().take(40).map(|(_, s)| s).sum();
+        let ramp_c: f64 = c.throughput_series.iter().take(40).map(|(_, s)| s).sum();
+        assert!(
+            ramp_u > ramp_c,
+            "ramp served: unikernels {ramp_u:.0} vs containers {ramp_c:.0}"
+        );
+    }
+
+    #[test]
+    fn containers_win_at_steady_state_per_instance() {
+        let c = short(Backend::Containers);
+        // Once everything is ready the native stack's capacity shows.
+        let final_served = c.throughput_series.last().unwrap().1;
+        assert!(final_served >= 900.0, "served {final_served}");
+    }
+
+    #[test]
+    fn demand_step_function() {
+        let steps = vec![
+            (SimDuration::from_secs(0), 100.0),
+            (SimDuration::from_secs(10), 200.0),
+        ];
+        assert_eq!(demand_at(&steps, SimDuration::from_secs(0)), 100.0);
+        assert_eq!(demand_at(&steps, SimDuration::from_secs(9)), 100.0);
+        assert_eq!(demand_at(&steps, SimDuration::from_secs(10)), 200.0);
+        assert_eq!(demand_at(&steps, SimDuration::from_secs(99)), 200.0);
+    }
+}

@@ -1,0 +1,12 @@
+//! KFX+AFL-style fuzzing over cloned unikernels (§7.2 / Fig. 9).
+//!
+//! [`afl`] implements the coverage-guided engine; [`campaign`] implements
+//! the four experimental setups of the paper's fuzzing evaluation, with the
+//! Nephele modes running on the real simulated platform (`clone_cow`
+//! instrumentation, per-iteration `clone_reset`).
+
+pub mod afl;
+pub mod campaign;
+
+pub use afl::{Afl, MAP_SIZE};
+pub use campaign::{run_campaign, FuzzConfig, FuzzMode, FuzzReport, FuzzTarget};

@@ -1,0 +1,21 @@
+//! The Unikraft-like unikernel runtime.
+//!
+//! Everything a guest application sees lives here: the
+//! [`tinyalloc`] memory allocator the paper uses for its memory-scaling
+//! experiments, the [`heap`] tying it to real guest pages, the event-driven
+//! [`runtime`] ([`GuestApp`]/[`GuestEnv`]) with transparent `fork()`
+//! support, and the [`idc`] inter-domain communication API (pipes and
+//! socket pairs over `DOMID_CHILD` grants and event channels, §5.2.2).
+//!
+//! [`GuestApp`]: runtime::GuestApp
+//! [`GuestEnv`]: runtime::GuestEnv
+
+pub mod heap;
+pub mod idc;
+pub mod runtime;
+pub mod tinyalloc;
+
+pub use heap::{GuestHeap, GuestPtr};
+pub use idc::{IdcPipe, IdcSharedRegion, IdcSocketPair, PIPE_CAPACITY};
+pub use runtime::{ForkOutcome, GuestAction, GuestApp, GuestEnv, HOST_MAC};
+pub use tinyalloc::TinyAlloc;

@@ -1,0 +1,202 @@
+//! The unikernel runtime: how a guest application experiences the platform.
+//!
+//! Guests are event-driven state machines implementing [`GuestApp`]. The
+//! platform invokes the callbacks with a [`GuestEnv`] giving access to the
+//! guest's heap, its network stack and its devices. Cloning is transparent
+//! in the paper's sense: an app calls [`GuestEnv::fork`], and after the
+//! platform completes both stages it delivers [`GuestApp::on_fork`] with
+//! [`ForkOutcome::Parent`] in the parent and [`ForkOutcome::Child`] in the
+//! (cloned) child — the direct analogue of `fork()` returning twice.
+
+use devices::p9fs::{P9Request, P9Response};
+use devices::DeviceManager;
+use hypervisor::Hypervisor;
+use netmux::stack::NetStack;
+use netmux::{MacAddr, Packet};
+use sim_core::{DomId, SimDuration, SimTime};
+
+use crate::heap::GuestHeap;
+
+/// The well-known MAC of the host-side endpoint (Dom0's bridge port).
+pub const HOST_MAC: MacAddr = MacAddr([0x00, 0x16, 0x3e, 0xff, 0xff, 0xfe]);
+
+/// How `fork()` returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForkOutcome {
+    /// This is the parent; the hypercall filled in the children's ids.
+    Parent {
+        /// The new clones, in creation order.
+        children: Vec<DomId>,
+    },
+    /// This is a freshly cloned child.
+    Child {
+        /// The domain it was cloned from.
+        parent: DomId,
+    },
+}
+
+/// Deferred requests a guest hands back to the platform (operations that
+/// cannot complete within a single callback).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuestAction {
+    /// Invoke `CLONEOP` to clone this guest `nr` times.
+    Fork {
+        /// Number of clones.
+        nr: u32,
+    },
+    /// Request a timer callback after `delay` with a caller-chosen tag.
+    Timer {
+        /// Delay from now.
+        delay: SimDuration,
+        /// Returned in [`GuestApp::on_timer`].
+        tag: u64,
+    },
+    /// Shut the domain down.
+    Shutdown,
+}
+
+/// The environment handed to each guest callback.
+pub struct GuestEnv<'a> {
+    /// The guest's domain id.
+    pub dom: DomId,
+    /// Current virtual time.
+    pub now: SimTime,
+    /// Hypervisor access (memory, hypercalls).
+    pub hv: &'a mut Hypervisor,
+    /// Device access (vifs, console, 9pfs).
+    pub dm: &'a mut DeviceManager,
+    /// The guest's heap.
+    pub heap: &'a mut GuestHeap,
+    /// The guest's network stack.
+    pub stack: &'a mut NetStack,
+    /// Deferred actions collected during the callback.
+    pub actions: &'a mut Vec<GuestAction>,
+}
+
+impl GuestEnv<'_> {
+    /// Requests a fork of this guest (`nr` clones). Completes after the
+    /// callback returns; the outcome is delivered via
+    /// [`GuestApp::on_fork`].
+    pub fn fork(&mut self, nr: u32) {
+        self.actions.push(GuestAction::Fork { nr });
+    }
+
+    /// Requests a timer callback.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.actions.push(GuestAction::Timer { delay, tag });
+    }
+
+    /// Requests shutdown of this guest.
+    pub fn shutdown(&mut self) {
+        self.actions.push(GuestAction::Shutdown);
+    }
+
+    /// Transmits a packet on vif `devid`.
+    pub fn transmit(&mut self, devid: u32, pkt: Packet) -> bool {
+        self.dm.guest_tx(self.dom, devid, pkt).unwrap_or(false)
+    }
+
+    /// Convenience: send a UDP datagram to the host endpoint.
+    pub fn udp_send_host(&mut self, devid: u32, src_port: u16, dst_port: u16, payload: Vec<u8>) {
+        let host_ip = std::net::Ipv4Addr::new(10, 0, 0, 1);
+        let pkt = self
+            .stack
+            .udp_send(HOST_MAC, host_ip, src_port, dst_port, payload);
+        self.transmit(devid, pkt);
+    }
+
+    /// Writes to the guest console.
+    pub fn console_log(&mut self, msg: &str) {
+        self.dm.console_write(self.dom, msg.as_bytes());
+    }
+
+    /// Issues a 9p RPC on the guest's root filesystem.
+    pub fn p9(&mut self, req: P9Request) -> Option<P9Response> {
+        self.dm.p9_request(self.dom, req).ok()
+    }
+}
+
+/// A guest application.
+///
+/// Implementations must be cloneable ([`GuestApp::boxed_clone`]) because
+/// forking duplicates the application state into the child — the in-Rust
+/// mirror of the page-level memory cloning the hypervisor performs.
+pub trait GuestApp {
+    /// Clones the application state (used when forking).
+    fn boxed_clone(&self) -> Box<dyn GuestApp>;
+
+    /// Downcasting hook so tests and experiment drivers can reach into a
+    /// concrete application's state.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Called once when the unikernel finishes booting.
+    fn on_boot(&mut self, env: &mut GuestEnv);
+
+    /// Called for each network event (UDP datagram, TCP accept/data/close).
+    fn on_net_event(&mut self, env: &mut GuestEnv, evt: netmux::SockEvent) {
+        let _ = (env, evt);
+    }
+
+    /// Called when a previously requested fork completes, in both the
+    /// parent and each child.
+    fn on_fork(&mut self, env: &mut GuestEnv, outcome: ForkOutcome) {
+        let _ = (env, outcome);
+    }
+
+    /// Called when a requested timer fires.
+    fn on_timer(&mut self, env: &mut GuestEnv, tag: u64) {
+        let _ = (env, tag);
+    }
+
+    /// Called when an IDC event-channel notification arrives on `port`.
+    fn on_idc_event(&mut self, env: &mut GuestEnv, port: u32) {
+        let _ = (env, port);
+    }
+}
+
+impl Clone for Box<dyn GuestApp> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct Counter {
+        n: u32,
+    }
+
+    impl GuestApp for Counter {
+        fn boxed_clone(&self) -> Box<dyn GuestApp> {
+            Box::new(self.clone())
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn on_boot(&mut self, _env: &mut GuestEnv) {
+            self.n += 1;
+        }
+    }
+
+    #[test]
+    fn boxed_clone_duplicates_state() {
+        let a: Box<dyn GuestApp> = Box::new(Counter { n: 7 });
+        let _b = a.clone();
+        // Compiles and clones without panicking; state equality is checked
+        // end-to-end in the platform integration tests.
+    }
+
+    #[test]
+    fn actions_accumulate() {
+        // GuestEnv is exercised end-to-end in the nephele platform tests;
+        // here we only check the action plumbing types.
+        let mut actions = Vec::new();
+        actions.push(GuestAction::Fork { nr: 2 });
+        actions.push(GuestAction::Shutdown);
+        assert_eq!(actions.len(), 2);
+        assert_eq!(actions[0], GuestAction::Fork { nr: 2 });
+    }
+}

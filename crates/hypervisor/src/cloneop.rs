@@ -1,0 +1,837 @@
+//! The `CLONEOP` hypercall: Nephele's single hypervisor interface extension.
+//!
+//! Following the paper's design goal of keeping new interfaces to a minimum
+//! (§5.1), every cloning-related operation is a subcommand of one hypercall:
+//!
+//! * [`CloneOp::Clone`] — run the first stage for one or more clones. Called
+//!   by a guest to clone itself (the `fork()` path) or by Dom0 with an
+//!   explicit target (the VM-fuzzing path).
+//! * [`CloneOp::Completion`] — `xencloned` signals that the second stage of
+//!   a child finished; the parent resumes once all its pending children
+//!   completed.
+//! * [`CloneOp::SetGlobalEnabled`] — global cloning switch, owned by
+//!   `xencloned`.
+//! * [`CloneOp::CloneCow`] — explicitly trigger COW for chosen pages so KFX
+//!   can insert breakpoints into a clone's code pages (§7.2).
+//! * [`CloneOp::Checkpoint`] / [`CloneOp::CloneReset`] — snapshot and
+//!   restore a clone's memory and vCPU state between fuzzing iterations
+//!   (§7.2; the reset cost scales with the number of dirty pages).
+
+use sim_core::{DomId, Mfn, Pfn};
+
+use crate::domain::{Checkpoint, Domain, DomainState, PrivatePolicy};
+use crate::error::{HvError, Result};
+use crate::event::Channel;
+use crate::memory::{CowResolution, FrameOwner};
+use crate::notify::CloneNotification;
+use crate::vcpu::Vcpu;
+use crate::Hypervisor;
+
+/// Subcommands of the `CLONEOP` hypercall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloneOp {
+    /// First-stage cloning of `target` (or of the caller when `None`),
+    /// creating `nr_clones` children.
+    Clone {
+        /// Domain to clone; `None` means the calling guest clones itself.
+        /// Only Dom0 may name an explicit target (e.g. for VM fuzzing).
+        target: Option<DomId>,
+        /// Number of children to create in this call.
+        nr_clones: u32,
+    },
+    /// Second-stage completion notification for `child` (Dom0 only).
+    Completion {
+        /// The child whose I/O cloning finished.
+        child: DomId,
+    },
+    /// Enable or disable cloning globally (Dom0 only).
+    SetGlobalEnabled(bool),
+    /// Explicitly break COW for the given pages of a clone so breakpoints
+    /// can be written (Dom0 only).
+    CloneCow {
+        /// The clone to operate on.
+        dom: DomId,
+        /// Guest frames to privatize.
+        pfns: Vec<Pfn>,
+    },
+    /// Record the clone's current memory/vCPU state as the reset target
+    /// (Dom0 only).
+    Checkpoint {
+        /// The clone to checkpoint.
+        dom: DomId,
+    },
+    /// Restore the clone to its checkpoint (Dom0 only).
+    CloneReset {
+        /// The clone to reset.
+        dom: DomId,
+    },
+}
+
+/// Result of a `CLONEOP` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloneOpResult {
+    /// Domain ids of the created children, in creation order (the array the
+    /// parent passed to the hypercall, §5.1).
+    Cloned(Vec<DomId>),
+    /// Pages restored by a [`CloneOp::CloneReset`].
+    Reset {
+        /// Dirty pages that had to be restored.
+        dirty_pages: u64,
+    },
+    /// The subcommand completed with nothing to report.
+    Done,
+}
+
+impl Hypervisor {
+    /// Dispatches a `CLONEOP` hypercall issued by `caller`.
+    pub fn cloneop(&mut self, caller: DomId, op: CloneOp) -> Result<CloneOpResult> {
+        self.clock().advance(self.costs().hypercall_base);
+        match op {
+            CloneOp::Clone { target, nr_clones } => {
+                let parent = match target {
+                    None => {
+                        if caller.is_dom0() {
+                            return Err(HvError::InvalidArg("dom0 cannot clone itself"));
+                        }
+                        caller
+                    }
+                    Some(t) => {
+                        if !caller.is_dom0() {
+                            return Err(HvError::Denied);
+                        }
+                        t
+                    }
+                };
+                if nr_clones == 0 {
+                    return Err(HvError::InvalidArg("nr_clones == 0"));
+                }
+                self.clone_domains(parent, nr_clones).map(CloneOpResult::Cloned)
+            }
+            CloneOp::Completion { child } => {
+                if !caller.is_dom0() {
+                    return Err(HvError::Denied);
+                }
+                self.clone_completion(child)?;
+                Ok(CloneOpResult::Done)
+            }
+            CloneOp::SetGlobalEnabled(on) => {
+                if !caller.is_dom0() {
+                    return Err(HvError::Denied);
+                }
+                self.set_cloning_enabled(on);
+                Ok(CloneOpResult::Done)
+            }
+            CloneOp::CloneCow { dom, pfns } => {
+                if !caller.is_dom0() {
+                    return Err(HvError::Denied);
+                }
+                self.clone_cow(dom, &pfns)?;
+                Ok(CloneOpResult::Done)
+            }
+            CloneOp::Checkpoint { dom } => {
+                if !caller.is_dom0() {
+                    return Err(HvError::Denied);
+                }
+                self.clone_checkpoint(dom)?;
+                Ok(CloneOpResult::Done)
+            }
+            CloneOp::CloneReset { dom } => {
+                if !caller.is_dom0() {
+                    return Err(HvError::Denied);
+                }
+                let dirty = self.clone_reset(dom)?;
+                Ok(CloneOpResult::Reset { dirty_pages: dirty })
+            }
+        }
+    }
+
+    fn clone_domains(&mut self, parent: DomId, nr: u32) -> Result<Vec<DomId>> {
+        if !self.cloning_enabled() {
+            return Err(HvError::CloningDisabled(parent));
+        }
+        {
+            let p = self.domain(parent)?;
+            if !p.clone_policy.enabled {
+                return Err(HvError::CloningDisabled(parent));
+            }
+            if p.clones_created + nr > p.clone_policy.max_clones {
+                return Err(HvError::CloneLimit(parent));
+            }
+        }
+        let mut children = Vec::with_capacity(nr as usize);
+        for _ in 0..nr {
+            children.push(self.clone_one(parent)?);
+        }
+        // The hypercall returns 0 in the parent's rax, 1 in each child's.
+        if let Some(v) = self.domain_mut(parent)?.vcpus.get_mut(0) {
+            v.regs.rax = 0;
+        }
+        Ok(children)
+    }
+
+    /// Runs the complete first stage for one child of `parent` (§4.1, §5.2):
+    /// `struct domain` copy, vCPU cloning, memory sharing with private-page
+    /// duplication, page-table rebuild, grant-table and event-channel
+    /// cloning, then a notification-ring entry plus `VIRQ_CLONED`.
+    fn clone_one(&mut self, parent_id: DomId) -> Result<DomId> {
+        // Backpressure: a full ring stalls the first stage (§5).
+        if self.clone_ring().is_full() {
+            return Err(HvError::NotificationRingFull);
+        }
+
+        // Snapshot the parent state the child is built from.
+        let (p2m, private_pfns, idc_pfns, vcpus, grants, evtchn, parent_meta) = {
+            let p = self.domain(parent_id)?;
+            if p.state == DomainState::Dying {
+                return Err(HvError::BadDomainState(parent_id));
+            }
+            (
+                p.p2m.clone(),
+                p.private_pfns.clone(),
+                p.idc_pfns.clone(),
+                p.vcpus.clone(),
+                p.grants.clone(),
+                p.evtchn.clone(),
+                (
+                    p.name.clone(),
+                    p.clones_created,
+                    p.start_info_pfn,
+                    p.xenstore_pfn,
+                    p.console_pfn,
+                    p.clone_policy,
+                ),
+            )
+        };
+        let (parent_name, clone_seq, start_info_pfn, xenstore_pfn, console_pfn, policy) =
+            parent_meta;
+
+        let costs = self.costs().clone();
+        self.clock().advance(costs.clone_stage1_base);
+
+        // Pre-allocate every frame the child needs so a failure leaves the
+        // parent untouched: one frame per private pfn plus the auxiliary
+        // page-table and p2m-storage frames.
+        let mapped: u64 = p2m.iter().filter(|e| e.is_some()).count() as u64;
+        let private_count = private_pfns
+            .keys()
+            .filter(|pfn| p2m.get(pfn.0 as usize).copied().flatten().is_some())
+            .count() as u64;
+        let aux_count =
+            Domain::pt_frames_needed(p2m.len() as u64) + Domain::p2m_frames_needed(p2m.len() as u64);
+
+        let child_id = DomId(self.alloc_domid());
+        let mut fresh = self
+            .frames_mut()
+            .alloc_many(FrameOwner::Dom(child_id), private_count + aux_count)?;
+        let aux_frames: Vec<Mfn> = fresh.split_off(private_count as usize);
+
+        // vCPUs: registers and affinity replicated; rax = 1 in the child.
+        self.clock()
+            .advance(costs.vcpu_init.saturating_mul(vcpus.len() as u64));
+        let child_vcpus: Vec<Vcpu> = vcpus.iter().map(Vcpu::clone_for_child).collect();
+
+        // Memory: share everything except private pages.
+        let mut child_p2m = vec![None; p2m.len()];
+        let mut remaps: Vec<(Mfn, Mfn)> = Vec::new();
+        let mut fresh_iter = fresh.into_iter();
+        let mut child_start_info = Mfn(0);
+        for (i, slot) in p2m.iter().enumerate() {
+            let Some(mfn) = *slot else { continue };
+            let pfn = Pfn(i as u64);
+            if let Some(policy) = private_pfns.get(&pfn) {
+                let new = fresh_iter.next().expect("allocated one frame per private pfn");
+                match policy {
+                    PrivatePolicy::Copy => {
+                        self.frames_mut().copy_page(mfn, new)?;
+                    }
+                    PrivatePolicy::Fresh => {}
+                    PrivatePolicy::Rewrite => {
+                        self.frames_mut().copy_page(mfn, new)?;
+                        // Rewrite the embedded domain id reference.
+                        self.frames_mut().write(new, 0, &child_id.0.to_le_bytes())?;
+                    }
+                }
+                self.clock().advance(costs.clone_private_page);
+                child_p2m[i] = Some(new);
+                remaps.push((mfn, new));
+                if pfn == start_info_pfn {
+                    child_start_info = new;
+                }
+            } else {
+                match self.frames().inspect(mfn)?.owner() {
+                    FrameOwner::Dom(d) if d == parent_id => {
+                        // IDC pages stay writable-shared; everything else
+                        // becomes read-only COW.
+                        let idc = idc_pfns.contains(&pfn);
+                        self.frames_mut().share_to_cow(mfn, parent_id, 2, idc)?;
+                        self.clock().advance(costs.clone_share_per_page);
+                    }
+                    FrameOwner::Cow => {
+                        self.frames_mut().reshare(mfn, 1)?;
+                        self.clock().advance(costs.clone_reshare_per_page);
+                    }
+                    _ => return Err(HvError::BadOwner(mfn)),
+                }
+                child_p2m[i] = Some(mfn);
+            }
+        }
+        debug_assert!(fresh_iter.next().is_none());
+
+        // Rebuild the child page table from the p2m (§5.2: "p2m ... is used
+        // and updated on cloning when building the child page table").
+        self.clock()
+            .advance(costs.clone_pt_build_per_page.saturating_mul(mapped));
+        self.clock().advance(
+            costs
+                .clone_private_page
+                .saturating_mul(Domain::p2m_frames_needed(p2m.len() as u64)),
+        );
+
+        // Grant table: replicate, re-pointing grants of private frames.
+        let mut child_grants = grants.clone_for_child();
+        for (old, new) in &remaps {
+            child_grants.rewrite_frame(*old, *new);
+        }
+
+        // Event channels: replicate; parent-side DOMID_CHILD channels become
+        // child→parent channels at the same port and are registered in the
+        // fan-out map so the parent reaches all clones.
+        let mut child_evtchn = evtchn.clone_for_child();
+        let mut idc_ports = Vec::new();
+        for (port, ch) in evtchn.iter_active() {
+            if let Channel::Interdomain { remote_dom, .. } = ch {
+                if *remote_dom == DomId::CHILD {
+                    child_evtchn.replace(
+                        port,
+                        Channel::Interdomain {
+                            remote_dom: parent_id,
+                            remote_port: port,
+                        },
+                    )?;
+                    idc_ports.push(port);
+                }
+            }
+        }
+
+        let parent_start_info = p2m
+            .get(start_info_pfn.0 as usize)
+            .copied()
+            .flatten()
+            .unwrap_or(Mfn(0));
+
+        let child = Domain {
+            id: child_id,
+            name: format!("{parent_name}-clone{}", clone_seq + 1),
+            parent: Some(parent_id),
+            state: DomainState::PausedAfterClone,
+            vcpus: child_vcpus,
+            p2m: child_p2m,
+            aux_frames,
+            private_pfns,
+            idc_pfns,
+            start_info_pfn,
+            xenstore_pfn,
+            console_pfn,
+            clone_policy: policy,
+            clones_created: 0,
+            children: Vec::new(),
+            pending_stage2: 0,
+            grants: child_grants,
+            evtchn: child_evtchn,
+            checkpoint: None,
+        };
+        self.insert_domain(child);
+        for port in idc_ports {
+            self.bind_child_channel(parent_id, port, child_id, port);
+        }
+
+        // Parent bookkeeping: paused until the second stage completes.
+        {
+            let p = self.domain_mut(parent_id)?;
+            p.children.push(child_id);
+            p.clones_created += 1;
+            p.pending_stage2 += 1;
+            p.state = DomainState::PausedForClone;
+        }
+
+        // Notify xencloned (steps 1.2 in Fig. 1).
+        self.clone_ring()
+            .push(CloneNotification {
+                parent: parent_id,
+                child: child_id,
+                parent_start_info,
+                child_start_info,
+            })
+            .expect("ring fullness checked on entry");
+        self.raise_virq(DomId::DOM0, crate::event::Virq::Cloned);
+        Ok(child_id)
+    }
+
+    fn clone_completion(&mut self, child: DomId) -> Result<()> {
+        let (parent_id, resume_child) = {
+            let c = self.domain(child)?;
+            (
+                c.parent.ok_or(HvError::InvalidArg("not a clone"))?,
+                c.clone_policy.resume_children,
+            )
+        };
+        {
+            let c = self.domain_mut(child)?;
+            c.state = if resume_child {
+                DomainState::Running
+            } else {
+                DomainState::Paused
+            };
+        }
+        let p = self.domain_mut(parent_id)?;
+        if p.pending_stage2 == 0 {
+            return Err(HvError::BadDomainState(parent_id));
+        }
+        p.pending_stage2 -= 1;
+        if p.pending_stage2 == 0 && p.state == DomainState::PausedForClone {
+            p.state = DomainState::Running;
+        }
+        Ok(())
+    }
+
+    fn clone_cow(&mut self, dom: DomId, pfns: &[Pfn]) -> Result<()> {
+        for pfn in pfns {
+            let mfn = self
+                .domain(dom)?
+                .lookup(*pfn)
+                .ok_or(HvError::NotMapped(dom, *pfn))?;
+            if self.frames().inspect(mfn)?.owner() == FrameOwner::Cow {
+                match self.frames_mut().cow_fault(mfn, dom)? {
+                    CowResolution::Copied(copy) => {
+                        self.clock().advance(self.costs().cow_fault_copy);
+                        self.domain_mut(dom)?.p2m[pfn.0 as usize] = Some(copy);
+                    }
+                    CowResolution::Transferred => {
+                        self.clock().advance(self.costs().cow_fault_transfer);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn clone_checkpoint(&mut self, dom: DomId) -> Result<()> {
+        let d = self.domain(dom)?;
+        let mut saved = std::collections::BTreeMap::new();
+        for (i, slot) in d.p2m.iter().enumerate() {
+            if let Some(mfn) = slot {
+                if self.frames().inspect(*mfn)?.owner() == FrameOwner::Dom(dom) {
+                    saved.insert(Pfn(i as u64), self.frames().inspect(*mfn)?.content().clone());
+                }
+            }
+        }
+        let vcpus = d.vcpus.clone();
+        self.domain_mut(dom)?.checkpoint = Some(Checkpoint {
+            dirty_cow: Default::default(),
+            saved_private: saved,
+            vcpus,
+        });
+        Ok(())
+    }
+
+    fn clone_reset(&mut self, dom: DomId) -> Result<u64> {
+        let costs = self.costs().clone();
+        self.clock().advance(costs.kfx_reset_base);
+        let mut cp = self
+            .domain_mut(dom)?
+            .checkpoint
+            .take()
+            .ok_or(HvError::InvalidArg("no checkpoint"))?;
+
+        let mut dirty = 0u64;
+        // Re-point COW-faulted pages back at their shared originals.
+        let dirty_cow = std::mem::take(&mut cp.dirty_cow);
+        for (pfn, orig) in dirty_cow {
+            let cur = self
+                .domain(dom)?
+                .lookup(pfn)
+                .ok_or(HvError::NotMapped(dom, pfn))?;
+            if cur != orig {
+                self.frames_mut().free(cur, FrameOwner::Dom(dom))?;
+                self.frames_mut().reshare(orig, 1)?;
+                self.domain_mut(dom)?.p2m[pfn.0 as usize] = Some(orig);
+            }
+            self.clock().advance(costs.kfx_reset_per_page);
+            dirty += 1;
+        }
+        // Restore modified private pages from the snapshot.
+        for (pfn, saved) in &cp.saved_private {
+            let mfn = self
+                .domain(dom)?
+                .lookup(*pfn)
+                .ok_or(HvError::NotMapped(dom, *pfn))?;
+            if self.frames().inspect(mfn)?.content() != saved {
+                self.frames_mut().set_content(mfn, saved.clone())?;
+                self.clock().advance(costs.kfx_reset_per_page);
+                dirty += 1;
+            }
+        }
+        // Restore vCPU state.
+        self.domain_mut(dom)?.vcpus = cp.vcpus.clone();
+        // Re-arm the checkpoint for the next iteration.
+        self.domain_mut(dom)?.checkpoint = Some(cp);
+        Ok(dirty)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use std::rc::Rc;
+
+    use sim_core::{Clock, CostModel};
+
+    use super::*;
+    use crate::domain::ClonePolicy;
+    use crate::MachineConfig;
+
+    fn hv() -> Hypervisor {
+        let mut hv = Hypervisor::new(
+            Clock::new(),
+            Rc::new(CostModel::free()),
+            &MachineConfig {
+                guest_pool_mib: 256,
+                cores: 4,
+                notification_ring_capacity: 16,
+            },
+        );
+        hv.set_cloning_enabled(true);
+        hv
+    }
+
+    fn cloneable_guest(hv: &mut Hypervisor, max_clones: u32) -> DomId {
+        let d = hv.create_domain("guest", 4, 1).unwrap();
+        hv.set_clone_policy(
+            d,
+            ClonePolicy {
+                enabled: true,
+                max_clones,
+                resume_children: true,
+            },
+        )
+        .unwrap();
+        hv.unpause(d).unwrap();
+        d
+    }
+
+    fn do_clone(hv: &mut Hypervisor, parent: DomId, nr: u32) -> Vec<DomId> {
+        match hv
+            .cloneop(
+                parent,
+                CloneOp::Clone {
+                    target: None,
+                    nr_clones: nr,
+                },
+            )
+            .unwrap()
+        {
+            CloneOpResult::Cloned(c) => c,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn basic_clone_creates_paused_child_and_pauses_parent() {
+        let mut hv = hv();
+        let p = cloneable_guest(&mut hv, 4);
+        let children = do_clone(&mut hv, p, 1);
+        assert_eq!(children.len(), 1);
+        let c = children[0];
+        assert_eq!(hv.domain(c).unwrap().state, DomainState::PausedAfterClone);
+        assert_eq!(hv.domain(p).unwrap().state, DomainState::PausedForClone);
+        assert_eq!(hv.domain(c).unwrap().parent, Some(p));
+        // rax: 0 in parent, 1 in child.
+        assert_eq!(hv.domain(p).unwrap().vcpus[0].regs.rax, 0);
+        assert_eq!(hv.domain(c).unwrap().vcpus[0].regs.rax, 1);
+        // A notification was queued and the VIRQ raised.
+        assert_eq!(hv.clone_ring_len(), 1);
+    }
+
+    #[test]
+    fn completion_resumes_parent_and_child() {
+        let mut hv = hv();
+        let p = cloneable_guest(&mut hv, 4);
+        let c = do_clone(&mut hv, p, 1)[0];
+        hv.cloneop(DomId::DOM0, CloneOp::Completion { child: c })
+            .unwrap();
+        assert_eq!(hv.domain(p).unwrap().state, DomainState::Running);
+        assert_eq!(hv.domain(c).unwrap().state, DomainState::Running);
+    }
+
+    #[test]
+    fn cloning_requires_global_and_domain_enable() {
+        let mut hv = hv();
+        hv.set_cloning_enabled(false);
+        let p = cloneable_guest(&mut hv, 4);
+        let r = hv.cloneop(
+            p,
+            CloneOp::Clone {
+                target: None,
+                nr_clones: 1,
+            },
+        );
+        assert_eq!(r, Err(HvError::CloningDisabled(p)));
+
+        hv.set_cloning_enabled(true);
+        let q = hv.create_domain("other", 4, 1).unwrap();
+        hv.unpause(q).unwrap();
+        let r = hv.cloneop(
+            q,
+            CloneOp::Clone {
+                target: None,
+                nr_clones: 1,
+            },
+        );
+        assert_eq!(r, Err(HvError::CloningDisabled(q)));
+    }
+
+    #[test]
+    fn clone_limit_enforced() {
+        let mut hv = hv();
+        let p = cloneable_guest(&mut hv, 2);
+        do_clone(&mut hv, p, 2);
+        let r = hv.cloneop(
+            p,
+            CloneOp::Clone {
+                target: None,
+                nr_clones: 1,
+            },
+        );
+        assert_eq!(r, Err(HvError::CloneLimit(p)));
+    }
+
+    #[test]
+    fn memory_is_shared_and_cow_diverges() {
+        let mut hv = hv();
+        let p = cloneable_guest(&mut hv, 4);
+        hv.write_page(p, Pfn(7), 0, b"parent-data").unwrap();
+        let c = do_clone(&mut hv, p, 1)[0];
+
+        // Same machine frame backs both p2m entries.
+        let pm = hv.domain(p).unwrap().lookup(Pfn(7)).unwrap();
+        let cm = hv.domain(c).unwrap().lookup(Pfn(7)).unwrap();
+        assert_eq!(pm, cm);
+        assert_eq!(hv.frames().inspect(pm).unwrap().owner(), FrameOwner::Cow);
+        assert_eq!(hv.frames().inspect(pm).unwrap().refcount(), 2);
+
+        // Child reads the parent's data.
+        let mut buf = [0u8; 11];
+        hv.read_page(c, Pfn(7), 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"parent-data");
+
+        // Child writes: COW copy; parent unaffected.
+        hv.write_page(c, Pfn(7), 0, b"child-data!").unwrap();
+        let cm2 = hv.domain(c).unwrap().lookup(Pfn(7)).unwrap();
+        assert_ne!(cm2, pm);
+        hv.read_page(p, Pfn(7), 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"parent-data");
+        hv.read_page(c, Pfn(7), 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"child-data!");
+    }
+
+    #[test]
+    fn private_pages_are_not_shared() {
+        let mut hv = hv();
+        let p = cloneable_guest(&mut hv, 4);
+        let si = hv.domain(p).unwrap().start_info_pfn;
+        let c = do_clone(&mut hv, p, 1)[0];
+        let pm = hv.domain(p).unwrap().lookup(si).unwrap();
+        let cm = hv.domain(c).unwrap().lookup(si).unwrap();
+        assert_ne!(pm, cm, "start_info must be duplicated");
+        // The child's start_info embeds the child's domain id (rewrite).
+        let mut buf = [0u8; 4];
+        hv.read_page(c, si, 0, &mut buf).unwrap();
+        assert_eq!(u32::from_le_bytes(buf), c.0);
+    }
+
+    #[test]
+    fn second_clone_is_cheaper_than_first() {
+        let clock = Clock::new();
+        let mut hv = Hypervisor::new(
+            clock.clone(),
+            Rc::new(CostModel::calibrated()),
+            &MachineConfig {
+                guest_pool_mib: 256,
+                cores: 4,
+                notification_ring_capacity: 16,
+            },
+        );
+        hv.set_cloning_enabled(true);
+        let p = cloneable_guest(&mut hv, 4);
+
+        let (c1, first) = {
+            let t0 = clock.now();
+            let c = do_clone(&mut hv, p, 1)[0];
+            (c, clock.now().since(t0))
+        };
+        hv.cloneop(DomId::DOM0, CloneOp::Completion { child: c1 })
+            .unwrap();
+        let (c2, second) = {
+            let t0 = clock.now();
+            let c = do_clone(&mut hv, p, 1)[0];
+            (c, clock.now().since(t0))
+        };
+        let _ = c2;
+        assert!(
+            second < first,
+            "resharing ({second}) should be cheaper than first sharing ({first})"
+        );
+    }
+
+    #[test]
+    fn nested_clone_family() {
+        let mut hv = hv();
+        let p = cloneable_guest(&mut hv, 4);
+        let c = do_clone(&mut hv, p, 1)[0];
+        hv.cloneop(DomId::DOM0, CloneOp::Completion { child: c })
+            .unwrap();
+        // The grandchild is created by cloning the child.
+        let g = do_clone(&mut hv, c, 1)[0];
+        assert!(hv.is_descendant(g, p));
+        assert!(hv.is_descendant(g, c));
+        assert!(hv.same_family(g, p));
+        let unrelated = hv.create_domain("other", 4, 1).unwrap();
+        assert!(!hv.same_family(g, unrelated));
+    }
+
+    #[test]
+    fn destroy_clone_returns_private_memory_only() {
+        let mut hv = hv();
+        let p = cloneable_guest(&mut hv, 4);
+        let before_clone = hv.free_pages();
+        let c = do_clone(&mut hv, p, 1)[0];
+        let after_clone = hv.free_pages();
+        let clone_cost = before_clone - after_clone;
+        // A clone of a 4 MiB guest must consume far fewer than 1027 frames.
+        assert!(clone_cost < 100, "clone consumed {clone_cost} frames");
+        hv.destroy_domain(c).unwrap();
+        assert_eq!(hv.free_pages(), before_clone);
+    }
+
+    #[test]
+    fn dom0_can_clone_explicit_target_but_guests_cannot() {
+        let mut hv = hv();
+        let p = cloneable_guest(&mut hv, 4);
+        let other = cloneable_guest(&mut hv, 4);
+        assert_eq!(
+            hv.cloneop(
+                other,
+                CloneOp::Clone {
+                    target: Some(p),
+                    nr_clones: 1
+                }
+            ),
+            Err(HvError::Denied)
+        );
+        let r = hv
+            .cloneop(
+                DomId::DOM0,
+                CloneOp::Clone {
+                    target: Some(p),
+                    nr_clones: 1,
+                },
+            )
+            .unwrap();
+        assert!(matches!(r, CloneOpResult::Cloned(v) if v.len() == 1));
+    }
+
+    #[test]
+    fn checkpoint_and_reset_restore_memory_and_vcpus() {
+        let mut hv = hv();
+        let p = cloneable_guest(&mut hv, 4);
+        hv.write_page(p, Pfn(3), 0, b"base").unwrap();
+        let c = do_clone(&mut hv, p, 1)[0];
+        hv.cloneop(DomId::DOM0, CloneOp::Completion { child: c })
+            .unwrap();
+
+        hv.cloneop(DomId::DOM0, CloneOp::Checkpoint { dom: c }).unwrap();
+        // Dirty a shared page and a vCPU register.
+        hv.write_page(c, Pfn(3), 0, b"drty").unwrap();
+        hv.domain_mut(c).unwrap().vcpus[0].regs.rip = 0x1234;
+
+        let r = hv
+            .cloneop(DomId::DOM0, CloneOp::CloneReset { dom: c })
+            .unwrap();
+        assert!(matches!(r, CloneOpResult::Reset { dirty_pages } if dirty_pages >= 1));
+
+        let mut buf = [0u8; 4];
+        hv.read_page(c, Pfn(3), 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"base");
+        assert_eq!(hv.domain(c).unwrap().vcpus[0].regs.rip, 0);
+
+        // Reset is repeatable.
+        hv.write_page(c, Pfn(3), 0, b"drt2").unwrap();
+        hv.cloneop(DomId::DOM0, CloneOp::CloneReset { dom: c })
+            .unwrap();
+        hv.read_page(c, Pfn(3), 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"base");
+    }
+
+    #[test]
+    fn clone_cow_privatizes_pages_for_breakpoints() {
+        let mut hv = hv();
+        let p = cloneable_guest(&mut hv, 4);
+        let c = do_clone(&mut hv, p, 1)[0];
+        let shared = hv.domain(c).unwrap().lookup(Pfn(1)).unwrap();
+        hv.cloneop(
+            DomId::DOM0,
+            CloneOp::CloneCow {
+                dom: c,
+                pfns: vec![Pfn(1)],
+            },
+        )
+        .unwrap();
+        let private = hv.domain(c).unwrap().lookup(Pfn(1)).unwrap();
+        assert_ne!(shared, private);
+        assert_eq!(
+            hv.frames().inspect(private).unwrap().owner(),
+            FrameOwner::Dom(c)
+        );
+    }
+
+    #[test]
+    fn multi_clone_in_one_call() {
+        let mut hv = hv();
+        let p = cloneable_guest(&mut hv, 8);
+        let kids = do_clone(&mut hv, p, 3);
+        assert_eq!(kids.len(), 3);
+        assert_eq!(hv.domain(p).unwrap().pending_stage2, 3);
+        for k in &kids {
+            hv.cloneop(DomId::DOM0, CloneOp::Completion { child: *k })
+                .unwrap();
+        }
+        assert_eq!(hv.domain(p).unwrap().state, DomainState::Running);
+    }
+
+    #[test]
+    fn notification_ring_backpressure() {
+        let mut hv = Hypervisor::new(
+            Clock::new(),
+            Rc::new(CostModel::free()),
+            &MachineConfig {
+                guest_pool_mib: 256,
+                cores: 1,
+                notification_ring_capacity: 2,
+            },
+        );
+        hv.set_cloning_enabled(true);
+        let p = cloneable_guest(&mut hv, 8);
+        do_clone(&mut hv, p, 2);
+        let r = hv.cloneop(
+            p,
+            CloneOp::Clone {
+                target: None,
+                nr_clones: 1,
+            },
+        );
+        assert_eq!(r, Err(HvError::NotificationRingFull));
+        // Draining the ring unblocks cloning.
+        hv.clone_ring_pop().unwrap();
+        do_clone(&mut hv, p, 1);
+    }
+}

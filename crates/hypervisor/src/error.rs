@@ -1,0 +1,62 @@
+//! Hypervisor error types.
+
+use std::fmt;
+
+use sim_core::{DomId, Mfn, Pfn};
+
+/// Errors returned by hypervisor operations (the moral equivalent of the
+/// negative errno values a real hypercall returns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HvError {
+    /// The referenced domain does not exist.
+    NoSuchDomain(DomId),
+    /// The referenced domain exists but is in the wrong state.
+    BadDomainState(DomId),
+    /// Machine memory is exhausted (or the domain hit its allocation).
+    OutOfMemory,
+    /// A pseudo-physical frame is not mapped in the domain's p2m.
+    NotMapped(DomId, Pfn),
+    /// A machine frame is not owned by the expected domain.
+    BadOwner(Mfn),
+    /// The grant reference is invalid or not active.
+    BadGrant(u32),
+    /// The grantee is not allowed to use this grant entry.
+    GrantDenied(u32),
+    /// The event-channel port is invalid or closed.
+    BadPort(u32),
+    /// Cloning is disabled globally or for this domain.
+    CloningDisabled(DomId),
+    /// The domain reached its configured maximum number of clones.
+    CloneLimit(DomId),
+    /// The clone notification ring is full (backpressure, §5).
+    NotificationRingFull,
+    /// A hypercall argument was malformed.
+    InvalidArg(&'static str),
+    /// The caller lacks the privilege for this operation.
+    Denied,
+}
+
+impl fmt::Display for HvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HvError::NoSuchDomain(d) => write!(f, "no such domain: {d}"),
+            HvError::BadDomainState(d) => write!(f, "domain {d} is in the wrong state"),
+            HvError::OutOfMemory => write!(f, "out of machine memory"),
+            HvError::NotMapped(d, p) => write!(f, "{p} is not mapped in {d}"),
+            HvError::BadOwner(m) => write!(f, "{m} has an unexpected owner"),
+            HvError::BadGrant(g) => write!(f, "bad grant reference {g}"),
+            HvError::GrantDenied(g) => write!(f, "grant {g} denied for this domain"),
+            HvError::BadPort(p) => write!(f, "bad event-channel port {p}"),
+            HvError::CloningDisabled(d) => write!(f, "cloning disabled for {d}"),
+            HvError::CloneLimit(d) => write!(f, "clone limit reached for {d}"),
+            HvError::NotificationRingFull => write!(f, "clone notification ring full"),
+            HvError::InvalidArg(what) => write!(f, "invalid argument: {what}"),
+            HvError::Denied => write!(f, "permission denied"),
+        }
+    }
+}
+
+impl std::error::Error for HvError {}
+
+/// Convenience alias for hypervisor results.
+pub type Result<T> = std::result::Result<T, HvError>;

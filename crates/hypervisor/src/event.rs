@@ -1,0 +1,275 @@
+//! Event channels: Xen's inter-domain notification primitive.
+//!
+//! Channels connect a local port in one domain to a remote port in another
+//! (interdomain channels) or to a virtual interrupt line (VIRQ channels).
+//! Nephele adds two things (§5.1):
+//!
+//! * the `DOMID_CHILD` wildcard: a channel created with remote
+//!   [`DomId::CHILD`] is connected to *all future clones* of the creating
+//!   domain — on creation a clone is implicitly bound to all such IDC
+//!   channels of its parent;
+//! * a new virtual interrupt, [`Virq::Cloned`], used by the hypervisor to
+//!   wake the `xencloned` daemon when clone notifications are pending.
+
+use sim_core::DomId;
+
+use crate::error::{HvError, Result};
+
+/// A local event-channel port number.
+pub type Port = u32;
+
+/// Virtual interrupt lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Virq {
+    /// Timer tick.
+    Timer,
+    /// Xenstore update pending (used by the Xenstore ring).
+    Xenstore,
+    /// Console activity.
+    Console,
+    /// Nephele: a clone notification was queued (wakes `xencloned`).
+    Cloned,
+}
+
+/// State of one channel slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Channel {
+    /// Unallocated.
+    Free,
+    /// Allocated, waiting for the remote side to bind.
+    Unbound {
+        /// Domain allowed to bind the other end (may be [`DomId::CHILD`]).
+        remote_allowed: DomId,
+    },
+    /// Connected to a remote domain's port.
+    Interdomain {
+        /// The peer domain (may be [`DomId::CHILD`] for parent-side IDC
+        /// channels, in which case sends fan out to all bound clones).
+        remote_dom: DomId,
+        /// The peer's local port.
+        remote_port: Port,
+    },
+    /// Bound to a virtual interrupt.
+    VirqBound(Virq),
+}
+
+/// The per-domain event-channel table.
+#[derive(Debug, Clone, Default)]
+pub struct EventChannels {
+    channels: Vec<Channel>,
+    /// Pending (unacknowledged) notification flags, indexed by port.
+    pending: Vec<bool>,
+}
+
+impl EventChannels {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        EventChannels::default()
+    }
+
+    fn alloc_slot(&mut self, ch: Channel) -> Port {
+        if let Some(idx) = self
+            .channels
+            .iter()
+            .position(|c| matches!(c, Channel::Free))
+        {
+            self.channels[idx] = ch;
+            idx as Port
+        } else {
+            self.channels.push(ch);
+            self.pending.push(false);
+            (self.channels.len() - 1) as Port
+        }
+    }
+
+    /// Allocates an unbound channel that `remote_allowed` may later bind.
+    pub fn alloc_unbound(&mut self, remote_allowed: DomId) -> Port {
+        self.alloc_slot(Channel::Unbound { remote_allowed })
+    }
+
+    /// Installs a fully connected interdomain channel (used by the platform
+    /// when wiring both ends at once, e.g. device setup).
+    pub fn bind_interdomain(&mut self, remote_dom: DomId, remote_port: Port) -> Port {
+        self.alloc_slot(Channel::Interdomain {
+            remote_dom,
+            remote_port,
+        })
+    }
+
+    /// Binds a VIRQ line, returning the local port.
+    pub fn bind_virq(&mut self, virq: Virq) -> Port {
+        self.alloc_slot(Channel::VirqBound(virq))
+    }
+
+    /// Updates the remote port of an interdomain channel (used when wiring
+    /// a pair whose second end is allocated after the first).
+    pub fn set_remote_port(&mut self, port: Port, new_remote_port: Port) -> Result<()> {
+        match self.channels.get_mut(port as usize) {
+            Some(Channel::Interdomain { remote_port, .. }) => {
+                *remote_port = new_remote_port;
+                Ok(())
+            }
+            _ => Err(HvError::BadPort(port)),
+        }
+    }
+
+    /// Replaces the channel behind `port` wholesale (used by the cloning
+    /// path to re-wire a child's copied channels).
+    pub fn replace(&mut self, port: Port, ch: Channel) -> Result<()> {
+        match self.channels.get_mut(port as usize) {
+            Some(slot) => {
+                *slot = ch;
+                Ok(())
+            }
+            None => Err(HvError::BadPort(port)),
+        }
+    }
+
+    /// Completes an unbound channel once the peer is known.
+    pub fn connect(&mut self, port: Port, remote_dom: DomId, remote_port: Port) -> Result<()> {
+        match self.channels.get_mut(port as usize) {
+            Some(c @ Channel::Unbound { .. }) => {
+                *c = Channel::Interdomain {
+                    remote_dom,
+                    remote_port,
+                };
+                Ok(())
+            }
+            _ => Err(HvError::BadPort(port)),
+        }
+    }
+
+    /// Returns the channel state behind `port`.
+    pub fn channel(&self, port: Port) -> Result<&Channel> {
+        self.channels.get(port as usize).ok_or(HvError::BadPort(port))
+    }
+
+    /// Closes a channel.
+    pub fn close(&mut self, port: Port) -> Result<()> {
+        match self.channels.get_mut(port as usize) {
+            Some(c) if !matches!(c, Channel::Free) => {
+                *c = Channel::Free;
+                if let Some(p) = self.pending.get_mut(port as usize) {
+                    *p = false;
+                }
+                Ok(())
+            }
+            _ => Err(HvError::BadPort(port)),
+        }
+    }
+
+    /// Marks a port pending; returns `true` if it was not already pending
+    /// (i.e. an upcall should be injected).
+    pub fn set_pending(&mut self, port: Port) -> bool {
+        if let Some(p) = self.pending.get_mut(port as usize) {
+            let was = *p;
+            *p = true;
+            !was
+        } else {
+            false
+        }
+    }
+
+    /// Clears and returns the pending flag for a port.
+    pub fn take_pending(&mut self, port: Port) -> bool {
+        if let Some(p) = self.pending.get_mut(port as usize) {
+            std::mem::take(p)
+        } else {
+            false
+        }
+    }
+
+    /// Finds the port bound to `virq`, if any.
+    pub fn virq_port(&self, virq: Virq) -> Option<Port> {
+        self.channels
+            .iter()
+            .position(|c| matches!(c, Channel::VirqBound(v) if *v == virq))
+            .map(|i| i as Port)
+    }
+
+    /// Number of allocated (non-free) channels.
+    pub fn active_channels(&self) -> usize {
+        self.channels
+            .iter()
+            .filter(|c| !matches!(c, Channel::Free))
+            .count()
+    }
+
+    /// Iterates over `(port, channel)` for allocated slots.
+    pub fn iter_active(&self) -> impl Iterator<Item = (Port, &Channel)> {
+        self.channels
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !matches!(c, Channel::Free))
+            .map(|(i, c)| (i as Port, c))
+    }
+
+    /// Produces a child's channel table at clone time. Interdomain channels
+    /// keep their port numbers (the peers are re-wired by the hypervisor's
+    /// cloning logic); pending bits are cleared.
+    pub fn clone_for_child(&self) -> EventChannels {
+        EventChannels {
+            channels: self.channels.clone(),
+            pending: vec![false; self.pending.len()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbound_then_connect() {
+        let mut t = EventChannels::new();
+        let p = t.alloc_unbound(DomId(5));
+        assert!(matches!(
+            t.channel(p).unwrap(),
+            Channel::Unbound { remote_allowed } if *remote_allowed == DomId(5)
+        ));
+        t.connect(p, DomId(5), 7).unwrap();
+        assert!(matches!(
+            t.channel(p).unwrap(),
+            Channel::Interdomain { remote_dom, remote_port }
+                if *remote_dom == DomId(5) && *remote_port == 7
+        ));
+    }
+
+    #[test]
+    fn virq_binding_lookup() {
+        let mut t = EventChannels::new();
+        assert_eq!(t.virq_port(Virq::Cloned), None);
+        let p = t.bind_virq(Virq::Cloned);
+        assert_eq!(t.virq_port(Virq::Cloned), Some(p));
+    }
+
+    #[test]
+    fn pending_flag_semantics() {
+        let mut t = EventChannels::new();
+        let p = t.bind_virq(Virq::Timer);
+        assert!(t.set_pending(p), "first set should request an upcall");
+        assert!(!t.set_pending(p), "second set is coalesced");
+        assert!(t.take_pending(p));
+        assert!(!t.take_pending(p));
+    }
+
+    #[test]
+    fn close_frees_slot_for_reuse() {
+        let mut t = EventChannels::new();
+        let a = t.bind_virq(Virq::Timer);
+        t.close(a).unwrap();
+        let b = t.alloc_unbound(DomId::CHILD);
+        assert_eq!(a, b);
+        assert!(t.close(99).is_err());
+    }
+
+    #[test]
+    fn clone_clears_pending() {
+        let mut t = EventChannels::new();
+        let p = t.bind_interdomain(DomId(0), 3);
+        t.set_pending(p);
+        let c = t.clone_for_child();
+        assert_eq!(c.active_channels(), 1);
+        assert!(!c.pending[p as usize]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Grant tables: Xen's mechanism for sharing memory between domains.
+//!
+//! A domain fills entries in its grant table to permit another domain to map
+//! one of its frames. Nephele extends the interface with the `DOMID_CHILD`
+//! wildcard ([`DomId::CHILD`]): a grant whose grantee is `DOMID_CHILD` can be
+//! mapped by *any clone* of the granting domain, because the grant can be
+//! established before any clone exists (§5.1). On cloning, the child is
+//! implicitly allowed to use all of the parent's IDC grants.
+
+use sim_core::{DomId, Mfn};
+
+use crate::error::{HvError, Result};
+
+/// A grant reference: an index into the granting domain's table.
+pub type GrantRef = u32;
+
+/// One grant-table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrantEntry {
+    /// Unused slot.
+    Unused,
+    /// Permission for `grantee` to map `mfn`.
+    Access {
+        /// The domain allowed to map (may be [`DomId::CHILD`]).
+        grantee: DomId,
+        /// The granted machine frame.
+        mfn: Mfn,
+        /// Whether the mapping must be read-only.
+        readonly: bool,
+        /// Number of active mappings through this entry.
+        mapped: u32,
+    },
+}
+
+/// A per-domain grant table.
+#[derive(Debug, Clone, Default)]
+pub struct GrantTable {
+    entries: Vec<GrantEntry>,
+}
+
+impl GrantTable {
+    /// Creates an empty grant table.
+    pub fn new() -> Self {
+        GrantTable {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Grants `grantee` access to `mfn`, returning the grant reference.
+    pub fn grant_access(&mut self, grantee: DomId, mfn: Mfn, readonly: bool) -> GrantRef {
+        let entry = GrantEntry::Access {
+            grantee,
+            mfn,
+            readonly,
+            mapped: 0,
+        };
+        if let Some(idx) = self
+            .entries
+            .iter()
+            .position(|e| matches!(e, GrantEntry::Unused))
+        {
+            self.entries[idx] = entry;
+            idx as GrantRef
+        } else {
+            self.entries.push(entry);
+            (self.entries.len() - 1) as GrantRef
+        }
+    }
+
+    /// Revokes a grant. Fails if mappings are still active.
+    pub fn end_access(&mut self, gref: GrantRef) -> Result<()> {
+        match self.entries.get_mut(gref as usize) {
+            Some(GrantEntry::Access { mapped, .. }) if *mapped > 0 => {
+                Err(HvError::BadGrant(gref))
+            }
+            Some(e @ GrantEntry::Access { .. }) => {
+                *e = GrantEntry::Unused;
+                Ok(())
+            }
+            _ => Err(HvError::BadGrant(gref)),
+        }
+    }
+
+    /// Validates that `mapper` may map through `gref`. `mapper_is_child`
+    /// states whether the mapper is a descendant of the granting domain
+    /// (resolved by the hypervisor, which knows the family tree). Returns
+    /// the frame and read-only flag and records the mapping.
+    pub fn map(
+        &mut self,
+        gref: GrantRef,
+        mapper: DomId,
+        mapper_is_child: bool,
+    ) -> Result<(Mfn, bool)> {
+        match self.entries.get_mut(gref as usize) {
+            Some(GrantEntry::Access {
+                grantee,
+                mfn,
+                readonly,
+                mapped,
+            }) => {
+                let allowed = *grantee == mapper || (*grantee == DomId::CHILD && mapper_is_child);
+                if !allowed {
+                    return Err(HvError::GrantDenied(gref));
+                }
+                *mapped += 1;
+                Ok((*mfn, *readonly))
+            }
+            _ => Err(HvError::BadGrant(gref)),
+        }
+    }
+
+    /// Releases one mapping previously taken with [`GrantTable::map`].
+    pub fn unmap(&mut self, gref: GrantRef) -> Result<()> {
+        match self.entries.get_mut(gref as usize) {
+            Some(GrantEntry::Access { mapped, .. }) if *mapped > 0 => {
+                *mapped -= 1;
+                Ok(())
+            }
+            _ => Err(HvError::BadGrant(gref)),
+        }
+    }
+
+    /// Returns the entry behind a reference, if any.
+    pub fn entry(&self, gref: GrantRef) -> Option<&GrantEntry> {
+        self.entries.get(gref as usize)
+    }
+
+    /// Number of active (non-unused) entries.
+    pub fn active_entries(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| !matches!(e, GrantEntry::Unused))
+            .count()
+    }
+
+    /// Iterates over `(gref, entry)` pairs of active entries.
+    pub fn iter_active(&self) -> impl Iterator<Item = (GrantRef, &GrantEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !matches!(e, GrantEntry::Unused))
+            .map(|(i, e)| (i as GrantRef, e))
+    }
+
+    /// Produces the child's grant table at clone time: all entries are
+    /// replicated so that established device grants and IDC grants stay
+    /// valid in the clone. The caller rewrites frame numbers for private
+    /// pages afterwards.
+    pub fn clone_for_child(&self) -> GrantTable {
+        let mut t = self.clone();
+        // Active mapping counts do not transfer: the clone's peers have not
+        // mapped anything yet.
+        for e in &mut t.entries {
+            if let GrantEntry::Access { mapped, .. } = e {
+                *mapped = 0;
+            }
+        }
+        t
+    }
+
+    /// Rewrites every entry that grants `old` to grant `new` instead (used
+    /// when re-pointing a clone's private ring frames).
+    pub fn rewrite_frame(&mut self, old: Mfn, new: Mfn) {
+        for e in &mut self.entries {
+            if let GrantEntry::Access { mfn, .. } = e {
+                if *mfn == old {
+                    *mfn = new;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D1: DomId = DomId(1);
+    const D2: DomId = DomId(2);
+
+    #[test]
+    fn grant_map_unmap() {
+        let mut t = GrantTable::new();
+        let g = t.grant_access(D2, Mfn(5), false);
+        let (mfn, ro) = t.map(g, D2, false).unwrap();
+        assert_eq!(mfn, Mfn(5));
+        assert!(!ro);
+        assert!(t.end_access(g).is_err(), "active mapping blocks revoke");
+        t.unmap(g).unwrap();
+        t.end_access(g).unwrap();
+        assert_eq!(t.active_entries(), 0);
+    }
+
+    #[test]
+    fn wrong_domain_denied() {
+        let mut t = GrantTable::new();
+        let g = t.grant_access(D2, Mfn(5), true);
+        assert_eq!(t.map(g, D1, false), Err(HvError::GrantDenied(g)));
+    }
+
+    #[test]
+    fn domid_child_wildcard() {
+        let mut t = GrantTable::new();
+        let g = t.grant_access(DomId::CHILD, Mfn(9), false);
+        // A non-descendant cannot map.
+        assert!(t.map(g, D2, false).is_err());
+        // A descendant can.
+        let (mfn, _) = t.map(g, D2, true).unwrap();
+        assert_eq!(mfn, Mfn(9));
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut t = GrantTable::new();
+        let a = t.grant_access(D1, Mfn(1), false);
+        t.end_access(a).unwrap();
+        let b = t.grant_access(D1, Mfn(2), false);
+        assert_eq!(a, b, "freed slot should be reused");
+    }
+
+    #[test]
+    fn clone_resets_mapping_counts() {
+        let mut t = GrantTable::new();
+        let g = t.grant_access(DomId::CHILD, Mfn(3), false);
+        t.map(g, D2, true).unwrap();
+        let c = t.clone_for_child();
+        match c.entry(g).unwrap() {
+            GrantEntry::Access { mapped, .. } => assert_eq!(*mapped, 0),
+            _ => panic!("entry missing in clone"),
+        }
+    }
+
+    #[test]
+    fn rewrite_frame_repoints() {
+        let mut t = GrantTable::new();
+        let g = t.grant_access(D1, Mfn(3), false);
+        t.rewrite_frame(Mfn(3), Mfn(7));
+        let (mfn, _) = t.map(g, D1, false).unwrap();
+        assert_eq!(mfn, Mfn(7));
+    }
+
+    #[test]
+    fn bad_refs_rejected() {
+        let mut t = GrantTable::new();
+        assert!(t.map(42, D1, false).is_err());
+        assert!(t.unmap(42).is_err());
+        assert!(t.end_access(42).is_err());
+    }
+}

@@ -1,0 +1,841 @@
+//! A Xen-like paravirtualization hypervisor model with Nephele cloning
+//! support.
+//!
+//! This crate implements the hypervisor half of the Nephele design (§4.1,
+//! §5): domains with vCPUs, a machine frame table with page ownership and
+//! copy-on-write sharing through `dom_cow`, grant tables and event channels
+//! (both extended with the `DOMID_CHILD` wildcard), the `CLONEOP` hypercall
+//! with its subcommands, and the clone notification ring that wakes the
+//! `xencloned` daemon via `VIRQ_CLONED`.
+//!
+//! The hypervisor is purely mechanical: it manipulates real data structures
+//! and charges virtual time from the shared
+//! [`CostModel`]. Policy (what to clone, how to wire
+//! devices) lives in the toolstack and daemon crates.
+
+pub mod cloneop;
+pub mod domain;
+pub mod error;
+pub mod event;
+pub mod grant;
+pub mod memory;
+pub mod notify;
+pub mod scheduler;
+pub mod vcpu;
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::rc::Rc;
+
+use sim_core::{
+    ids::mib_to_pages,
+    Clock,
+    CostModel,
+    DomId,
+    Mfn,
+    Pfn, //
+};
+
+use crate::domain::{ClonePolicy, Domain, DomainState, PrivatePolicy};
+use crate::error::{HvError, Result};
+use crate::event::{Channel, Port, Virq};
+use crate::grant::GrantRef;
+use crate::memory::{CowResolution, FrameOwner, FrameTable, MemoryStats, PageContent};
+use crate::notify::NotificationRing;
+use crate::scheduler::CpuPool;
+use crate::vcpu::Vcpu;
+
+/// Static machine description.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Memory available to guest domains, in MiB (the paper splits its
+    /// 16 GiB machine into 4 GiB for Dom0 and 12 GiB for the hypervisor
+    /// guest pool, §6.2).
+    pub guest_pool_mib: u64,
+    /// Physical cores.
+    pub cores: usize,
+    /// Capacity of the clone notification ring.
+    pub notification_ring_capacity: usize,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            guest_pool_mib: 12 * 1024,
+            cores: 4,
+            notification_ring_capacity: NotificationRing::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+/// An event-channel notification waiting to be dispatched by the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingEvent {
+    /// Target domain.
+    pub dom: DomId,
+    /// Target port within the domain.
+    pub port: Port,
+    /// Set when the port is bound to a VIRQ.
+    pub virq: Option<Virq>,
+}
+
+/// A serialized snapshot of a domain's memory, used by save/restore.
+#[derive(Debug, Clone)]
+pub struct MemoryImage {
+    /// Mapped pages and their contents at save time.
+    pub pages: Vec<(Pfn, PageContent)>,
+    /// Configured p2m size. Restore copies the *entire* configured memory
+    /// back regardless of what the guest actually used, which is why
+    /// restore is slower than boot in Fig. 4.
+    pub p2m_size: u64,
+}
+
+/// The hypervisor.
+#[derive(Debug)]
+pub struct Hypervisor {
+    clock: Clock,
+    costs: Rc<CostModel>,
+    frames: FrameTable,
+    domains: BTreeMap<u32, Domain>,
+    next_domid: u32,
+    clone_ring: NotificationRing,
+    cloning_enabled: bool,
+    pending_events: VecDeque<PendingEvent>,
+    /// Fan-out registry for parent-side `DOMID_CHILD` channels:
+    /// (parent, parent_port) → [(child, child_port)].
+    child_bindings: HashMap<(u32, Port), Vec<(DomId, Port)>>,
+    cpu_pool: CpuPool,
+}
+
+impl Hypervisor {
+    /// Boots the hypervisor: initializes the frame table, creates Dom0
+    /// (whose own RAM lives outside the guest pool) and the CPU pool.
+    pub fn new(clock: Clock, costs: Rc<CostModel>, config: &MachineConfig) -> Self {
+        let total = mib_to_pages(config.guest_pool_mib);
+        let mut hv = Hypervisor {
+            clock,
+            costs,
+            frames: FrameTable::new(total),
+            domains: BTreeMap::new(),
+            next_domid: 0,
+            clone_ring: NotificationRing::new(config.notification_ring_capacity),
+            cloning_enabled: false,
+            pending_events: VecDeque::new(),
+            child_bindings: HashMap::new(),
+            cpu_pool: CpuPool::new(config.cores),
+        };
+        // Dom0 exists from boot; its memory is modelled by the Dom0 model,
+        // so it maps no pages from the guest pool.
+        hv.create_domain_inner("Domain-0", 0, 1)
+            .expect("dom0 creation cannot fail on an empty machine");
+        hv
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The shared cost model.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// The physical CPU pool.
+    pub fn cpu_pool(&mut self) -> &mut CpuPool {
+        &mut self.cpu_pool
+    }
+
+    // ------------------------------------------------------------------
+    // Domain lifecycle
+    // ------------------------------------------------------------------
+
+    fn create_domain_inner(&mut self, name: &str, mem_pages: u64, vcpus: u32) -> Result<DomId> {
+        let id = DomId(self.next_domid);
+
+        self.clock.advance(self.costs.domain_create_base);
+        self.clock
+            .advance(self.costs.vcpu_init.saturating_mul(vcpus as u64));
+
+        // Three special pages live past the RAM pages: start_info, the
+        // Xenstore ring and the console ring. Dom0 gets none.
+        let special = if id.is_dom0() { 0 } else { 3 };
+        let p2m_size = mem_pages + special;
+        self.clock
+            .advance(self.costs.mem_alloc_per_page.saturating_mul(p2m_size));
+
+        let p2m: Vec<Option<Mfn>> = self
+            .frames
+            .alloc_many(FrameOwner::Dom(id), p2m_size)?
+            .into_iter()
+            .map(Some)
+            .collect();
+
+        // Page-table frames and the frames storing the p2m itself are
+        // auxiliary private memory.
+        let aux_count = if p2m_size == 0 {
+            0
+        } else {
+            Domain::pt_frames_needed(p2m_size) + Domain::p2m_frames_needed(p2m_size)
+        };
+        let aux_frames = match self.frames.alloc_many(FrameOwner::Dom(id), aux_count) {
+            Ok(v) => v,
+            Err(e) => {
+                // Roll back the p2m allocation so a failed creation does
+                // not leak frames.
+                for mfn in p2m.into_iter().flatten() {
+                    let _ = self.frames.free(mfn, FrameOwner::Dom(id));
+                }
+                return Err(e);
+            }
+        };
+        self.clock
+            .advance(self.costs.mem_alloc_per_page.saturating_mul(aux_count));
+
+        let start_info_pfn = Pfn(mem_pages);
+        let xenstore_pfn = Pfn(mem_pages + 1);
+        let console_pfn = Pfn(mem_pages + 2);
+        let mut private_pfns = BTreeMap::new();
+        if special != 0 {
+            private_pfns.insert(start_info_pfn, PrivatePolicy::Rewrite);
+            private_pfns.insert(xenstore_pfn, PrivatePolicy::Fresh);
+            private_pfns.insert(console_pfn, PrivatePolicy::Fresh);
+        }
+
+        let dom = Domain {
+            id,
+            name: name.to_string(),
+            parent: None,
+            state: DomainState::Created,
+            vcpus: (0..vcpus).map(Vcpu::new).collect(),
+            p2m,
+            aux_frames,
+            private_pfns,
+            idc_pfns: Default::default(),
+            start_info_pfn,
+            xenstore_pfn,
+            console_pfn,
+            clone_policy: ClonePolicy::default(),
+            clones_created: 0,
+            children: Vec::new(),
+            pending_stage2: 0,
+            grants: Default::default(),
+            evtchn: Default::default(),
+            checkpoint: None,
+        };
+        self.domains.insert(id.0, dom);
+        self.next_domid += 1;
+        Ok(id)
+    }
+
+    /// Creates a domain with `mem_mib` MiB of RAM. Xen enforces a minimum
+    /// domain size of 4 MiB (§6.2), which we honor here.
+    pub fn create_domain(&mut self, name: &str, mem_mib: u64, vcpus: u32) -> Result<DomId> {
+        let mem_mib = mem_mib.max(4);
+        self.create_domain_inner(name, mib_to_pages(mem_mib), vcpus.max(1))
+    }
+
+    /// Returns an immutable reference to a domain.
+    pub fn domain(&self, id: DomId) -> Result<&Domain> {
+        self.domains.get(&id.0).ok_or(HvError::NoSuchDomain(id))
+    }
+
+    /// Returns a mutable reference to a domain.
+    pub fn domain_mut(&mut self, id: DomId) -> Result<&mut Domain> {
+        self.domains.get_mut(&id.0).ok_or(HvError::NoSuchDomain(id))
+    }
+
+    /// Whether the domain exists.
+    pub fn domain_exists(&self, id: DomId) -> bool {
+        self.domains.contains_key(&id.0)
+    }
+
+    /// Iterates over all live domains in id order.
+    pub fn domains(&self) -> impl Iterator<Item = &Domain> {
+        self.domains.values()
+    }
+
+    /// Number of live domains (including Dom0).
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Sets the per-domain cloning policy (domctl interface, §5.1).
+    pub fn set_clone_policy(&mut self, id: DomId, policy: ClonePolicy) -> Result<()> {
+        self.domain_mut(id)?.clone_policy = policy;
+        Ok(())
+    }
+
+    /// Enables or disables cloning globally (controlled by `xencloned`).
+    pub fn set_cloning_enabled(&mut self, enabled: bool) {
+        self.cloning_enabled = enabled;
+    }
+
+    /// Whether cloning is enabled globally.
+    pub fn cloning_enabled(&self) -> bool {
+        self.cloning_enabled
+    }
+
+    /// Transitions a domain to `Running`.
+    pub fn unpause(&mut self, id: DomId) -> Result<()> {
+        let d = self.domain_mut(id)?;
+        if d.state == DomainState::Dying {
+            return Err(HvError::BadDomainState(id));
+        }
+        d.state = DomainState::Running;
+        Ok(())
+    }
+
+    /// Pauses a domain.
+    pub fn pause(&mut self, id: DomId) -> Result<()> {
+        let d = self.domain_mut(id)?;
+        if d.state == DomainState::Dying {
+            return Err(HvError::BadDomainState(id));
+        }
+        d.state = DomainState::Paused;
+        Ok(())
+    }
+
+    /// Destroys a domain, releasing all its memory (exclusive frames are
+    /// freed; COW sharers are dropped).
+    pub fn destroy_domain(&mut self, id: DomId) -> Result<()> {
+        if id.is_dom0() {
+            return Err(HvError::Denied);
+        }
+        let dom = self
+            .domains
+            .remove(&id.0)
+            .ok_or(HvError::NoSuchDomain(id))?;
+        let mut freed = 0u64;
+        for mfn in dom.p2m.iter().flatten() {
+            match self.frames.inspect(*mfn)?.owner() {
+                FrameOwner::Dom(d) if d == id => {
+                    self.frames.free(*mfn, FrameOwner::Dom(id))?;
+                    freed += 1;
+                }
+                FrameOwner::Cow => {
+                    self.frames.unshare_drop(*mfn)?;
+                    freed += 1;
+                }
+                // A frame in our p2m owned by someone else is a mapped
+                // grant; the owner keeps it.
+                _ => {}
+            }
+        }
+        for mfn in &dom.aux_frames {
+            self.frames.free(*mfn, FrameOwner::Dom(id))?;
+            freed += 1;
+        }
+        self.clock
+            .advance(self.costs.mem_free_per_page.saturating_mul(freed));
+
+        // Unlink from the family tree and the CHILD fan-out registry.
+        if let Some(parent) = dom.parent {
+            if let Some(p) = self.domains.get_mut(&parent.0) {
+                p.children.retain(|c| *c != id);
+            }
+        }
+        for targets in self.child_bindings.values_mut() {
+            targets.retain(|(d, _)| *d != id);
+        }
+        self.child_bindings.retain(|(owner, _), _| *owner != id.0);
+        Ok(())
+    }
+
+    /// Returns `true` if `child` descends from `ancestor` in the clone
+    /// family tree.
+    pub fn is_descendant(&self, child: DomId, ancestor: DomId) -> bool {
+        let mut cur = child;
+        while let Ok(d) = self.domain(cur) {
+            match d.parent {
+                Some(p) if p == ancestor => return true,
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if the two domains belong to the same clone family
+    /// (common ancestor, or one is the ancestor of the other — §4).
+    pub fn same_family(&self, a: DomId, b: DomId) -> bool {
+        if a == b {
+            return true;
+        }
+        let root = |mut d: DomId| {
+            while let Ok(dom) = self.domain(d) {
+                match dom.parent {
+                    Some(p) => d = p,
+                    None => break,
+                }
+            }
+            d
+        };
+        root(a) == root(b)
+    }
+
+    // ------------------------------------------------------------------
+    // Memory access
+    // ------------------------------------------------------------------
+
+    fn resolve_write(&mut self, dom: DomId, pfn: Pfn) -> Result<Mfn> {
+        let mfn = self
+            .domain(dom)?
+            .lookup(pfn)
+            .ok_or(HvError::NotMapped(dom, pfn))?;
+        match self.frames.inspect(mfn)?.owner() {
+            FrameOwner::Dom(d) if d == dom => Ok(mfn),
+            // Writable-shared (IDC) pages never fault.
+            FrameOwner::Cow if self.frames.inspect(mfn)?.writable() => Ok(mfn),
+            FrameOwner::Cow => match self.frames.cow_fault(mfn, dom)? {
+                CowResolution::Copied(copy) => {
+                    self.clock.advance(self.costs.cow_fault_copy);
+                    let d = self.domain_mut(dom)?;
+                    d.p2m[pfn.0 as usize] = Some(copy);
+                    if let Some(cp) = d.checkpoint.as_mut() {
+                        cp.dirty_cow.entry(pfn).or_insert(mfn);
+                    }
+                    Ok(copy)
+                }
+                CowResolution::Transferred => {
+                    self.clock.advance(self.costs.cow_fault_transfer);
+                    Ok(mfn)
+                }
+            },
+            _ => Err(HvError::BadOwner(mfn)),
+        }
+    }
+
+    /// Writes guest memory, resolving COW faults like the real fault path.
+    pub fn write_page(&mut self, dom: DomId, pfn: Pfn, offset: usize, data: &[u8]) -> Result<()> {
+        let mfn = self.resolve_write(dom, pfn)?;
+        self.frames.write(mfn, offset, data)
+    }
+
+    /// Fills a whole guest page with a pattern (cheap dirtying).
+    pub fn fill_page(&mut self, dom: DomId, pfn: Pfn, pattern: u64) -> Result<()> {
+        let mfn = self.resolve_write(dom, pfn)?;
+        self.frames.fill(mfn, pattern)
+    }
+
+    /// Reads guest memory.
+    pub fn read_page(&self, dom: DomId, pfn: Pfn, offset: usize, buf: &mut [u8]) -> Result<()> {
+        let mfn = self
+            .domain(dom)?
+            .lookup(pfn)
+            .ok_or(HvError::NotMapped(dom, pfn))?;
+        self.frames.read(mfn, offset, buf)
+    }
+
+    /// Marks a guest pfn as private for cloning purposes (used by device
+    /// frontends for ring pages and preallocated RX buffers).
+    pub fn register_private_pfn(
+        &mut self,
+        dom: DomId,
+        pfn: Pfn,
+        policy: PrivatePolicy,
+    ) -> Result<()> {
+        let d = self.domain_mut(dom)?;
+        if pfn.0 as usize >= d.p2m.len() {
+            return Err(HvError::NotMapped(dom, pfn));
+        }
+        d.private_pfns.insert(pfn, policy);
+        Ok(())
+    }
+
+    /// Marks a guest pfn as an IDC page: shared *writable* with clones
+    /// rather than copied-on-write (§5.2.2).
+    pub fn register_idc_pfn(&mut self, dom: DomId, pfn: Pfn) -> Result<()> {
+        let d = self.domain_mut(dom)?;
+        if pfn.0 as usize >= d.p2m.len() {
+            return Err(HvError::NotMapped(dom, pfn));
+        }
+        d.idc_pfns.insert(pfn);
+        Ok(())
+    }
+
+    /// Direct frame-table access for device backends and tests.
+    pub fn frames(&self) -> &FrameTable {
+        &self.frames
+    }
+
+    /// Mutable frame-table access (backend data path).
+    pub fn frames_mut(&mut self) -> &mut FrameTable {
+        &mut self.frames
+    }
+
+    /// Frame-table statistics (Fig. 5's "Hyp free" series).
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.frames.stats()
+    }
+
+    /// Free guest-pool pages.
+    pub fn free_pages(&self) -> u64 {
+        self.frames.free_frames()
+    }
+
+    // ------------------------------------------------------------------
+    // Grants
+    // ------------------------------------------------------------------
+
+    /// Creates a grant entry in `dom`'s table allowing `grantee` (possibly
+    /// [`DomId::CHILD`]) to map the frame behind `pfn`.
+    pub fn grant_access(
+        &mut self,
+        dom: DomId,
+        grantee: DomId,
+        pfn: Pfn,
+        readonly: bool,
+    ) -> Result<GrantRef> {
+        let mfn = self
+            .domain(dom)?
+            .lookup(pfn)
+            .ok_or(HvError::NotMapped(dom, pfn))?;
+        Ok(self
+            .domain_mut(dom)?
+            .grants
+            .grant_access(grantee, mfn, readonly))
+    }
+
+    /// Maps a grant from `owner`'s table on behalf of `mapper`.
+    pub fn map_grant(
+        &mut self,
+        mapper: DomId,
+        owner: DomId,
+        gref: GrantRef,
+    ) -> Result<(Mfn, bool)> {
+        let is_child = self.is_descendant(mapper, owner);
+        self.domain_mut(owner)?.grants.map(gref, mapper, is_child)
+    }
+
+    /// Releases a grant mapping.
+    pub fn unmap_grant(&mut self, owner: DomId, gref: GrantRef) -> Result<()> {
+        self.domain_mut(owner)?.grants.unmap(gref)
+    }
+
+    // ------------------------------------------------------------------
+    // Event channels
+    // ------------------------------------------------------------------
+
+    /// Allocates an unbound channel in `dom` that `remote_allowed` may bind.
+    pub fn evtchn_alloc_unbound(&mut self, dom: DomId, remote_allowed: DomId) -> Result<Port> {
+        Ok(self.domain_mut(dom)?.evtchn.alloc_unbound(remote_allowed))
+    }
+
+    /// Wires a fully connected interdomain channel pair between two domains
+    /// and returns `(port_in_a, port_in_b)`.
+    pub fn evtchn_connect_pair(&mut self, a: DomId, b: DomId) -> Result<(Port, Port)> {
+        if !self.domain_exists(b) {
+            return Err(HvError::NoSuchDomain(b));
+        }
+        let port_a = self.domain_mut(a)?.evtchn.bind_interdomain(b, 0);
+        let port_b = self.domain_mut(b)?.evtchn.bind_interdomain(a, port_a);
+        self.domain_mut(a)?.evtchn.set_remote_port(port_a, port_b)?;
+        Ok((port_a, port_b))
+    }
+
+    /// Allocates an IDC channel in `dom` using the `DOMID_CHILD` wildcard:
+    /// the channel is connected to *all future clones* of `dom` (each clone
+    /// is implicitly bound to it at creation, §5.2.2). By convention the
+    /// child side reuses the same port number.
+    pub fn evtchn_alloc_idc(&mut self, dom: DomId) -> Result<Port> {
+        let d = self.domain_mut(dom)?;
+        let port = d.evtchn.bind_interdomain(DomId::CHILD, 0);
+        d.evtchn.set_remote_port(port, port)?;
+        Ok(port)
+    }
+
+    /// Binds `virq` in `dom`, returning the local port.
+    pub fn bind_virq(&mut self, dom: DomId, virq: Virq) -> Result<Port> {
+        Ok(self.domain_mut(dom)?.evtchn.bind_virq(virq))
+    }
+
+    /// Sends a notification through `port` of `sender`. Parent-side
+    /// `DOMID_CHILD` channels fan out to every bound clone (§5.2.2).
+    pub fn send_event(&mut self, sender: DomId, port: Port) -> Result<()> {
+        let channel = self.domain(sender)?.evtchn.channel(port)?.clone();
+        match channel {
+            Channel::Interdomain {
+                remote_dom,
+                remote_port,
+            } => {
+                self.clock.advance(self.costs.event_delivery);
+                if remote_dom == DomId::CHILD {
+                    let targets = self
+                        .child_bindings
+                        .get(&(sender.0, port))
+                        .cloned()
+                        .unwrap_or_default();
+                    for (child, child_port) in targets {
+                        self.deliver(child, child_port);
+                    }
+                    Ok(())
+                } else {
+                    if !self.domain_exists(remote_dom) {
+                        return Err(HvError::NoSuchDomain(remote_dom));
+                    }
+                    self.deliver(remote_dom, remote_port);
+                    Ok(())
+                }
+            }
+            Channel::Unbound { .. } | Channel::VirqBound(_) | Channel::Free => {
+                Err(HvError::BadPort(port))
+            }
+        }
+    }
+
+    fn deliver(&mut self, dom: DomId, port: Port) {
+        let Ok(d) = self.domain_mut(dom) else { return };
+        let virq = match d.evtchn.channel(port) {
+            Ok(Channel::VirqBound(v)) => Some(*v),
+            _ => None,
+        };
+        if d.evtchn.set_pending(port) {
+            self.pending_events.push_back(PendingEvent { dom, port, virq });
+        }
+    }
+
+    /// Raises a virtual interrupt for `dom` (hypervisor-originated).
+    pub fn raise_virq(&mut self, dom: DomId, virq: Virq) {
+        let Ok(d) = self.domain(dom) else { return };
+        if let Some(port) = d.evtchn.virq_port(virq) {
+            self.clock.advance(self.costs.event_delivery);
+            self.deliver(dom, port);
+        }
+    }
+
+    /// Drains all pending event notifications for platform dispatch.
+    pub fn drain_events(&mut self) -> Vec<PendingEvent> {
+        let evts: Vec<_> = self.pending_events.drain(..).collect();
+        for e in &evts {
+            if let Ok(d) = self.domain_mut(e.dom) {
+                d.evtchn.take_pending(e.port);
+            }
+        }
+        evts
+    }
+
+    /// Reserves the next domain id (cloning path).
+    pub(crate) fn alloc_domid(&mut self) -> u32 {
+        let id = self.next_domid;
+        self.next_domid += 1;
+        id
+    }
+
+    /// Inserts a fully built domain (cloning path).
+    pub(crate) fn insert_domain(&mut self, d: Domain) {
+        self.domains.insert(d.id.0, d);
+    }
+
+    /// Registers a child binding for a parent `DOMID_CHILD` channel
+    /// (performed implicitly during cloning).
+    pub(crate) fn bind_child_channel(
+        &mut self,
+        parent: DomId,
+        parent_port: Port,
+        child: DomId,
+        child_port: Port,
+    ) {
+        self.child_bindings
+            .entry((parent.0, parent_port))
+            .or_default()
+            .push((child, child_port));
+    }
+
+    /// The clone notification ring (consumed by `xencloned`).
+    pub fn clone_ring_pop(&mut self) -> Option<notify::CloneNotification> {
+        self.clone_ring.pop()
+    }
+
+    /// Number of queued clone notifications.
+    pub fn clone_ring_len(&self) -> usize {
+        self.clone_ring.len()
+    }
+
+    pub(crate) fn clone_ring(&mut self) -> &mut NotificationRing {
+        &mut self.clone_ring
+    }
+
+    // ------------------------------------------------------------------
+    // Save / restore support
+    // ------------------------------------------------------------------
+
+    /// Snapshots a domain's memory for `xl save`.
+    pub fn snapshot_memory(&self, dom: DomId) -> Result<MemoryImage> {
+        let d = self.domain(dom)?;
+        let mut pages = Vec::with_capacity(d.p2m.len());
+        for (i, slot) in d.p2m.iter().enumerate() {
+            if let Some(mfn) = slot {
+                pages.push((Pfn(i as u64), self.frames.inspect(*mfn)?.content().clone()));
+            }
+        }
+        Ok(MemoryImage {
+            pages,
+            p2m_size: d.p2m.len() as u64,
+        })
+    }
+
+    /// Loads a memory image into a freshly created domain (restore path).
+    pub fn load_image(&mut self, dom: DomId, image: &MemoryImage) -> Result<()> {
+        for (pfn, content) in &image.pages {
+            let mfn = self
+                .domain(dom)?
+                .lookup(*pfn)
+                .ok_or(HvError::NotMapped(dom, *pfn))?;
+            self.frames.set_content(mfn, content.clone())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hv() -> Hypervisor {
+        Hypervisor::new(
+            Clock::new(),
+            Rc::new(CostModel::free()),
+            &MachineConfig {
+                guest_pool_mib: 64,
+                cores: 4,
+                notification_ring_capacity: 8,
+            },
+        )
+    }
+
+    #[test]
+    fn dom0_exists_at_boot() {
+        let hv = hv();
+        assert!(hv.domain_exists(DomId::DOM0));
+        assert_eq!(hv.domain(DomId::DOM0).unwrap().name, "Domain-0");
+    }
+
+    #[test]
+    fn create_and_destroy_domain_roundtrips_memory() {
+        let mut hv = hv();
+        let before = hv.free_pages();
+        let d = hv.create_domain("guest", 4, 1).unwrap();
+        assert!(hv.free_pages() < before);
+        hv.destroy_domain(d).unwrap();
+        assert_eq!(hv.free_pages(), before);
+    }
+
+    #[test]
+    fn minimum_domain_size_is_4_mib() {
+        let mut hv = hv();
+        let d = hv.create_domain("tiny", 1, 1).unwrap();
+        // 4 MiB = 1024 pages + 3 special pages.
+        assert_eq!(hv.domain(d).unwrap().mapped_pages(), 1027);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut hv = hv();
+        let d = hv.create_domain("guest", 4, 1).unwrap();
+        hv.write_page(d, Pfn(10), 100, b"nephele").unwrap();
+        let mut buf = [0u8; 7];
+        hv.read_page(d, Pfn(10), 100, &mut buf).unwrap();
+        assert_eq!(&buf, b"nephele");
+    }
+
+    #[test]
+    fn unmapped_pfn_rejected() {
+        let mut hv = hv();
+        let d = hv.create_domain("guest", 4, 1).unwrap();
+        assert!(matches!(
+            hv.write_page(d, Pfn(999_999), 0, b"x"),
+            Err(HvError::NotMapped(..))
+        ));
+    }
+
+    #[test]
+    fn grant_map_respects_family() {
+        let mut hv = hv();
+        let a = hv.create_domain("a", 4, 1).unwrap();
+        let b = hv.create_domain("b", 4, 1).unwrap();
+        let g = hv.grant_access(a, DomId::CHILD, Pfn(1), false).unwrap();
+        // `b` is unrelated: denied.
+        assert!(hv.map_grant(b, a, g).is_err());
+        // Dom0 explicitly granted: allowed.
+        let g0 = hv.grant_access(a, DomId::DOM0, Pfn(2), true).unwrap();
+        let (_, ro) = hv.map_grant(DomId::DOM0, a, g0).unwrap();
+        assert!(ro);
+    }
+
+    #[test]
+    fn event_pair_delivery() {
+        let mut hv = hv();
+        let a = hv.create_domain("a", 4, 1).unwrap();
+        let (pa, pb) = hv.evtchn_connect_pair(a, DomId::DOM0).unwrap();
+        hv.send_event(a, pa).unwrap();
+        let evts = hv.drain_events();
+        assert_eq!(evts.len(), 1);
+        assert_eq!(evts[0].dom, DomId::DOM0);
+        assert_eq!(evts[0].port, pb);
+        // And the reverse direction.
+        hv.send_event(DomId::DOM0, pb).unwrap();
+        let evts = hv.drain_events();
+        assert_eq!(evts[0].dom, a);
+        assert_eq!(evts[0].port, pa);
+    }
+
+    #[test]
+    fn virq_roundtrip() {
+        let mut hv = hv();
+        let port = hv.bind_virq(DomId::DOM0, Virq::Cloned).unwrap();
+        hv.raise_virq(DomId::DOM0, Virq::Cloned);
+        let evts = hv.drain_events();
+        assert_eq!(evts.len(), 1);
+        assert_eq!(evts[0].port, port);
+        assert_eq!(evts[0].virq, Some(Virq::Cloned));
+    }
+
+    #[test]
+    fn pending_events_coalesce() {
+        let mut hv = hv();
+        hv.bind_virq(DomId::DOM0, Virq::Cloned).unwrap();
+        hv.raise_virq(DomId::DOM0, Virq::Cloned);
+        hv.raise_virq(DomId::DOM0, Virq::Cloned);
+        assert_eq!(hv.drain_events().len(), 1, "second raise coalesces");
+        hv.raise_virq(DomId::DOM0, Virq::Cloned);
+        assert_eq!(hv.drain_events().len(), 1, "re-raised after drain");
+    }
+
+    #[test]
+    fn snapshot_and_restore_memory() {
+        let mut hv = hv();
+        let a = hv.create_domain("a", 4, 1).unwrap();
+        hv.write_page(a, Pfn(5), 0, b"state").unwrap();
+        let img = hv.snapshot_memory(a).unwrap();
+        assert_eq!(img.p2m_size, 1027);
+
+        let b = hv.create_domain("b", 4, 1).unwrap();
+        hv.load_image(b, &img).unwrap();
+        let mut buf = [0u8; 5];
+        hv.read_page(b, Pfn(5), 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"state");
+    }
+
+    #[test]
+    fn destroy_dom0_denied() {
+        let mut hv = hv();
+        assert_eq!(hv.destroy_domain(DomId::DOM0), Err(HvError::Denied));
+    }
+
+    #[test]
+    fn failed_creation_rolls_back() {
+        let mut hv = Hypervisor::new(
+            Clock::new(),
+            Rc::new(CostModel::free()),
+            &MachineConfig {
+                guest_pool_mib: 4,
+                cores: 1,
+                notification_ring_capacity: 8,
+            },
+        );
+        let before = hv.free_pages();
+        // 4 MiB pool cannot hold a 4 MiB guest plus its aux frames.
+        assert!(hv.create_domain("big", 4, 1).is_err());
+        assert_eq!(hv.free_pages(), before, "no leaked frames");
+    }
+}

@@ -1,0 +1,528 @@
+//! Machine memory: the frame table, page ownership and copy-on-write.
+//!
+//! Mirrors Xen's per-page metadata. Every 4 KiB machine frame has an owner;
+//! Nephele's cloning moves shareable frames to the pseudo-domain `dom_cow`
+//! (here [`FrameOwner::Cow`]) with a reference count, exactly as described in
+//! §5.2 of the paper (mechanism inherited from Snowflock and extended to
+//! paravirtualized guests):
+//!
+//! * on sharing, ownership transfers from the original owner to `dom_cow`
+//!   and the refcount counts the domains mapping the frame;
+//! * a write to a shared frame with refcount > 1 copies the page;
+//! * a write to a shared frame with refcount == 1 transfers ownership from
+//!   `dom_cow` to the *faulting* domain (which may differ from the original
+//!   owner).
+//!
+//! Page contents are modelled lazily ([`PageContent`]): most frames never
+//! materialize a byte buffer, which is what lets the simulation hold the
+//! paper's 16 GiB machine (4.2 M frames) and ~8900 guests in memory.
+
+use sim_core::{DomId, Mfn, PAGE_SIZE};
+
+use crate::error::{HvError, Result};
+
+/// Who owns a machine frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameOwner {
+    /// On the free list.
+    Free,
+    /// Owned exclusively by one domain.
+    Dom(DomId),
+    /// Shared copy-on-write frame owned by `dom_cow`.
+    Cow,
+    /// Owned by the hypervisor itself.
+    Xen,
+}
+
+/// Lazily materialized page contents.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum PageContent {
+    /// All zeroes (the state of freshly allocated memory).
+    #[default]
+    Zero,
+    /// Every 8-byte word holds this value (cheap "pattern" fill used by the
+    /// workloads to dirty memory without allocating real buffers).
+    Fill(u64),
+    /// Fully materialized contents.
+    Bytes(Box<[u8]>),
+}
+
+impl PageContent {
+    /// Reads the byte at `offset`.
+    pub fn byte_at(&self, offset: usize) -> u8 {
+        match self {
+            PageContent::Zero => 0,
+            PageContent::Fill(v) => v.to_le_bytes()[offset % 8],
+            PageContent::Bytes(b) => b[offset],
+        }
+    }
+
+    /// Materializes the content into a boxed byte buffer.
+    pub fn to_bytes(&self) -> Box<[u8]> {
+        match self {
+            PageContent::Zero => vec![0u8; PAGE_SIZE].into_boxed_slice(),
+            PageContent::Fill(v) => {
+                let mut b = vec![0u8; PAGE_SIZE];
+                for chunk in b.chunks_mut(8) {
+                    chunk.copy_from_slice(&v.to_le_bytes()[..chunk.len()]);
+                }
+                b.into_boxed_slice()
+            }
+            PageContent::Bytes(b) => b.clone(),
+        }
+    }
+
+    /// Writes `data` at `offset`, materializing bytes only when needed.
+    pub fn write(&mut self, offset: usize, data: &[u8]) {
+        debug_assert!(offset + data.len() <= PAGE_SIZE);
+        // Full-page pattern writes stay cheap.
+        if offset == 0 && data.len() == 8 {
+            // Heuristic fast path kept out: correctness first. Fall through.
+        }
+        let mut bytes = match std::mem::take(self) {
+            PageContent::Bytes(b) => b,
+            other => other.to_bytes(),
+        };
+        bytes[offset..offset + data.len()].copy_from_slice(data);
+        *self = PageContent::Bytes(bytes);
+    }
+
+    /// Overwrites the whole page with a repeating 8-byte pattern without
+    /// materializing a buffer.
+    pub fn fill(&mut self, pattern: u64) {
+        *self = PageContent::Fill(pattern);
+    }
+}
+
+/// Per-frame metadata.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    owner: FrameOwner,
+    /// For [`FrameOwner::Cow`] frames: how many domains map this frame.
+    refcount: u32,
+    /// Whether guest mappings of this frame are writable.
+    writable: bool,
+    content: PageContent,
+}
+
+impl Frame {
+    fn free() -> Self {
+        Frame {
+            owner: FrameOwner::Free,
+            refcount: 0,
+            writable: false,
+            content: PageContent::Zero,
+        }
+    }
+
+    /// The frame's current owner.
+    pub fn owner(&self) -> FrameOwner {
+        self.owner
+    }
+
+    /// The sharing reference count (meaningful for COW frames).
+    pub fn refcount(&self) -> u32 {
+        self.refcount
+    }
+
+    /// Whether the frame is mapped writable.
+    pub fn writable(&self) -> bool {
+        self.writable
+    }
+
+    /// Read-only access to the page contents.
+    pub fn content(&self) -> &PageContent {
+        &self.content
+    }
+}
+
+/// Statistics snapshot of the frame table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Total machine frames managed.
+    pub total: u64,
+    /// Frames on the free list.
+    pub free: u64,
+    /// Frames owned by `dom_cow` (shared, counted once).
+    pub cow_shared: u64,
+    /// Frames owned by Xen.
+    pub xen: u64,
+}
+
+/// Outcome of a COW write fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CowResolution {
+    /// The frame had other sharers: a private copy was made at the returned
+    /// frame; the p2m must be repointed.
+    Copied(Mfn),
+    /// The faulting domain was the last sharer: ownership transferred in
+    /// place (the cheap path).
+    Transferred,
+}
+
+/// The machine frame table.
+#[derive(Debug)]
+pub struct FrameTable {
+    frames: Vec<Frame>,
+    free_list: Vec<Mfn>,
+}
+
+impl FrameTable {
+    /// Creates a frame table managing `total` frames, all free.
+    pub fn new(total: u64) -> Self {
+        let frames = vec![Frame::free(); total as usize];
+        // Hand out low frame numbers first (cosmetic but deterministic).
+        let free_list = (0..total).rev().map(Mfn).collect();
+        FrameTable { frames, free_list }
+    }
+
+    fn frame(&self, mfn: Mfn) -> Result<&Frame> {
+        self.frames.get(mfn.0 as usize).ok_or(HvError::BadOwner(mfn))
+    }
+
+    fn frame_mut(&mut self, mfn: Mfn) -> Result<&mut Frame> {
+        self.frames
+            .get_mut(mfn.0 as usize)
+            .ok_or(HvError::BadOwner(mfn))
+    }
+
+    /// Returns frame metadata for inspection.
+    pub fn inspect(&self, mfn: Mfn) -> Result<&Frame> {
+        self.frame(mfn)
+    }
+
+    /// Number of free frames.
+    pub fn free_frames(&self) -> u64 {
+        self.free_list.len() as u64
+    }
+
+    /// Total frames managed.
+    pub fn total_frames(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// Returns an accounting snapshot. O(n) over the frame table; intended
+    /// for experiment sampling, not hot paths.
+    pub fn stats(&self) -> MemoryStats {
+        let mut cow = 0;
+        let mut xen = 0;
+        for f in &self.frames {
+            match f.owner {
+                FrameOwner::Cow => cow += 1,
+                FrameOwner::Xen => xen += 1,
+                _ => {}
+            }
+        }
+        MemoryStats {
+            total: self.total_frames(),
+            free: self.free_frames(),
+            cow_shared: cow,
+            xen,
+        }
+    }
+
+    /// Allocates one zeroed frame for `owner`.
+    pub fn alloc(&mut self, owner: FrameOwner) -> Result<Mfn> {
+        debug_assert!(!matches!(owner, FrameOwner::Free));
+        let mfn = self.free_list.pop().ok_or(HvError::OutOfMemory)?;
+        let f = &mut self.frames[mfn.0 as usize];
+        debug_assert_eq!(f.owner, FrameOwner::Free);
+        f.owner = owner;
+        f.refcount = if matches!(owner, FrameOwner::Cow) { 1 } else { 0 };
+        f.writable = true;
+        f.content = PageContent::Zero;
+        Ok(mfn)
+    }
+
+    /// Allocates `n` frames for `owner`, rolling back on exhaustion.
+    pub fn alloc_many(&mut self, owner: FrameOwner, n: u64) -> Result<Vec<Mfn>> {
+        if (self.free_list.len() as u64) < n {
+            return Err(HvError::OutOfMemory);
+        }
+        Ok((0..n)
+            .map(|_| self.alloc(owner).expect("checked free count"))
+            .collect())
+    }
+
+    /// Frees a frame owned by `expected` (exclusive frames only).
+    pub fn free(&mut self, mfn: Mfn, expected: FrameOwner) -> Result<()> {
+        let f = self.frame_mut(mfn)?;
+        if f.owner != expected {
+            return Err(HvError::BadOwner(mfn));
+        }
+        f.owner = FrameOwner::Free;
+        f.refcount = 0;
+        f.writable = false;
+        f.content = PageContent::Zero;
+        self.free_list.push(mfn);
+        Ok(())
+    }
+
+    /// Shares a frame owned by `from`: ownership moves to `dom_cow` and the
+    /// refcount becomes `sharers` (the current owner plus the new mappers).
+    /// Regular pages become read-only (COW); IDC pages stay `writable` —
+    /// they are *genuinely* shared between parent and clones (§5.2.2), so
+    /// writes to them never fault.
+    pub fn share_to_cow(&mut self, mfn: Mfn, from: DomId, sharers: u32, writable: bool) -> Result<()> {
+        let f = self.frame_mut(mfn)?;
+        if f.owner != FrameOwner::Dom(from) {
+            return Err(HvError::BadOwner(mfn));
+        }
+        f.owner = FrameOwner::Cow;
+        f.refcount = sharers;
+        f.writable = writable;
+        Ok(())
+    }
+
+    /// Adds `extra` sharers to an already-COW frame.
+    pub fn reshare(&mut self, mfn: Mfn, extra: u32) -> Result<()> {
+        let f = self.frame_mut(mfn)?;
+        if f.owner != FrameOwner::Cow {
+            return Err(HvError::BadOwner(mfn));
+        }
+        f.refcount += extra;
+        Ok(())
+    }
+
+    /// Drops one sharer from a COW frame (e.g. on domain destruction).
+    /// Frees the frame when the count reaches zero.
+    pub fn unshare_drop(&mut self, mfn: Mfn) -> Result<()> {
+        let f = self.frame_mut(mfn)?;
+        if f.owner != FrameOwner::Cow || f.refcount == 0 {
+            return Err(HvError::BadOwner(mfn));
+        }
+        f.refcount -= 1;
+        if f.refcount == 0 {
+            f.owner = FrameOwner::Free;
+            f.writable = false;
+            f.content = PageContent::Zero;
+            self.free_list.push(mfn);
+        }
+        Ok(())
+    }
+
+    /// Resolves a write fault by `faulter` on a COW frame.
+    ///
+    /// With other sharers present, allocates a private copy and returns
+    /// [`CowResolution::Copied`]; as the last sharer, transfers ownership in
+    /// place ([`CowResolution::Transferred`], the path §5.2 describes where
+    /// the new owner "may be different from the original owner domain").
+    pub fn cow_fault(&mut self, mfn: Mfn, faulter: DomId) -> Result<CowResolution> {
+        let (refcount, content) = {
+            let f = self.frame(mfn)?;
+            if f.owner != FrameOwner::Cow {
+                return Err(HvError::BadOwner(mfn));
+            }
+            (f.refcount, f.content.clone())
+        };
+        if refcount <= 1 {
+            let f = self.frame_mut(mfn)?;
+            f.owner = FrameOwner::Dom(faulter);
+            f.refcount = 0;
+            f.writable = true;
+            Ok(CowResolution::Transferred)
+        } else {
+            let copy = self.alloc(FrameOwner::Dom(faulter))?;
+            self.frames[copy.0 as usize].content = content;
+            let f = self.frame_mut(mfn)?;
+            f.refcount -= 1;
+            Ok(CowResolution::Copied(copy))
+        }
+    }
+
+    /// Reads bytes from a frame into `buf`.
+    pub fn read(&self, mfn: Mfn, offset: usize, buf: &mut [u8]) -> Result<()> {
+        let f = self.frame(mfn)?;
+        match &f.content {
+            PageContent::Zero => buf.fill(0),
+            PageContent::Fill(v) => {
+                let pat = v.to_le_bytes();
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = pat[(offset + i) % 8];
+                }
+            }
+            PageContent::Bytes(bytes) => {
+                buf.copy_from_slice(&bytes[offset..offset + buf.len()]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes bytes into a frame. The caller is responsible for COW
+    /// resolution; writing a read-only frame is a logic error.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if the frame is not writable.
+    pub fn write(&mut self, mfn: Mfn, offset: usize, data: &[u8]) -> Result<()> {
+        let f = self.frame_mut(mfn)?;
+        debug_assert!(f.writable, "write to read-only {mfn}");
+        f.content.write(offset, data);
+        Ok(())
+    }
+
+    /// Fills a frame with an 8-byte pattern (cheap whole-page dirty).
+    pub fn fill(&mut self, mfn: Mfn, pattern: u64) -> Result<()> {
+        let f = self.frame_mut(mfn)?;
+        debug_assert!(f.writable, "fill of read-only {mfn}");
+        f.content.fill(pattern);
+        Ok(())
+    }
+
+    /// Replaces a frame's content wholesale (restore path).
+    pub fn set_content(&mut self, mfn: Mfn, content: PageContent) -> Result<()> {
+        let f = self.frame_mut(mfn)?;
+        debug_assert!(f.writable, "set_content on read-only {mfn}");
+        f.content = content;
+        Ok(())
+    }
+
+    /// Copies the full contents of `src` into `dst`.
+    pub fn copy_page(&mut self, src: Mfn, dst: Mfn) -> Result<()> {
+        let content = self.frame(src)?.content.clone();
+        let f = self.frame_mut(dst)?;
+        f.content = content;
+        Ok(())
+    }
+
+    /// Transfers exclusive ownership of a frame between domains (used when
+    /// rewriting private pages during cloning).
+    pub fn transfer(&mut self, mfn: Mfn, from: FrameOwner, to: FrameOwner) -> Result<()> {
+        let f = self.frame_mut(mfn)?;
+        if f.owner != from {
+            return Err(HvError::BadOwner(mfn));
+        }
+        f.owner = to;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D1: DomId = DomId(1);
+    const D2: DomId = DomId(2);
+
+    #[test]
+    fn alloc_and_free_roundtrip() {
+        let mut ft = FrameTable::new(8);
+        assert_eq!(ft.free_frames(), 8);
+        let m = ft.alloc(FrameOwner::Dom(D1)).unwrap();
+        assert_eq!(ft.free_frames(), 7);
+        assert_eq!(ft.inspect(m).unwrap().owner(), FrameOwner::Dom(D1));
+        ft.free(m, FrameOwner::Dom(D1)).unwrap();
+        assert_eq!(ft.free_frames(), 8);
+    }
+
+    #[test]
+    fn free_requires_matching_owner() {
+        let mut ft = FrameTable::new(2);
+        let m = ft.alloc(FrameOwner::Dom(D1)).unwrap();
+        assert!(ft.free(m, FrameOwner::Dom(D2)).is_err());
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut ft = FrameTable::new(1);
+        ft.alloc(FrameOwner::Xen).unwrap();
+        assert_eq!(ft.alloc(FrameOwner::Xen), Err(HvError::OutOfMemory));
+        assert!(ft.alloc_many(FrameOwner::Xen, 1).is_err());
+    }
+
+    #[test]
+    fn share_and_cow_copy() {
+        let mut ft = FrameTable::new(4);
+        let m = ft.alloc(FrameOwner::Dom(D1)).unwrap();
+        ft.write(m, 0, &[7, 7, 7]).unwrap();
+        ft.share_to_cow(m, D1, 2, false).unwrap();
+        assert_eq!(ft.inspect(m).unwrap().owner(), FrameOwner::Cow);
+        assert!(!ft.inspect(m).unwrap().writable());
+
+        // Fault with two sharers: must copy, original refcount drops.
+        match ft.cow_fault(m, D2).unwrap() {
+            CowResolution::Copied(copy) => {
+                let mut buf = [0u8; 3];
+                ft.read(copy, 0, &mut buf).unwrap();
+                assert_eq!(buf, [7, 7, 7]);
+                assert_eq!(ft.inspect(copy).unwrap().owner(), FrameOwner::Dom(D2));
+            }
+            other => panic!("expected copy, got {other:?}"),
+        }
+        assert_eq!(ft.inspect(m).unwrap().refcount(), 1);
+    }
+
+    #[test]
+    fn cow_last_sharer_transfers_to_faulter() {
+        let mut ft = FrameTable::new(4);
+        let m = ft.alloc(FrameOwner::Dom(D1)).unwrap();
+        ft.share_to_cow(m, D1, 1, false).unwrap();
+        // D2 faults even though D1 was the original owner.
+        assert_eq!(ft.cow_fault(m, D2).unwrap(), CowResolution::Transferred);
+        assert_eq!(ft.inspect(m).unwrap().owner(), FrameOwner::Dom(D2));
+        assert!(ft.inspect(m).unwrap().writable());
+    }
+
+    #[test]
+    fn unshare_drop_frees_at_zero() {
+        let mut ft = FrameTable::new(4);
+        let m = ft.alloc(FrameOwner::Dom(D1)).unwrap();
+        ft.share_to_cow(m, D1, 2, false).unwrap();
+        ft.unshare_drop(m).unwrap();
+        assert_eq!(ft.inspect(m).unwrap().owner(), FrameOwner::Cow);
+        ft.unshare_drop(m).unwrap();
+        assert_eq!(ft.inspect(m).unwrap().owner(), FrameOwner::Free);
+        assert_eq!(ft.free_frames(), 4);
+    }
+
+    #[test]
+    fn content_representations() {
+        let mut ft = FrameTable::new(2);
+        let m = ft.alloc(FrameOwner::Dom(D1)).unwrap();
+        let mut buf = [1u8; 4];
+        ft.read(m, 100, &mut buf).unwrap();
+        assert_eq!(buf, [0; 4]);
+
+        ft.fill(m, 0x0102_0304_0506_0708).unwrap();
+        ft.read(m, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0x08, 0x07, 0x06, 0x05]);
+
+        ft.write(m, 2, &[0xAA]).unwrap();
+        ft.read(m, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0x08, 0x07, 0xAA, 0x05]);
+    }
+
+    #[test]
+    fn copy_page_copies_content() {
+        let mut ft = FrameTable::new(2);
+        let a = ft.alloc(FrameOwner::Dom(D1)).unwrap();
+        let b = ft.alloc(FrameOwner::Dom(D2)).unwrap();
+        ft.write(a, 0, b"hello").unwrap();
+        ft.copy_page(a, b).unwrap();
+        let mut buf = [0u8; 5];
+        ft.read(b, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn stats_track_cow_and_xen() {
+        let mut ft = FrameTable::new(4);
+        let a = ft.alloc(FrameOwner::Dom(D1)).unwrap();
+        ft.alloc(FrameOwner::Xen).unwrap();
+        ft.share_to_cow(a, D1, 2, false).unwrap();
+        let s = ft.stats();
+        assert_eq!(s.total, 4);
+        assert_eq!(s.free, 2);
+        assert_eq!(s.cow_shared, 1);
+        assert_eq!(s.xen, 1);
+    }
+
+    #[test]
+    fn page_content_byte_at() {
+        assert_eq!(PageContent::Zero.byte_at(10), 0);
+        assert_eq!(PageContent::Fill(0xFF).byte_at(0), 0xFF);
+        assert_eq!(PageContent::Fill(0xFF).byte_at(1), 0);
+        let b = PageContent::Bytes(vec![9u8; PAGE_SIZE].into_boxed_slice());
+        assert_eq!(b.byte_at(4095), 9);
+    }
+}

@@ -1,0 +1,123 @@
+//! A minimal CPU pool used by the throughput experiments.
+//!
+//! The evaluation workloads (NGINX workers, FaaS instances) pin each vCPU to
+//! a physical core and service requests serially. [`CpuPool`] models exactly
+//! that: each core has a *busy-until* horizon; scheduling a service on a
+//! core starts it at `max(now, busy_until)` and returns the completion
+//! instant. This produces queueing, saturation and the linear-scaling shapes
+//! of Figs. 7 and 11 without a full credit scheduler.
+
+use sim_core::{SimDuration, SimTime};
+
+/// A pool of physical cores with per-core busy horizons.
+#[derive(Debug, Clone)]
+pub struct CpuPool {
+    busy_until: Vec<SimTime>,
+}
+
+impl CpuPool {
+    /// Creates a pool of `cores` idle cores.
+    pub fn new(cores: usize) -> Self {
+        CpuPool {
+            busy_until: vec![SimTime::ZERO; cores.max(1)],
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Schedules `service` of work on `core` arriving at `now`; returns the
+    /// completion time. Work queues behind whatever the core is already
+    /// committed to.
+    pub fn schedule(&mut self, core: usize, now: SimTime, service: SimDuration) -> SimTime {
+        let core = core % self.busy_until.len();
+        let start = self.busy_until[core].max(now);
+        let done = start + service;
+        self.busy_until[core] = done;
+        done
+    }
+
+    /// Returns the core's current busy horizon.
+    pub fn busy_until(&self, core: usize) -> SimTime {
+        self.busy_until[core % self.busy_until.len()]
+    }
+
+    /// Returns the queueing delay a request arriving `now` on `core` would
+    /// experience before starting service.
+    pub fn backlog(&self, core: usize, now: SimTime) -> SimDuration {
+        self.busy_until(core).since(now)
+    }
+
+    /// Picks the least-loaded core (earliest busy horizon, lowest index on
+    /// ties).
+    pub fn least_loaded(&self) -> usize {
+        self.busy_until
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, t)| (**t, *i))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Resets all cores to idle at time zero (between experiment runs).
+    pub fn reset(&mut self) {
+        for t in &mut self.busy_until {
+            *t = SimTime::ZERO;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_service_queues() {
+        let mut p = CpuPool::new(1);
+        let t0 = SimTime::ZERO;
+        let d = SimDuration::from_us(10);
+        let a = p.schedule(0, t0, d);
+        let b = p.schedule(0, t0, d);
+        assert_eq!(a.as_ns(), 10_000);
+        assert_eq!(b.as_ns(), 20_000, "second request queues behind first");
+    }
+
+    #[test]
+    fn idle_core_starts_at_arrival() {
+        let mut p = CpuPool::new(2);
+        let done = p.schedule(1, SimTime::from_ns(500), SimDuration::from_ns(100));
+        assert_eq!(done.as_ns(), 600);
+    }
+
+    #[test]
+    fn least_loaded_picks_earliest_horizon() {
+        let mut p = CpuPool::new(3);
+        p.schedule(0, SimTime::ZERO, SimDuration::from_us(5));
+        p.schedule(2, SimTime::ZERO, SimDuration::from_us(1));
+        assert_eq!(p.least_loaded(), 1);
+    }
+
+    #[test]
+    fn backlog_measures_wait() {
+        let mut p = CpuPool::new(1);
+        p.schedule(0, SimTime::ZERO, SimDuration::from_us(10));
+        assert_eq!(p.backlog(0, SimTime::from_ns(4_000)).as_ns(), 6_000);
+        assert_eq!(p.backlog(0, SimTime::from_ns(20_000)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reset_clears_horizons() {
+        let mut p = CpuPool::new(2);
+        p.schedule(0, SimTime::ZERO, SimDuration::from_secs(1));
+        p.reset();
+        assert_eq!(p.busy_until(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn zero_core_pool_clamps_to_one() {
+        let p = CpuPool::new(0);
+        assert_eq!(p.cores(), 1);
+    }
+}

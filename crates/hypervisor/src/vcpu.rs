@@ -1,0 +1,75 @@
+//! Virtual CPU state.
+//!
+//! Only the architectural state the cloning path cares about is modelled:
+//! the general-purpose registers (so that `rax` can carry the CLONEOP return
+//! value distinguishing parent from child, §5.2) and the CPU affinity that
+//! is replicated into clones.
+
+/// A minimal x86-64 register file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Registers {
+    /// Return-value register; CLONEOP sets it to 0 in the parent and 1 in
+    /// every child, mirroring `fork()`.
+    pub rax: u64,
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Stack pointer.
+    pub rsp: u64,
+    /// First argument register (used by guests for hypercall arguments).
+    pub rdi: u64,
+    /// Second argument register.
+    pub rsi: u64,
+}
+
+/// A virtual CPU.
+#[derive(Debug, Clone)]
+pub struct Vcpu {
+    /// Index within the domain.
+    pub id: u32,
+    /// Whether the vCPU has been brought online.
+    pub online: bool,
+    /// Register file.
+    pub regs: Registers,
+    /// Physical core this vCPU is pinned to, if any.
+    pub affinity: Option<usize>,
+}
+
+impl Vcpu {
+    /// Creates an offline vCPU with zeroed registers.
+    pub fn new(id: u32) -> Self {
+        Vcpu {
+            id,
+            online: false,
+            regs: Registers::default(),
+            affinity: None,
+        }
+    }
+
+    /// Produces the cloned vCPU for a child domain: registers and affinity
+    /// are replicated, except `rax` which carries the child-side hypercall
+    /// return value (1).
+    pub fn clone_for_child(&self) -> Vcpu {
+        let mut v = self.clone();
+        v.regs.rax = 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_for_child_sets_rax() {
+        let mut v = Vcpu::new(0);
+        v.online = true;
+        v.regs.rax = 0;
+        v.regs.rip = 0xdead;
+        v.affinity = Some(3);
+        let c = v.clone_for_child();
+        assert_eq!(c.regs.rax, 1);
+        assert_eq!(c.regs.rip, 0xdead);
+        assert_eq!(c.affinity, Some(3));
+        assert!(c.online);
+    }
+}

@@ -1,0 +1,212 @@
+//! The Linux process baseline: `fork()` with page-table copying and COW.
+//!
+//! Models the behaviour the paper compares against in §6.2 and §7.1,
+//! following the On-Demand-Fork observation (ref. 66 of the paper) that "process forking
+//! duration is dominated by the copying of the page tables when the used
+//! memory size starts reaching hundreds of megabytes":
+//!
+//! * `fork()` costs a fixed base plus a per-resident-page page-table copy;
+//! * the *first* fork additionally write-protects every resident page
+//!   (marking the whole address space COW), so the first call is always
+//!   slower than the second;
+//! * subsequent forks only re-protect pages dirtied since the last fork;
+//! * writes to COW pages fault and copy, like the guest side.
+
+use std::rc::Rc;
+
+use sim_core::{ids::mib_to_pages, Clock, CostModel};
+
+/// A process's address-space state (only what the fork model needs).
+#[derive(Debug, Clone)]
+pub struct LinuxProcess {
+    /// Process id.
+    pub pid: u32,
+    /// Resident pages backing the address space.
+    resident_pages: u64,
+    /// Pages currently write-protected for COW.
+    cow_protected: u64,
+    /// Pages writable (never forked, or dirtied since the last fork).
+    writable: u64,
+}
+
+impl LinuxProcess {
+    /// Resident set size in pages.
+    pub fn resident_pages(&self) -> u64 {
+        self.resident_pages
+    }
+
+    /// Pages that would need COW marking at the next fork.
+    pub fn unprotected_pages(&self) -> u64 {
+        self.writable
+    }
+}
+
+/// The host-side process model.
+#[derive(Debug)]
+pub struct ProcessModel {
+    clock: Clock,
+    costs: Rc<CostModel>,
+    next_pid: u32,
+}
+
+impl ProcessModel {
+    /// Creates the model.
+    pub fn new(clock: Clock, costs: Rc<CostModel>) -> Self {
+        ProcessModel {
+            clock,
+            costs,
+            next_pid: 100,
+        }
+    }
+
+    /// Spawns a process with `resident_mib` of touched memory.
+    pub fn spawn(&mut self, resident_mib: u64) -> LinuxProcess {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let pages = mib_to_pages(resident_mib);
+        LinuxProcess {
+            pid,
+            resident_pages: pages,
+            cow_protected: 0,
+            writable: pages,
+        }
+    }
+
+    /// Grows the resident set by `pages` freshly touched pages.
+    pub fn grow(&mut self, p: &mut LinuxProcess, pages: u64) {
+        p.resident_pages += pages;
+        p.writable += pages;
+    }
+
+    /// Dirties a working set of `pages` pages (the same pages on repeated
+    /// calls). Pages still COW-protected fault and copy (charged);
+    /// already-writable pages are free.
+    pub fn touch(&mut self, p: &mut LinuxProcess, pages: u64) {
+        let faulting = pages.saturating_sub(p.writable).min(p.cow_protected);
+        self.clock
+            .advance(self.costs.linux_cow_fault.saturating_mul(faulting));
+        p.cow_protected -= faulting;
+        p.writable += faulting;
+    }
+
+    /// `fork()`: returns the child. The page-table copy is charged per
+    /// resident page; COW write-protection is charged only for pages not
+    /// already protected (all of them on the first fork).
+    pub fn fork(&mut self, p: &mut LinuxProcess) -> LinuxProcess {
+        self.clock.advance(self.costs.fork_base);
+        self.clock.advance(
+            self.costs
+                .fork_pt_copy_per_page
+                .saturating_mul(p.resident_pages),
+        );
+        self.clock.advance(
+            self.costs
+                .fork_cow_mark_per_page
+                .saturating_mul(p.writable),
+        );
+        p.cow_protected += p.writable;
+        p.writable = 0;
+
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        LinuxProcess {
+            pid,
+            resident_pages: p.resident_pages,
+            cow_protected: p.cow_protected,
+            writable: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sim_core::SimDuration;
+
+    use super::*;
+
+    fn model() -> (Clock, ProcessModel) {
+        let clock = Clock::new();
+        (clock.clone(), ProcessModel::new(clock, Rc::new(CostModel::calibrated())))
+    }
+
+    fn timed<T>(clock: &Clock, f: impl FnOnce() -> T) -> (T, SimDuration) {
+        let t0 = clock.now();
+        let r = f();
+        (r, clock.now().since(t0))
+    }
+
+    #[test]
+    fn first_fork_slower_than_second() {
+        let (clock, mut m) = model();
+        let mut p = m.spawn(256);
+        let (_, first) = timed(&clock, || m.fork(&mut p));
+        let (_, second) = timed(&clock, || m.fork(&mut p));
+        assert!(first > second, "first {first} vs second {second}");
+    }
+
+    #[test]
+    fn fork_scales_with_resident_memory() {
+        let (clock, mut m) = model();
+        let mut small = m.spawn(16);
+        let mut large = m.spawn(4096);
+        // Compare second forks (pure page-table copy).
+        m.fork(&mut small);
+        m.fork(&mut large);
+        let (_, s) = timed(&clock, || m.fork(&mut small));
+        let (_, l) = timed(&clock, || m.fork(&mut large));
+        let ratio = l.as_ns() as f64 / s.as_ns() as f64;
+        assert!(ratio > 50.0, "4096 MiB fork must dwarf 16 MiB fork ({ratio:.0}x)");
+    }
+
+    #[test]
+    fn second_fork_of_4gib_lands_near_paper_value() {
+        // §6.2 reports 65.2 ms for the second fork of the 4 GiB process.
+        let (clock, mut m) = model();
+        let mut p = m.spawn(4096);
+        m.fork(&mut p);
+        let (_, second) = timed(&clock, || m.fork(&mut p));
+        let ms = second.as_ms_f64();
+        assert!((40.0..100.0).contains(&ms), "second fork = {ms:.1} ms");
+    }
+
+    #[test]
+    fn dirtying_between_forks_costs_remarking() {
+        let (clock, mut m) = model();
+        let mut p = m.spawn(256);
+        m.fork(&mut p);
+        let (_, clean) = timed(&clock, || m.fork(&mut p));
+        m.touch(&mut p, 10_000);
+        let (_, dirty) = timed(&clock, || m.fork(&mut p));
+        assert!(dirty > clean, "dirty pages must be re-protected");
+    }
+
+    #[test]
+    fn touch_charges_cow_faults_only_once() {
+        let (clock, mut m) = model();
+        let mut p = m.spawn(64);
+        m.fork(&mut p);
+        let (_, first) = timed(&clock, || m.touch(&mut p, 1000));
+        let (_, again) = timed(&clock, || m.touch(&mut p, 1000));
+        assert!(first > SimDuration::ZERO);
+        assert_eq!(again, SimDuration::ZERO, "already-writable pages are free");
+    }
+
+    #[test]
+    fn child_inherits_protected_space() {
+        let (_, mut m) = model();
+        let mut p = m.spawn(64);
+        let c = m.fork(&mut p);
+        assert_eq!(c.resident_pages(), p.resident_pages());
+        assert_eq!(c.unprotected_pages(), 0);
+        assert_ne!(c.pid, p.pid);
+    }
+
+    #[test]
+    fn grow_adds_unprotected_pages() {
+        let (_, mut m) = model();
+        let mut p = m.spawn(4);
+        m.fork(&mut p);
+        m.grow(&mut p, 100);
+        assert_eq!(p.unprotected_pages(), 100);
+    }
+}

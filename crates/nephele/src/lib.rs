@@ -1,0 +1,40 @@
+//! Nephele: cloning support for unikernel-based VMs — the platform facade.
+//!
+//! This crate assembles every component of the reproduction — hypervisor,
+//! Xenstore, device manager, toolstack, `xencloned`, network fabric and the
+//! guest runtime — into one [`Platform`] with a deterministic event loop.
+//! It is the public API a downstream user programs against:
+//!
+//! ```
+//! use nephele::{Platform, PlatformConfig};
+//! use nephele::toolstack::{DomainConfig, KernelImage};
+//!
+//! let mut p = Platform::new(PlatformConfig::default());
+//! let cfg = DomainConfig::builder("quick").memory_mib(4).max_clones(4).build();
+//! let dom = p.launch_plain(&cfg, &KernelImage::minios("quick")).unwrap();
+//! let kids = p.clone_domain(dom, 2).unwrap();
+//! assert_eq!(kids.len(), 2);
+//! ```
+//!
+//! Re-exports give access to every subsystem (`nephele::hypervisor`,
+//! `nephele::xenstore`, ...).
+
+pub use apps;
+pub use devices;
+pub use guest;
+pub use hypervisor;
+pub use linux_procs;
+pub use netmux;
+pub use sim_core;
+pub use toolstack;
+pub use xencloned;
+pub use xenstore;
+
+mod platform;
+
+pub use platform::{
+    MuxKind,
+    Platform,
+    PlatformConfig,
+    PlatformError, //
+};

@@ -1,0 +1,944 @@
+//! The assembled virtualization platform and its event loop.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use devices::udev::UdevBus;
+use devices::{DevError, DeviceManager};
+use guest::{ForkOutcome, GuestAction, GuestApp, GuestEnv, GuestHeap, HOST_MAC};
+use hypervisor::cloneop::{CloneOp, CloneOpResult};
+use hypervisor::error::HvError;
+use hypervisor::event::Virq;
+use hypervisor::{Hypervisor, MachineConfig, PendingEvent};
+use netmux::{
+    Bond,
+    CloneMux,
+    ConnId,
+    IfaceId,
+    MacAddr,
+    NetStack,
+    Packet,
+    SelectGroup,
+    SockEvent,
+    XmitHashPolicy, //
+};
+use sim_core::{Clock, CostModel, DomId, EventQueue, SimDuration, SplitMix64};
+use toolstack::{CreatedDomain, Dom0Model, DomainConfig, KernelImage, Xl, XlError};
+use xencloned::{CloneDaemonError, Xencloned};
+use xenstore::{XsError, Xenstore};
+
+/// The host endpoint's IP (Dom0 side of the bridge).
+pub const HOST_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+
+/// Which clone-interface multiplexer the platform uses (§5.2.1 evaluates
+/// both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MuxKind {
+    /// Plain bridge only; no clone multiplexing.
+    None,
+    /// Linux bond, balance-xor with the layer3+4 policy (the paper's
+    /// stateless choice).
+    #[default]
+    Bond,
+    /// Open vSwitch select group (hash-based).
+    Ovs,
+}
+
+/// Platform-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// Hypervisor failure.
+    Hv(HvError),
+    /// Toolstack failure.
+    Xl(XlError),
+    /// Xenstore failure.
+    Xs(XsError),
+    /// Device failure.
+    Dev(DevError),
+    /// Cloning-daemon failure.
+    Daemon(CloneDaemonError),
+    /// The domain has no registered guest application.
+    NoGuest(DomId),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Hv(e) => write!(f, "{e}"),
+            PlatformError::Xl(e) => write!(f, "{e}"),
+            PlatformError::Xs(e) => write!(f, "{e}"),
+            PlatformError::Dev(e) => write!(f, "{e}"),
+            PlatformError::Daemon(e) => write!(f, "{e}"),
+            PlatformError::NoGuest(d) => write!(f, "no guest app for {d}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<HvError> for PlatformError {
+    fn from(e: HvError) -> Self {
+        PlatformError::Hv(e)
+    }
+}
+impl From<XlError> for PlatformError {
+    fn from(e: XlError) -> Self {
+        PlatformError::Xl(e)
+    }
+}
+impl From<XsError> for PlatformError {
+    fn from(e: XsError) -> Self {
+        PlatformError::Xs(e)
+    }
+}
+impl From<DevError> for PlatformError {
+    fn from(e: DevError) -> Self {
+        PlatformError::Dev(e)
+    }
+}
+impl From<CloneDaemonError> for PlatformError {
+    fn from(e: CloneDaemonError) -> Self {
+        PlatformError::Daemon(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, PlatformError>;
+
+/// Platform construction options.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Machine shape (defaults to the paper's: 12 GiB guest pool, 4 cores).
+    pub machine: MachineConfig,
+    /// Cost model (defaults to the calibrated model).
+    pub costs: CostModel,
+    /// Clone-interface multiplexer.
+    pub mux: MuxKind,
+    /// Master PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            machine: MachineConfig::default(),
+            costs: CostModel::calibrated(),
+            mux: MuxKind::Bond,
+            seed: 0x6e65_7068_656c_65, // "nephele"
+        }
+    }
+}
+
+impl PlatformConfig {
+    /// A small-machine config for tests (256 MiB pool, free costs are NOT
+    /// applied — timing stays calibrated).
+    pub fn small() -> Self {
+        PlatformConfig {
+            machine: MachineConfig {
+                guest_pool_mib: 256,
+                cores: 4,
+                notification_ring_capacity: 128,
+            },
+            ..Default::default()
+        }
+    }
+}
+
+struct GuestSlot {
+    app: Box<dyn GuestApp>,
+    heap: GuestHeap,
+    stack: NetStack,
+    devids: Vec<u32>,
+}
+
+/// The assembled platform.
+pub struct Platform {
+    /// The shared virtual clock.
+    pub clock: Clock,
+    /// The shared cost model.
+    pub costs: Rc<CostModel>,
+    /// The hypervisor.
+    pub hv: Hypervisor,
+    /// The Xenstore daemon.
+    pub xs: Xenstore,
+    /// The Dom0 device manager.
+    pub dm: DeviceManager,
+    /// The udev bus.
+    pub udev: UdevBus,
+    /// The toolstack.
+    pub xl: Xl,
+    /// The cloning daemon.
+    pub daemon: Xencloned,
+    /// The Dom0 memory model.
+    pub dom0: Dom0Model,
+    /// Deterministic PRNG for workloads.
+    pub rng: SplitMix64,
+    mux: Option<Box<dyn CloneMux>>,
+    mux_ip: Option<Ipv4Addr>,
+    host_stack: NetStack,
+    host_events: Vec<SockEvent>,
+    mac_first: HashMap<MacAddr, IfaceId>,
+    guests: HashMap<u32, GuestSlot>,
+    timers: EventQueue<(u32, u64)>,
+    packets_routed: u64,
+}
+
+impl Platform {
+    /// Boots the platform: hypervisor, Xenstore, device manager, toolstack
+    /// and the `xencloned` daemon (cloning enabled globally).
+    pub fn new(config: PlatformConfig) -> Self {
+        let clock = Clock::new();
+        let costs = Rc::new(config.costs);
+        let mut hv = Hypervisor::new(clock.clone(), costs.clone(), &config.machine);
+        let xs = Xenstore::new(clock.clone(), costs.clone());
+        let dm = DeviceManager::new(clock.clone(), costs.clone());
+        let xl = Xl::new(clock.clone(), costs.clone());
+        let mut daemon = Xencloned::new(clock.clone(), costs.clone());
+        daemon.start(&mut hv).expect("daemon start on fresh hypervisor");
+
+        let mux: Option<Box<dyn CloneMux>> = match config.mux {
+            MuxKind::None => None,
+            MuxKind::Bond => Some(Box::new(Bond::new(XmitHashPolicy::Layer34))),
+            MuxKind::Ovs => Some(Box::new(SelectGroup::hashed())),
+        };
+
+        Platform {
+            clock,
+            costs,
+            hv,
+            xs,
+            dm,
+            udev: UdevBus::new(),
+            xl,
+            daemon,
+            dom0: Dom0Model::default(),
+            rng: SplitMix64::new(config.seed),
+            mux,
+            mux_ip: None,
+            host_stack: NetStack::new(HOST_MAC, HOST_IP),
+            host_events: Vec::new(),
+            mac_first: HashMap::new(),
+            guests: HashMap::new(),
+            timers: EventQueue::new(),
+            packets_routed: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Domain lifecycle
+    // ------------------------------------------------------------------
+
+    /// Boots a domain with no application attached (pure instantiation, as
+    /// in the Fig. 4 baseline measurements).
+    pub fn launch_plain(&mut self, cfg: &DomainConfig, image: &KernelImage) -> Result<DomId> {
+        let created = self.create_and_register(cfg, image, None)?;
+        Ok(created.id)
+    }
+
+    /// Boots a domain running `app`; `on_boot` fires before this returns
+    /// and the network is pumped to quiescence.
+    pub fn launch(
+        &mut self,
+        cfg: &DomainConfig,
+        image: &KernelImage,
+        app: Box<dyn GuestApp>,
+    ) -> Result<DomId> {
+        let created = self.create_and_register(cfg, image, Some(app))?;
+        let dom = created.id;
+        self.dispatch(dom, |app, env| app.on_boot(env));
+        self.pump();
+        Ok(dom)
+    }
+
+    fn create_and_register(
+        &mut self,
+        cfg: &DomainConfig,
+        image: &KernelImage,
+        app: Option<Box<dyn GuestApp>>,
+    ) -> Result<CreatedDomain> {
+        let created = self
+            .xl
+            .create(&mut self.hv, &mut self.xs, &mut self.dm, &mut self.udev, cfg, image)?;
+        let dom = created.id;
+        for iface in &created.ifaces {
+            if let Some(v) = self.dm.iface_target(*iface).and_then(|(d, i)| self.dm.vif(d, i)) {
+                self.mac_first.entry(v.mac).or_insert(*iface);
+            }
+        }
+        if let Some(app) = app {
+            let ip = cfg.vifs.first().map(|v| v.ip).unwrap_or(Ipv4Addr::UNSPECIFIED);
+            let mac = MacAddr::xen(dom.0, 0);
+            let slot = GuestSlot {
+                app,
+                heap: GuestHeap::new(dom, created.layout.heap_start, created.layout.heap_pages),
+                stack: NetStack::new(mac, ip),
+                devids: (0..cfg.vifs.len() as u32).collect(),
+            };
+            self.guests.insert(dom.0, slot);
+        }
+        Ok(created)
+    }
+
+    /// Destroys a domain (guest slot included).
+    pub fn destroy(&mut self, dom: DomId) -> Result<()> {
+        self.guests.remove(&dom.0);
+        self.xl
+            .destroy(&mut self.hv, &mut self.xs, &mut self.dm, &mut self.udev, dom)?;
+        Ok(())
+    }
+
+    /// Clones `dom` from the outside (Dom0-triggered, as for VM fuzzing):
+    /// runs both stages and returns the children.
+    pub fn clone_domain(&mut self, dom: DomId, nr: u32) -> Result<Vec<DomId>> {
+        let r = self.hv.cloneop(
+            DomId::DOM0,
+            CloneOp::Clone {
+                target: Some(dom),
+                nr_clones: nr,
+            },
+        )?;
+        let CloneOpResult::Cloned(children) = r else {
+            return Ok(Vec::new());
+        };
+        self.finish_clones(dom)?;
+        Ok(children)
+    }
+
+    /// Registers a parent vif in the clone mux (done for the family root so
+    /// that parent and clones share the load, as in §6.1).
+    pub fn enlist_in_mux(&mut self, dom: DomId) {
+        let Some(v) = self.dm.vif(dom, 0) else { return };
+        let (iface, ip) = (v.iface, v.ip);
+        if let Some(m) = self.mux.as_deref_mut() {
+            m.add_member(iface);
+            self.mux_ip = Some(ip);
+        }
+    }
+
+    /// Runs the second stage for all queued clone notifications of
+    /// `parent` and creates guest slots for the new children. Exposed so
+    /// experiments can time the two stages separately (the hypercall via
+    /// [`Platform::hv`], then this).
+    pub fn finish_pending_clones(&mut self, parent: DomId) -> Result<Vec<DomId>> {
+        self.finish_clones(parent)
+    }
+
+    /// Runs the second stage for all queued clone notifications and
+    /// creates guest slots for the new children.
+    fn finish_clones(&mut self, parent: DomId) -> Result<Vec<DomId>> {
+        // Snapshot the parent's state *at the fork point*.
+        let snapshot = self.guests.get(&parent.0).map(|s| {
+            (
+                s.app.boxed_clone(),
+                s.heap.clone(),
+                s.stack.clone(),
+                s.devids.clone(),
+            )
+        });
+        let completed = self.daemon.handle_pending(
+            &mut self.hv,
+            &mut self.xs,
+            &mut self.dm,
+            &mut self.udev,
+            &mut self.xl,
+            self.mux.as_deref_mut(),
+        )?;
+        if self.mux.is_some() && !completed.is_empty() {
+            if let Some(v) = self.dm.vif(parent, 0) {
+                self.mux_ip = Some(v.ip);
+            }
+        }
+        let mut children = Vec::new();
+        for c in &completed {
+            children.push(c.child);
+            if let Some((app, heap, stack, devids)) = &snapshot {
+                let mut heap = heap.clone();
+                heap.rebind(c.child);
+                self.guests.insert(
+                    c.child.0,
+                    GuestSlot {
+                        app: app.boxed_clone(),
+                        heap,
+                        stack: stack.clone(),
+                        devids: devids.clone(),
+                    },
+                );
+            }
+        }
+        Ok(children)
+    }
+
+    // ------------------------------------------------------------------
+    // Guest dispatch and actions
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, dom: DomId, f: impl FnOnce(&mut dyn GuestApp, &mut GuestEnv)) {
+        let Some(mut slot) = self.guests.remove(&dom.0) else {
+            return;
+        };
+        let mut actions = Vec::new();
+        {
+            let mut env = GuestEnv {
+                dom,
+                now: self.clock.now(),
+                hv: &mut self.hv,
+                dm: &mut self.dm,
+                heap: &mut slot.heap,
+                stack: &mut slot.stack,
+                actions: &mut actions,
+            };
+            f(slot.app.as_mut(), &mut env);
+        }
+        self.guests.insert(dom.0, slot);
+        self.process_actions(dom, actions);
+    }
+
+    /// Runs `f` against the concrete application of `dom` (downcast to
+    /// `T`), inside a full guest environment; deferred actions are
+    /// processed and the network pumped afterwards. Returns `None` when the
+    /// domain has no guest or its app is not a `T`.
+    pub fn with_app<T: 'static, R>(
+        &mut self,
+        dom: DomId,
+        f: impl FnOnce(&mut T, &mut GuestEnv) -> R,
+    ) -> Option<R> {
+        let mut slot = self.guests.remove(&dom.0)?;
+        let mut actions = Vec::new();
+        let result = {
+            let mut env = GuestEnv {
+                dom,
+                now: self.clock.now(),
+                hv: &mut self.hv,
+                dm: &mut self.dm,
+                heap: &mut slot.heap,
+                stack: &mut slot.stack,
+                actions: &mut actions,
+            };
+            slot.app.as_any_mut().downcast_mut::<T>().map(|t| f(t, &mut env))
+        };
+        self.guests.insert(dom.0, slot);
+        if result.is_some() {
+            self.process_actions(dom, actions);
+            self.pump();
+        }
+        result
+    }
+
+    fn process_actions(&mut self, dom: DomId, actions: Vec<GuestAction>) {
+        for a in actions {
+            match a {
+                GuestAction::Fork { nr } => {
+                    // Errors surface through the fork outcome being absent;
+                    // experiments check domain counts.
+                    let _ = self.guest_fork(dom, nr);
+                }
+                GuestAction::Timer { delay, tag } => {
+                    self.timers.push(self.clock.now() + delay, (dom.0, tag));
+                }
+                GuestAction::Shutdown => {
+                    let _ = self.destroy(dom);
+                }
+            }
+        }
+    }
+
+    /// Executes a guest-initiated fork: the `CLONEOP` hypercall, second
+    /// stage, guest-slot duplication and the `on_fork` callbacks in parent
+    /// and children.
+    pub fn guest_fork(&mut self, dom: DomId, nr: u32) -> Result<Vec<DomId>> {
+        let r = self.hv.cloneop(
+            dom,
+            CloneOp::Clone {
+                target: None,
+                nr_clones: nr,
+            },
+        )?;
+        let CloneOpResult::Cloned(_) = r else {
+            return Ok(Vec::new());
+        };
+        let children = self.finish_clones(dom)?;
+        self.dispatch(dom, |app, env| {
+            app.on_fork(
+                env,
+                ForkOutcome::Parent {
+                    children: children.clone(),
+                },
+            )
+        });
+        for c in &children {
+            self.dispatch(*c, |app, env| app.on_fork(env, ForkOutcome::Child { parent: dom }));
+        }
+        self.pump();
+        Ok(children)
+    }
+
+    // ------------------------------------------------------------------
+    // Network fabric
+    // ------------------------------------------------------------------
+
+    fn route_to_guest(&mut self, pkt: Packet) {
+        self.clock.advance(self.costs.net_link_latency);
+        self.packets_routed += 1;
+        let iface = if self.mux_ip == Some(pkt.dst_ip) {
+            match self.mux.as_deref_mut().and_then(|m| m.select(&pkt)) {
+                Some(i) => Some(i),
+                None => self.mac_first.get(&pkt.dst_mac).copied(),
+            }
+        } else {
+            self.mac_first.get(&pkt.dst_mac).copied()
+        };
+        if let Some(iface) = iface {
+            self.dm.deliver_rx(iface, pkt);
+        }
+    }
+
+    fn route_from_guest(&mut self, pkt: Packet) {
+        self.clock.advance(self.costs.net_link_latency);
+        self.packets_routed += 1;
+        if pkt.dst_ip == HOST_IP {
+            let replies = self.host_stack.handle_packet(&pkt);
+            self.host_events.extend(self.host_stack.poll_events());
+            for r in replies {
+                self.route_to_guest(r);
+            }
+        } else {
+            self.route_to_guest(pkt);
+        }
+    }
+
+    /// Drives the platform to quiescence: drains vif TX rings, delivers RX
+    /// packets into guest stacks, fires guest network callbacks, routes
+    /// hypervisor events (IDC notifications, `VIRQ_CLONED`) — until no
+    /// component makes progress.
+    pub fn pump(&mut self) {
+        for _round in 0..10_000 {
+            let mut progress = false;
+
+            // Guest → fabric.
+            for (dom, devid) in self.dm.all_vif_keys() {
+                for pkt in self.dm.take_tx(dom, devid) {
+                    progress = true;
+                    self.route_from_guest(pkt);
+                }
+            }
+
+            // Fabric → guest stacks → app callbacks.
+            let keys = self.dm.all_vif_keys();
+            for (dom, devid) in keys {
+                let pkts = self.dm.take_rx(dom, devid);
+                if pkts.is_empty() {
+                    continue;
+                }
+                progress = true;
+                let Some(mut slot) = self.guests.remove(&dom.0) else {
+                    continue;
+                };
+                let mut replies = Vec::new();
+                for p in pkts {
+                    replies.extend(slot.stack.handle_packet(&p));
+                }
+                let events = slot.stack.poll_events();
+                self.guests.insert(dom.0, slot);
+                for r in replies {
+                    let _ = self.dm.guest_tx(dom, devid, r);
+                }
+                for e in events {
+                    self.dispatch(dom, |app, env| app.on_net_event(env, e.clone()));
+                }
+            }
+
+            // Hypervisor events.
+            let events = self.hv.drain_events();
+            for e in events {
+                progress = true;
+                self.route_hv_event(e);
+            }
+
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    fn route_hv_event(&mut self, e: PendingEvent) {
+        match e.virq {
+            Some(Virq::Cloned) => {
+                // Externally triggered clones (no parent slot known): run
+                // second stages for whatever is queued. Parents are read
+                // from the ring entries by the daemon itself.
+                let _ = self.daemon.handle_pending(
+                    &mut self.hv,
+                    &mut self.xs,
+                    &mut self.dm,
+                    &mut self.udev,
+                    &mut self.xl,
+                    self.mux.as_deref_mut(),
+                );
+            }
+            _ => {
+                if !e.dom.is_dom0() {
+                    self.dispatch(e.dom, |app, env| app.on_idc_event(env, e.port));
+                }
+            }
+        }
+    }
+
+    /// Advances virtual time by `d`, firing due guest timers and pumping
+    /// between them.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let horizon = self.clock.now() + d;
+        loop {
+            self.pump();
+            match self.timers.peek_time() {
+                Some(t) if t <= horizon => {
+                    let (at, (dom, tag)) = self.timers.pop().expect("peeked");
+                    self.clock.advance_to(at);
+                    self.dispatch(DomId(dom), |app, env| app.on_timer(env, tag));
+                }
+                _ => break,
+            }
+        }
+        self.clock.advance_to(horizon);
+        self.pump();
+    }
+
+    // ------------------------------------------------------------------
+    // Host endpoint (Dom0-side load generation)
+    // ------------------------------------------------------------------
+
+    /// Sends a UDP datagram from the host endpoint to a guest. The source
+    /// port is bound automatically so replies are received.
+    pub fn host_udp_send(&mut self, dst_ip: Ipv4Addr, src_port: u16, dst_port: u16, payload: Vec<u8>) {
+        self.host_stack.udp_bind(src_port);
+        let pkt = self
+            .host_stack
+            .udp_send(MacAddr::BROADCAST, dst_ip, src_port, dst_port, payload);
+        // Destination MAC resolution happens in the fabric (mux/mac table);
+        // rewrite dst MAC to the target family's if known.
+        let pkt = Packet {
+            dst_mac: self
+                .mac_for_ip(dst_ip)
+                .unwrap_or(MacAddr::BROADCAST),
+            ..pkt
+        };
+        self.route_to_guest(pkt);
+        self.pump();
+    }
+
+    /// Opens a TCP connection from the host endpoint to `dst_ip:port`.
+    pub fn host_tcp_connect(&mut self, dst_ip: Ipv4Addr, port: u16) -> ConnId {
+        let mac = self.mac_for_ip(dst_ip).unwrap_or(MacAddr::BROADCAST);
+        let (conn, syn) = self.host_stack.tcp_connect(mac, dst_ip, port);
+        self.route_to_guest(syn);
+        self.pump();
+        self.host_events.extend(self.host_stack.poll_events());
+        conn
+    }
+
+    /// Sends data on a host-side TCP connection.
+    pub fn host_tcp_send(&mut self, conn: ConnId, data: Vec<u8>) {
+        if let Some(pkt) = self.host_stack.tcp_send(conn, data) {
+            self.route_to_guest(pkt);
+            self.pump();
+            self.host_events.extend(self.host_stack.poll_events());
+        }
+    }
+
+    /// Closes a host-side TCP connection.
+    pub fn host_tcp_close(&mut self, conn: ConnId) {
+        if let Some(pkt) = self.host_stack.tcp_close(conn) {
+            self.route_to_guest(pkt);
+            self.pump();
+        }
+    }
+
+    /// Drains the events the host endpoint observed (responses, closes).
+    pub fn take_host_events(&mut self) -> Vec<SockEvent> {
+        self.host_events.extend(self.host_stack.poll_events());
+        std::mem::take(&mut self.host_events)
+    }
+
+    fn mac_for_ip(&self, ip: Ipv4Addr) -> Option<MacAddr> {
+        if self.mux_ip == Some(ip) {
+            // Any family member's MAC (they are identical by design).
+            return self
+                .dm
+                .all_vif_keys()
+                .iter()
+                .find_map(|(d, i)| self.dm.vif(*d, *i).filter(|v| v.ip == ip).map(|v| v.mac));
+        }
+        self.dm
+            .all_vif_keys()
+            .iter()
+            .find_map(|(d, i)| self.dm.vif(*d, *i).filter(|v| v.ip == ip).map(|v| v.mac))
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Free hypervisor-pool memory in bytes (Fig. 5 "Hyp free").
+    pub fn hyp_free_bytes(&self) -> u64 {
+        self.hv.free_pages() * sim_core::PAGE_SIZE as u64
+    }
+
+    /// Free Dom0 memory in bytes (Fig. 5 "Dom0 free").
+    pub fn dom0_free_bytes(&self) -> u64 {
+        self.dom0.free_bytes(&self.xs, &self.dm, &self.xl)
+    }
+
+    /// Packets the fabric has routed.
+    pub fn packets_routed(&self) -> u64 {
+        self.packets_routed
+    }
+
+    /// Whether a guest slot exists for `dom`.
+    pub fn has_guest(&self, dom: DomId) -> bool {
+        self.guests.contains_key(&dom.0)
+    }
+
+    /// Number of members in the clone mux.
+    pub fn mux_members(&self) -> usize {
+        self.mux.as_deref().map(|m| m.member_count()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct UdpEcho {
+        port: u16,
+        seen: u32,
+    }
+
+    impl GuestApp for UdpEcho {
+        fn boxed_clone(&self) -> Box<dyn GuestApp> {
+            Box::new(self.clone())
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn on_boot(&mut self, env: &mut GuestEnv) {
+            env.stack.udp_bind(self.port);
+            env.console_log("udp echo up\n");
+            env.udp_send_host(0, self.port, 9999, b"ready".to_vec());
+        }
+        fn on_net_event(&mut self, env: &mut GuestEnv, evt: SockEvent) {
+            if let SockEvent::UdpData { src_ip, src_port, payload, .. } = evt {
+                self.seen += 1;
+                let reply = env.stack.udp_send(HOST_MAC, src_ip, self.port, src_port, payload);
+                env.transmit(0, reply);
+            }
+        }
+    }
+
+    fn plat() -> Platform {
+        Platform::new(PlatformConfig::small())
+    }
+
+    fn udp_cfg(name: &str, ip: Ipv4Addr) -> DomainConfig {
+        DomainConfig::builder(name)
+            .memory_mib(4)
+            .vif(ip)
+            .max_clones(32)
+            .build()
+    }
+
+    #[test]
+    fn boot_notification_reaches_host() {
+        let mut p = plat();
+        let ip = Ipv4Addr::new(10, 0, 0, 2);
+        p.host_stack.udp_bind(9999);
+        p.launch(
+            &udp_cfg("echo", ip),
+            &KernelImage::minios("echo"),
+            Box::new(UdpEcho { port: 7, seen: 0 }),
+        )
+        .unwrap();
+        let evts = p.take_host_events();
+        assert!(
+            evts.iter().any(|e| matches!(
+                e,
+                SockEvent::UdpData { payload, .. } if payload == b"ready"
+            )),
+            "boot notification missing: {evts:?}"
+        );
+    }
+
+    #[test]
+    fn udp_echo_roundtrip() {
+        let mut p = plat();
+        let ip = Ipv4Addr::new(10, 0, 0, 2);
+        p.launch(
+            &udp_cfg("echo", ip),
+            &KernelImage::minios("echo"),
+            Box::new(UdpEcho { port: 7, seen: 0 }),
+        )
+        .unwrap();
+        p.take_host_events();
+        p.host_udp_send(ip, 5555, 7, b"ping".to_vec());
+        let evts = p.take_host_events();
+        assert!(
+            evts.iter().any(|e| matches!(
+                e,
+                SockEvent::UdpData { payload, src_port: 7, .. } if payload == b"ping"
+            )),
+            "echo missing: {evts:?}"
+        );
+    }
+
+    #[derive(Clone)]
+    struct Forker {
+        is_child: bool,
+        fork_done: bool,
+    }
+
+    impl GuestApp for Forker {
+        fn boxed_clone(&self) -> Box<dyn GuestApp> {
+            Box::new(self.clone())
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn on_boot(&mut self, env: &mut GuestEnv) {
+            env.fork(2);
+        }
+        fn on_fork(&mut self, env: &mut GuestEnv, outcome: ForkOutcome) {
+            self.fork_done = true;
+            match outcome {
+                ForkOutcome::Parent { children } => {
+                    env.console_log(&format!("parent of {}\n", children.len()));
+                }
+                ForkOutcome::Child { .. } => {
+                    self.is_child = true;
+                    env.console_log("child alive\n");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn guest_initiated_fork_runs_both_stages() {
+        let mut p = plat();
+        let dom = p
+            .launch(
+                &udp_cfg("forker", Ipv4Addr::new(10, 0, 0, 3)),
+                &KernelImage::minios("forker"),
+                Box::new(Forker { is_child: false, fork_done: false }),
+            )
+            .unwrap();
+        // on_boot requested fork(2); processed synchronously.
+        assert_eq!(p.hv.domain(dom).unwrap().children.len(), 2);
+        let kids = p.hv.domain(dom).unwrap().children.clone();
+        for k in &kids {
+            assert!(p.has_guest(*k), "child slot created");
+            assert!(p.hv.domain(*k).unwrap().is_runnable());
+            let out = p.dm.console_output(*k);
+            assert_eq!(out, b"child alive\n", "child resumed from fork point");
+        }
+        let parent_out = p.dm.console_output(dom);
+        assert!(parent_out.ends_with(b"parent of 2\n"));
+        // Clone vifs were enslaved to the default bond.
+        assert_eq!(p.mux_members(), 2);
+    }
+
+    #[test]
+    fn cloned_udp_servers_receive_via_bond() {
+        let mut p = plat();
+        let ip = Ipv4Addr::new(10, 0, 0, 2);
+        let dom = p
+            .launch(
+                &udp_cfg("echo", ip),
+                &KernelImage::minios("echo"),
+                Box::new(UdpEcho { port: 7, seen: 0 }),
+            )
+            .unwrap();
+        p.enlist_in_mux(dom);
+        p.guest_fork(dom, 3).unwrap();
+        assert_eq!(p.mux_members(), 4, "parent + 3 clones in the bond");
+        p.take_host_events();
+        // Spray flows; every one must be answered by exactly one clone.
+        for port in 0..32u16 {
+            p.host_udp_send(ip, 6000 + port, 7, format!("q{port}").into_bytes());
+        }
+        let replies = p
+            .take_host_events()
+            .into_iter()
+            .filter(|e| matches!(e, SockEvent::UdpData { src_port: 7, .. }))
+            .count();
+        assert_eq!(replies, 32, "every flow answered despite identical MAC/IP");
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        #[derive(Clone)]
+        struct Timed {
+            fired: Vec<u64>,
+        }
+        impl GuestApp for Timed {
+            fn boxed_clone(&self) -> Box<dyn GuestApp> {
+                Box::new(self.clone())
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn on_boot(&mut self, env: &mut GuestEnv) {
+                env.set_timer(SimDuration::from_ms(20), 2);
+                env.set_timer(SimDuration::from_ms(10), 1);
+            }
+            fn on_timer(&mut self, env: &mut GuestEnv, tag: u64) {
+                self.fired.push(tag);
+                env.console_log(&format!("t{tag}\n"));
+            }
+        }
+        let mut p = plat();
+        let dom = p
+            .launch(
+                &udp_cfg("timed", Ipv4Addr::new(10, 0, 0, 4)),
+                &KernelImage::minios("timed"),
+                Box::new(Timed { fired: vec![] }),
+            )
+            .unwrap();
+        p.run_for(SimDuration::from_ms(50));
+        assert_eq!(p.dm.console_output(dom), b"t1\nt2\n");
+    }
+
+    #[test]
+    fn external_clone_via_dom0() {
+        let mut p = plat();
+        let dom = p
+            .launch_plain(
+                &udp_cfg("target", Ipv4Addr::new(10, 0, 0, 5)),
+                &KernelImage::minios("target"),
+            )
+            .unwrap();
+        let kids = p.clone_domain(dom, 1).unwrap();
+        assert_eq!(kids.len(), 1);
+        assert!(p.hv.domain_exists(kids[0]));
+        assert!(p.xl.record(kids[0]).is_some());
+    }
+
+    #[test]
+    fn memory_shrinks_with_clones_not_boots() {
+        let mut p = plat();
+        let img = KernelImage::minios("m");
+        let d1 = p
+            .launch_plain(&udp_cfg("m1", Ipv4Addr::new(10, 0, 0, 6)), &img)
+            .unwrap();
+        let free_before = p.hyp_free_bytes();
+        p.clone_domain(d1, 1).unwrap();
+        let clone_cost = free_before - p.hyp_free_bytes();
+        let free_before2 = p.hyp_free_bytes();
+        p.launch_plain(&udp_cfg("m2", Ipv4Addr::new(10, 0, 0, 7)), &img)
+            .unwrap();
+        let boot_cost = free_before2 - p.hyp_free_bytes();
+        assert!(
+            clone_cost * 2 < boot_cost,
+            "clone ({clone_cost}) must use far less memory than boot ({boot_cost})"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! A learning L2 bridge (the software switch Dom0 uses to multiplex the
+//! physical NIC between vifs).
+
+use std::collections::HashMap;
+
+use crate::packet::{MacAddr, Packet};
+use crate::IfaceId;
+
+/// A learning switch.
+#[derive(Debug, Default)]
+pub struct Bridge {
+    ports: Vec<IfaceId>,
+    mac_table: HashMap<MacAddr, IfaceId>,
+}
+
+impl Bridge {
+    /// Creates an empty bridge.
+    pub fn new() -> Self {
+        Bridge::default()
+    }
+
+    /// Attaches an interface to the bridge.
+    pub fn add_port(&mut self, iface: IfaceId) {
+        if !self.ports.contains(&iface) {
+            self.ports.push(iface);
+        }
+    }
+
+    /// Detaches an interface, flushing its learned MACs.
+    pub fn remove_port(&mut self, iface: IfaceId) {
+        self.ports.retain(|p| *p != iface);
+        self.mac_table.retain(|_, p| *p != iface);
+    }
+
+    /// Number of attached ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Switches a packet arriving on `in_port`: learns the source MAC and
+    /// returns the output ports (one for a known unicast destination; all
+    /// other ports for unknown/broadcast).
+    pub fn forward(&mut self, pkt: &Packet, in_port: IfaceId) -> Vec<IfaceId> {
+        self.mac_table.insert(pkt.src_mac, in_port);
+        if !pkt.dst_mac.is_broadcast() {
+            if let Some(out) = self.mac_table.get(&pkt.dst_mac) {
+                if *out == in_port {
+                    return Vec::new();
+                }
+                return vec![*out];
+            }
+        }
+        self.ports.iter().copied().filter(|p| *p != in_port).collect()
+    }
+
+    /// Looks up the learned port for a MAC.
+    pub fn lookup(&self, mac: MacAddr) -> Option<IfaceId> {
+        self.mac_table.get(&mac).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::net::Ipv4Addr;
+
+    use super::*;
+
+    fn pkt(src: MacAddr, dst: MacAddr) -> Packet {
+        Packet::udp(
+            src,
+            dst,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+            vec![],
+        )
+    }
+
+    #[test]
+    fn floods_unknown_then_learns() {
+        let mut b = Bridge::new();
+        let (p1, p2, p3) = (IfaceId(1), IfaceId(2), IfaceId(3));
+        b.add_port(p1);
+        b.add_port(p2);
+        b.add_port(p3);
+        let a = MacAddr::xen(1, 0);
+        let c = MacAddr::xen(2, 0);
+
+        // Unknown destination: flood everywhere but the ingress.
+        let out = b.forward(&pkt(a, c), p1);
+        assert_eq!(out, vec![p2, p3]);
+
+        // Reply teaches the bridge where `c` lives; now unicast.
+        b.forward(&pkt(c, a), p2);
+        let out = b.forward(&pkt(a, c), p1);
+        assert_eq!(out, vec![p2]);
+    }
+
+    #[test]
+    fn hairpin_suppressed() {
+        let mut b = Bridge::new();
+        b.add_port(IfaceId(1));
+        let a = MacAddr::xen(1, 0);
+        b.forward(&pkt(a, MacAddr::BROADCAST), IfaceId(1));
+        // Destination learned on the same port it arrives from: drop.
+        let out = b.forward(&pkt(MacAddr::xen(9, 9), a), IfaceId(1));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn remove_port_flushes_macs() {
+        let mut b = Bridge::new();
+        b.add_port(IfaceId(1));
+        b.add_port(IfaceId(2));
+        let a = MacAddr::xen(1, 0);
+        b.forward(&pkt(a, MacAddr::BROADCAST), IfaceId(1));
+        assert_eq!(b.lookup(a), Some(IfaceId(1)));
+        b.remove_port(IfaceId(1));
+        assert_eq!(b.lookup(a), None);
+        assert_eq!(b.port_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_add_is_idempotent() {
+        let mut b = Bridge::new();
+        b.add_port(IfaceId(1));
+        b.add_port(IfaceId(1));
+        assert_eq!(b.port_count(), 1);
+    }
+}

@@ -1,0 +1,516 @@
+//! A minimal lwip-like UDP/TCP socket stack.
+//!
+//! Modelled on the lwIP stack Unikraft links against: UDP sockets and a
+//! small TCP state machine sufficient for the paper's workloads (HTTP
+//! request/response, Redis commands, wrk/ab load generators). The stack is
+//! a *pure* state machine — packets in, `(events, reply packets)` out — so
+//! the same code serves the unikernel frontends and the Dom0-side load
+//! generators.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+use crate::packet::{FlowKey, L4, MacAddr, Packet, TcpFlags};
+
+/// Identifies an established TCP connection within one stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnId(pub u64);
+
+/// Events surfaced to the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SockEvent {
+    /// A UDP datagram arrived on a bound port.
+    UdpData {
+        /// Local (bound) port.
+        port: u16,
+        /// Sender address.
+        src_ip: Ipv4Addr,
+        /// Sender port.
+        src_port: u16,
+        /// Payload.
+        payload: Vec<u8>,
+    },
+    /// A new TCP connection was accepted on a listening port.
+    TcpAccepted {
+        /// Connection handle.
+        conn: ConnId,
+        /// The listening port.
+        port: u16,
+    },
+    /// An outbound TCP connection completed its handshake.
+    TcpConnected {
+        /// Connection handle.
+        conn: ConnId,
+    },
+    /// Data arrived on an established connection.
+    TcpData {
+        /// Connection handle.
+        conn: ConnId,
+        /// The bytes.
+        data: Vec<u8>,
+    },
+    /// The peer closed the connection.
+    TcpClosed {
+        /// Connection handle.
+        conn: ConnId,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TcpState {
+    SynSent,
+    Established,
+    Closed,
+}
+
+#[derive(Debug, Clone)]
+struct TcpConn {
+    id: ConnId,
+    /// Our view: local = this stack's side.
+    local_port: u16,
+    remote_ip: Ipv4Addr,
+    remote_port: u16,
+    remote_mac: MacAddr,
+    state: TcpState,
+    next_seq: u32,
+    last_ack: u32,
+}
+
+/// The socket stack for one host (guest or Dom0 endpoint).
+#[derive(Debug, Clone)]
+pub struct NetStack {
+    mac: MacAddr,
+    ip: Ipv4Addr,
+    udp_bound: HashMap<u16, ()>,
+    tcp_listeners: HashMap<u16, ()>,
+    conns: HashMap<FlowKey, TcpConn>,
+    conn_index: HashMap<ConnId, FlowKey>,
+    next_conn: u64,
+    next_ephemeral: u16,
+    /// Events not yet collected by the application.
+    pending: VecDeque<SockEvent>,
+}
+
+impl NetStack {
+    /// Creates a stack with the host's MAC and IP.
+    pub fn new(mac: MacAddr, ip: Ipv4Addr) -> Self {
+        NetStack {
+            mac,
+            ip,
+            udp_bound: HashMap::new(),
+            tcp_listeners: HashMap::new(),
+            conns: HashMap::new(),
+            conn_index: HashMap::new(),
+            next_conn: 1,
+            next_ephemeral: 32768,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// The stack's IP.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.ip
+    }
+
+    /// The stack's MAC.
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// Binds a UDP port.
+    pub fn udp_bind(&mut self, port: u16) {
+        self.udp_bound.insert(port, ());
+    }
+
+    /// Builds a UDP datagram from this stack.
+    pub fn udp_send(
+        &self,
+        dst_mac: MacAddr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: Vec<u8>,
+    ) -> Packet {
+        Packet::udp(self.mac, dst_mac, self.ip, dst_ip, src_port, dst_port, payload)
+    }
+
+    /// Starts listening on a TCP port.
+    pub fn tcp_listen(&mut self, port: u16) {
+        self.tcp_listeners.insert(port, ());
+    }
+
+    /// Number of established connections.
+    pub fn established_count(&self) -> usize {
+        self.conns
+            .values()
+            .filter(|c| c.state == TcpState::Established)
+            .count()
+    }
+
+    fn alloc_conn(&mut self) -> ConnId {
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        id
+    }
+
+    /// Opens a TCP connection; returns the handle and the SYN to transmit.
+    pub fn tcp_connect(
+        &mut self,
+        dst_mac: MacAddr,
+        dst_ip: Ipv4Addr,
+        dst_port: u16,
+    ) -> (ConnId, Packet) {
+        let src_port = self.next_ephemeral;
+        self.next_ephemeral = self.next_ephemeral.wrapping_add(1).max(32768);
+        let id = self.alloc_conn();
+        let key = FlowKey {
+            src_ip: dst_ip,
+            dst_ip: self.ip,
+            src_port: dst_port,
+            dst_port: src_port,
+        };
+        let conn = TcpConn {
+            id,
+            local_port: src_port,
+            remote_ip: dst_ip,
+            remote_port: dst_port,
+            remote_mac: dst_mac,
+            state: TcpState::SynSent,
+            next_seq: 1,
+            last_ack: 0,
+        };
+        self.conns.insert(key, conn);
+        self.conn_index.insert(id, key);
+        let syn = Packet::tcp(
+            self.mac, dst_mac, self.ip, dst_ip, src_port, dst_port, 0, 0,
+            TcpFlags::SYN,
+            Vec::new(),
+        );
+        (id, syn)
+    }
+
+    /// Sends data on an established connection; `None` if the connection is
+    /// unknown or closed.
+    pub fn tcp_send(&mut self, conn: ConnId, data: Vec<u8>) -> Option<Packet> {
+        let key = *self.conn_index.get(&conn)?;
+        let c = self.conns.get_mut(&key)?;
+        if c.state != TcpState::Established {
+            return None;
+        }
+        let seq = c.next_seq;
+        c.next_seq = c.next_seq.wrapping_add(data.len() as u32);
+        Some(Packet::tcp(
+            self.mac,
+            c.remote_mac,
+            self.ip,
+            c.remote_ip,
+            c.local_port,
+            c.remote_port,
+            seq,
+            c.last_ack,
+            TcpFlags::ACK,
+            data,
+        ))
+    }
+
+    /// Closes a connection; returns the FIN to transmit if it was open.
+    pub fn tcp_close(&mut self, conn: ConnId) -> Option<Packet> {
+        let key = *self.conn_index.get(&conn)?;
+        let c = self.conns.get_mut(&key)?;
+        if c.state == TcpState::Closed {
+            return None;
+        }
+        c.state = TcpState::Closed;
+        let fin = Packet::tcp(
+            self.mac,
+            c.remote_mac,
+            self.ip,
+            c.remote_ip,
+            c.local_port,
+            c.remote_port,
+            c.next_seq,
+            c.last_ack,
+            TcpFlags::FIN_ACK,
+            Vec::new(),
+        );
+        self.conns.remove(&key);
+        self.conn_index.remove(&conn);
+        Some(fin)
+    }
+
+    /// Feeds an incoming packet; returns any reply packets the stack
+    /// generates autonomously (SYN-ACK, FIN-ACK). Application events are
+    /// queued and retrieved with [`NetStack::poll_events`].
+    pub fn handle_packet(&mut self, pkt: &Packet) -> Vec<Packet> {
+        if pkt.dst_ip != self.ip {
+            return Vec::new();
+        }
+        match &pkt.l4 {
+            L4::Udp {
+                src_port,
+                dst_port,
+                payload,
+            } => {
+                if self.udp_bound.contains_key(dst_port) {
+                    self.pending.push_back(SockEvent::UdpData {
+                        port: *dst_port,
+                        src_ip: pkt.src_ip,
+                        src_port: *src_port,
+                        payload: payload.clone(),
+                    });
+                }
+                Vec::new()
+            }
+            L4::Tcp {
+                src_port,
+                dst_port,
+                seq,
+                ack: _,
+                flags,
+                payload,
+            } => self.handle_tcp(pkt, *src_port, *dst_port, *seq, *flags, payload),
+        }
+    }
+
+    fn handle_tcp(
+        &mut self,
+        pkt: &Packet,
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        flags: TcpFlags,
+        payload: &[u8],
+    ) -> Vec<Packet> {
+        let key = pkt.flow();
+        let mut replies = Vec::new();
+
+        if flags.syn && !flags.ack {
+            // Inbound connection request.
+            if self.tcp_listeners.contains_key(&dst_port) {
+                let id = self.alloc_conn();
+                let conn = TcpConn {
+                    id,
+                    local_port: dst_port,
+                    remote_ip: pkt.src_ip,
+                    remote_port: src_port,
+                    remote_mac: pkt.src_mac,
+                    state: TcpState::Established,
+                    next_seq: 1,
+                    last_ack: seq.wrapping_add(1),
+                };
+                self.conns.insert(key, conn);
+                self.conn_index.insert(id, key);
+                self.pending.push_back(SockEvent::TcpAccepted { conn: id, port: dst_port });
+                replies.push(Packet::tcp(
+                    self.mac,
+                    pkt.src_mac,
+                    self.ip,
+                    pkt.src_ip,
+                    dst_port,
+                    src_port,
+                    0,
+                    seq.wrapping_add(1),
+                    TcpFlags::SYN_ACK,
+                    Vec::new(),
+                ));
+            }
+            return replies;
+        }
+
+        if flags.syn && flags.ack {
+            // Handshake completion for an outbound connection.
+            if let Some(c) = self.conns.get_mut(&key) {
+                if c.state == TcpState::SynSent {
+                    c.state = TcpState::Established;
+                    c.last_ack = seq.wrapping_add(1);
+                    self.pending.push_back(SockEvent::TcpConnected { conn: c.id });
+                }
+            }
+            return replies;
+        }
+
+        let Some(c) = self.conns.get_mut(&key) else {
+            return replies;
+        };
+
+        if !payload.is_empty() {
+            c.last_ack = seq.wrapping_add(payload.len() as u32);
+            let id = c.id;
+            self.pending.push_back(SockEvent::TcpData {
+                conn: id,
+                data: payload.to_vec(),
+            });
+        }
+
+        if flags.fin || flags.rst {
+            let id = c.id;
+            c.state = TcpState::Closed;
+            self.conns.remove(&key);
+            self.conn_index.remove(&id);
+            self.pending.push_back(SockEvent::TcpClosed { conn: id });
+        }
+        replies
+    }
+
+    /// Retrieves all queued application events.
+    pub fn poll_events(&mut self) -> Vec<SockEvent> {
+        self.pending.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (NetStack, NetStack) {
+        let server = NetStack::new(MacAddr::xen(1, 0), Ipv4Addr::new(10, 0, 0, 1));
+        let client = NetStack::new(MacAddr::xen(2, 0), Ipv4Addr::new(10, 0, 0, 2));
+        (server, client)
+    }
+
+    /// Ferries packets between two stacks until quiescence.
+    fn pump(a: &mut NetStack, b: &mut NetStack, mut from_a: Vec<Packet>, mut from_b: Vec<Packet>) {
+        while !from_a.is_empty() || !from_b.is_empty() {
+            let mut next_a = Vec::new();
+            let mut next_b = Vec::new();
+            for p in from_a.drain(..) {
+                next_b.extend(b.handle_packet(&p));
+            }
+            for p in from_b.drain(..) {
+                next_a.extend(a.handle_packet(&p));
+            }
+            from_a = next_a
+                .into_iter()
+                .collect();
+            // Replies generated by `a` flow to `b` next round.
+            std::mem::swap(&mut from_a, &mut from_b);
+            std::mem::swap(&mut from_b, &mut next_b);
+            from_a.extend(next_b);
+        }
+    }
+
+    #[test]
+    fn udp_delivery_to_bound_port() {
+        let (mut server, client) = pair();
+        server.udp_bind(7);
+        let p = client.udp_send(server.mac(), server.ip(), 5000, 7, b"ping".to_vec());
+        server.handle_packet(&p);
+        let evts = server.poll_events();
+        assert_eq!(evts.len(), 1);
+        assert!(matches!(
+            &evts[0],
+            SockEvent::UdpData { port: 7, payload, .. } if payload == b"ping"
+        ));
+    }
+
+    #[test]
+    fn udp_unbound_port_dropped() {
+        let (mut server, client) = pair();
+        let p = client.udp_send(server.mac(), server.ip(), 5000, 99, b"x".to_vec());
+        server.handle_packet(&p);
+        assert!(server.poll_events().is_empty());
+    }
+
+    #[test]
+    fn wrong_destination_ignored() {
+        let (mut server, client) = pair();
+        server.udp_bind(7);
+        let p = client.udp_send(server.mac(), Ipv4Addr::new(9, 9, 9, 9), 1, 7, vec![]);
+        assert!(server.handle_packet(&p).is_empty());
+        assert!(server.poll_events().is_empty());
+    }
+
+    #[test]
+    fn tcp_handshake_data_close() {
+        let (mut server, mut client) = pair();
+        server.tcp_listen(80);
+        let (cid, syn) = client.tcp_connect(server.mac(), server.ip(), 80);
+
+        let synack = server.handle_packet(&syn);
+        assert_eq!(synack.len(), 1);
+        let evts = server.poll_events();
+        let sid = match &evts[0] {
+            SockEvent::TcpAccepted { conn, port: 80 } => *conn,
+            other => panic!("expected accept, got {other:?}"),
+        };
+
+        client.handle_packet(&synack[0]);
+        assert!(matches!(
+            client.poll_events().as_slice(),
+            [SockEvent::TcpConnected { conn }] if *conn == cid
+        ));
+
+        // Client sends a request, server replies.
+        let req = client.tcp_send(cid, b"GET /".to_vec()).unwrap();
+        server.handle_packet(&req);
+        assert!(matches!(
+            server.poll_events().as_slice(),
+            [SockEvent::TcpData { data, .. }] if data == b"GET /"
+        ));
+        let resp = server.tcp_send(sid, b"200 OK".to_vec()).unwrap();
+        client.handle_packet(&resp);
+        assert!(matches!(
+            client.poll_events().as_slice(),
+            [SockEvent::TcpData { data, .. }] if data == b"200 OK"
+        ));
+
+        // Client closes; server sees it.
+        let fin = client.tcp_close(cid).unwrap();
+        server.handle_packet(&fin);
+        assert!(matches!(
+            server.poll_events().as_slice(),
+            [SockEvent::TcpClosed { conn }] if *conn == sid
+        ));
+        assert_eq!(server.established_count(), 0);
+        assert_eq!(client.established_count(), 0);
+    }
+
+    #[test]
+    fn syn_to_closed_port_ignored() {
+        let (mut server, mut client) = pair();
+        let (_, syn) = client.tcp_connect(server.mac(), server.ip(), 81);
+        assert!(server.handle_packet(&syn).is_empty());
+    }
+
+    #[test]
+    fn many_concurrent_connections() {
+        let (mut server, mut client) = pair();
+        server.tcp_listen(80);
+        let mut ids = Vec::new();
+        for _ in 0..100 {
+            let (cid, syn) = client.tcp_connect(server.mac(), server.ip(), 80);
+            for r in server.handle_packet(&syn) {
+                client.handle_packet(&r);
+            }
+            ids.push(cid);
+        }
+        assert_eq!(server.established_count(), 100);
+        assert_eq!(client.established_count(), 100);
+        // Each connection can carry data independently.
+        let p = client.tcp_send(ids[42], b"hello".to_vec()).unwrap();
+        server.handle_packet(&p);
+        assert_eq!(server.poll_events().len(), 100 + 1); // 100 accepts + 1 data
+    }
+
+    #[test]
+    fn send_on_closed_conn_is_none() {
+        let (mut server, mut client) = pair();
+        server.tcp_listen(80);
+        let (cid, syn) = client.tcp_connect(server.mac(), server.ip(), 80);
+        for r in server.handle_packet(&syn) {
+            client.handle_packet(&r);
+        }
+        client.tcp_close(cid);
+        assert!(client.tcp_send(cid, vec![1]).is_none());
+        assert!(client.tcp_close(cid).is_none());
+    }
+
+    #[test]
+    fn pump_helper_converges() {
+        let (mut server, mut client) = pair();
+        server.tcp_listen(80);
+        let (_cid, syn) = client.tcp_connect(server.mac(), server.ip(), 80);
+        pump(&mut server, &mut client, Vec::new(), vec![syn]);
+        assert_eq!(server.established_count(), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the clone-interface multiplexers and the bridge:
+//! flow stickiness, membership correctness and balance bounds.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use netmux::{
+    Bond,
+    Bridge,
+    CloneMux,
+    FlowAwareSelect,
+    IfaceId,
+    MacAddr,
+    Packet,
+    SelectGroup,
+    XmitHashPolicy, //
+};
+
+fn pkt(src_ip: u32, src_port: u16, dst_port: u16) -> Packet {
+    Packet::udp(
+        MacAddr::xen(1, 0),
+        MacAddr::xen(2, 0),
+        Ipv4Addr::from(src_ip),
+        Ipv4Addr::new(10, 0, 0, 1),
+        src_port,
+        dst_port,
+        vec![],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Bond selection is a pure function of the flow: any permutation of
+    /// queries returns consistent, member-set-contained results.
+    #[test]
+    fn bond_selection_is_consistent(
+        members in 1u32..32,
+        flows in proptest::collection::vec((any::<u32>(), any::<u16>(), any::<u16>()), 1..64),
+    ) {
+        let mut bond = Bond::new(XmitHashPolicy::Layer34);
+        for i in 0..members {
+            bond.add_member(IfaceId(i));
+        }
+        let mut first: Vec<IfaceId> = Vec::new();
+        for (ip, sp, dp) in &flows {
+            let sel = bond.select(&pkt(*ip, *sp, *dp)).unwrap();
+            prop_assert!(sel.0 < members, "selected non-member {sel:?}");
+            first.push(sel);
+        }
+        // Re-query in reverse order: identical answers.
+        for ((ip, sp, dp), expect) in flows.iter().zip(&first).rev() {
+            prop_assert_eq!(bond.select(&pkt(*ip, *sp, *dp)).unwrap(), *expect);
+        }
+    }
+
+    /// Removing a member never leaves it selectable, for both mux kinds.
+    #[test]
+    fn removed_members_are_never_selected(
+        members in 2u32..16,
+        victim in any::<u32>(),
+        flows in proptest::collection::vec((any::<u32>(), any::<u16>()), 1..64),
+    ) {
+        let victim = IfaceId(victim % members);
+        let mut bond = Bond::new(XmitHashPolicy::Layer34);
+        let mut ovs: SelectGroup<FlowAwareSelect> = SelectGroup::flow_aware();
+        for i in 0..members {
+            bond.add_member(IfaceId(i));
+            ovs.add_member(IfaceId(i));
+        }
+        // Touch some flows first so the flow-aware group holds state.
+        for (ip, sp) in &flows {
+            ovs.select(&pkt(*ip, *sp, 80)).unwrap();
+        }
+        bond.remove_member(victim);
+        ovs.remove_member(victim);
+        for (ip, sp) in &flows {
+            prop_assert_ne!(bond.select(&pkt(*ip, *sp, 80)).unwrap(), victim);
+            prop_assert_ne!(ovs.select(&pkt(*ip, *sp, 80)).unwrap(), victim);
+        }
+    }
+
+    /// With many uniformly random flows, no bond slave starves: each gets
+    /// at least a quarter of its fair share.
+    #[test]
+    fn bond_balance_bound(members in 2u32..9, seed in any::<u64>()) {
+        let mut bond = Bond::new(XmitHashPolicy::Layer34);
+        for i in 0..members {
+            bond.add_member(IfaceId(i));
+        }
+        let mut rng = sim_core::SplitMix64::new(seed);
+        let mut counts = vec![0u32; members as usize];
+        let n = 2000;
+        for _ in 0..n {
+            let p = pkt(rng.next_u64() as u32, rng.next_u64() as u16, 80);
+            counts[bond.select(&p).unwrap().0 as usize] += 1;
+        }
+        let fair = n / members;
+        for (i, c) in counts.iter().enumerate() {
+            prop_assert!(*c >= fair / 4, "slave {i} starved: {c} of fair {fair}");
+        }
+    }
+
+    /// The learning bridge never forwards a packet back out its ingress
+    /// port and never invents ports.
+    #[test]
+    fn bridge_never_hairpins(
+        ports in 2u32..12,
+        traffic in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 1..80),
+    ) {
+        let mut bridge = Bridge::new();
+        for i in 0..ports {
+            bridge.add_port(IfaceId(i));
+        }
+        for (src, dst, ingress) in traffic {
+            let ingress = IfaceId(ingress % ports);
+            let p = Packet::udp(
+                MacAddr::xen(src % 64, 0),
+                MacAddr::xen(dst % 64, 0),
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                1,
+                2,
+                vec![],
+            );
+            for out in bridge.forward(&p, ingress) {
+                prop_assert_ne!(out, ingress, "hairpin");
+                prop_assert!(out.0 < ports, "unknown port");
+            }
+        }
+    }
+}

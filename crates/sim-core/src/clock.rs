@@ -1,0 +1,108 @@
+//! The shared monotonic virtual clock.
+//!
+//! A single [`Clock`] instance is shared (via [`Rc`]) by every component of
+//! the simulated platform. Components advance it by *charging* costs from the
+//! [`CostModel`](crate::costs::CostModel); the clock never moves backwards.
+//!
+//! [`Rc`]: std::rc::Rc
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A shareable, monotonically advancing virtual clock.
+///
+/// Cloning a [`Clock`] yields a handle onto the same underlying instant, so
+/// all components observe a consistent notion of "now".
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{Clock, SimDuration};
+///
+/// let clock = Clock::new();
+/// let other = clock.clone();
+/// clock.advance(SimDuration::from_ms(5));
+/// assert_eq!(other.now().as_ns(), 5_000_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: Rc<Cell<SimTime>>,
+}
+
+impl Clock {
+    /// Creates a new clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Clock {
+            now: Rc::new(Cell::new(SimTime::ZERO)),
+        }
+    }
+
+    /// Returns the current virtual instant.
+    pub fn now(&self) -> SimTime {
+        self.now.get()
+    }
+
+    /// Advances the clock by `d` and returns the new instant.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let t = self.now.get() + d;
+        self.now.set(t);
+        t
+    }
+
+    /// Advances the clock to `t` if `t` is in the future; a request to move
+    /// backwards is ignored, preserving monotonicity.
+    pub fn advance_to(&self, t: SimTime) {
+        if t > self.now.get() {
+            self.now.set(t);
+        }
+    }
+
+    /// Runs `f` and returns both its result and the virtual time it charged.
+    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, SimDuration) {
+        let start = self.now();
+        let out = f();
+        (out, self.now().since(start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = Clock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance(SimDuration::from_us(7));
+        assert_eq!(c.now().as_ns(), 7_000);
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let a = Clock::new();
+        let b = a.clone();
+        b.advance(SimDuration::from_ns(3));
+        assert_eq!(a.now().as_ns(), 3);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = Clock::new();
+        c.advance_to(SimTime::from_ns(100));
+        c.advance_to(SimTime::from_ns(50));
+        assert_eq!(c.now().as_ns(), 100);
+    }
+
+    #[test]
+    fn measure_reports_charged_time() {
+        let c = Clock::new();
+        let (v, d) = c.measure(|| {
+            c.advance(SimDuration::from_ms(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert_eq!(d.as_ns(), 2_000_000);
+    }
+}

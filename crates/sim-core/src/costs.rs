@@ -1,0 +1,419 @@
+//! The calibrated cost model.
+//!
+//! Every operation the simulated platform performs charges virtual time from
+//! a single [`CostModel`]. Centralizing the knobs has two benefits: the whole
+//! reproduction can be re-calibrated in one place, and ablation benchmarks
+//! can scale an individual cost to study its contribution (e.g. the impact
+//! of `xs_request_base` on instantiation time, mirroring the paper's
+//! `xs_clone`-vs-deep-copy comparison).
+//!
+//! The defaults are calibrated against the numbers reported in the paper's
+//! evaluation (§6–7, Intel Xeon E5-1620 v2 @ 3.70 GHz, 16 GB DDR3): boot
+//! times of 160–300 ms, clone times of 20–30 ms, first-stage duration of
+//! ~1 ms for a 4 MB guest, userspace operations of ~3 ms / ~1.9 ms, and so
+//! on. The *shape* of every figure is produced by the mechanisms themselves
+//! (page counts, Xenstore entry counts, watch fan-out); the cost model only
+//! supplies per-operation unit costs.
+
+use crate::time::SimDuration;
+
+/// Per-operation virtual-time costs for the whole simulated platform.
+///
+/// All durations are unit costs; the modelled code multiplies them by the
+/// actual operation counts (pages copied, entries written, ...).
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    // ------------------------------------------------------------------
+    // Hypervisor: generic
+    // ------------------------------------------------------------------
+    /// Fixed cost of entering/leaving the hypervisor for any hypercall.
+    pub hypercall_base: SimDuration,
+    /// Creating the bare `struct domain` and ancillary bookkeeping.
+    pub domain_create_base: SimDuration,
+    /// Initializing one vCPU during domain creation or cloning.
+    pub vcpu_init: SimDuration,
+    /// Allocating one machine frame to a domain.
+    pub mem_alloc_per_page: SimDuration,
+    /// Freeing one machine frame.
+    pub mem_free_per_page: SimDuration,
+    /// Copying the full contents of one 4 KiB page.
+    pub page_copy: SimDuration,
+    /// Delivering an event-channel notification / virtual interrupt.
+    pub event_delivery: SimDuration,
+
+    // ------------------------------------------------------------------
+    // Hypervisor: CLONEOP first stage
+    // ------------------------------------------------------------------
+    /// Fixed first-stage cost: copying/editing `struct domain`, event
+    /// channels and the grant table of the parent.
+    pub clone_stage1_base: SimDuration,
+    /// First-time sharing of one page: ownership transfer to `dom_cow`,
+    /// refcount setup and write-protection.
+    pub clone_share_per_page: SimDuration,
+    /// Refcount bump for a page that is already owned by `dom_cow`.
+    pub clone_reshare_per_page: SimDuration,
+    /// Rebuilding one child page-table entry from the p2m (the dominant
+    /// cost for large guests, cf. Fig. 6 and On-Demand-Fork (ref.\ 66 of the paper)).
+    pub clone_pt_build_per_page: SimDuration,
+    /// Duplicating or rewriting one private page (start_info, console page,
+    /// Xenstore page, p2m frames, ring pages, ...).
+    pub clone_private_page: SimDuration,
+    /// COW fault path that must copy the page (refcount > 1).
+    pub cow_fault_copy: SimDuration,
+    /// COW fault path that transfers ownership back (refcount == 1).
+    pub cow_fault_transfer: SimDuration,
+
+    // ------------------------------------------------------------------
+    // Xenstore
+    // ------------------------------------------------------------------
+    /// Fixed per-request processing cost in the Xenstore daemon.
+    pub xs_request_base: SimDuration,
+    /// Additional per-request cost proportional to the number of entries
+    /// already in the store (oxenstored's persistent-tree bookkeeping; this
+    /// is what makes instantiation time grow with the instance count in
+    /// Fig. 4, and what `xs_clone` sidesteps by issuing fewer requests).
+    pub xs_per_existing_entry: SimDuration,
+    /// Cost of matching one registered watch against a written path.
+    pub xs_watch_match: SimDuration,
+    /// Firing one watch event to a subscriber.
+    pub xs_watch_fire: SimDuration,
+    /// Per-entry cost inside a single `xs_clone` request (daemon-side copy
+    /// plus key rewriting; much cheaper than a full request round-trip).
+    pub xs_clone_per_entry: SimDuration,
+    /// Appending one line to the Xenstore access log.
+    pub xs_access_log_append: SimDuration,
+    /// Rotating the access log files (the source of the spikes in Fig. 4).
+    pub xs_access_log_rotate: SimDuration,
+    /// Introducing a new domain to the Xenstore daemon.
+    pub xs_introduce: SimDuration,
+    /// Starting or ending a transaction.
+    pub xs_transaction: SimDuration,
+
+    // ------------------------------------------------------------------
+    // Toolstack (xl / libxl) and Dom0 userspace
+    // ------------------------------------------------------------------
+    /// Fixed toolstack overhead for launching a domain (config parsing,
+    /// libxl context, image handling).
+    pub xl_create_base: SimDuration,
+    /// Loading (measuring/copying) one page of the kernel image at boot.
+    pub image_load_per_page: SimDuration,
+    /// Scanning one existing domain name during `xl`'s uniqueness check
+    /// (disabled for the paper's baseline, kept as an option).
+    pub xl_name_check_per_domain: SimDuration,
+    /// Fixed `xl destroy` overhead (domain-death synchronization, device
+    /// teardown, toolstack process lifetime).
+    pub xl_destroy_base: SimDuration,
+    /// Attaching KFX to a fresh VM (mapping guest memory, VMI setup) —
+    /// paid per instance in the boot-per-input fuzzing baseline.
+    pub kfx_attach: SimDuration,
+    /// One frontend/backend Xenbus negotiation state transition.
+    pub xenbus_transition: SimDuration,
+    /// Creating the in-kernel state of a backend device (e.g. netback vif).
+    pub backend_create: SimDuration,
+    /// Generating and delivering one udev event to userspace.
+    pub udev_event: SimDuration,
+    /// Adding an interface to a Linux bridge.
+    pub bridge_add: SimDuration,
+    /// Enslaving an interface to a Linux bond.
+    pub bond_enslave: SimDuration,
+    /// Adding a bucket to an Open vSwitch select group.
+    pub ovs_group_add: SimDuration,
+    /// Launching a QEMU process (9pfs backend, console aggregation).
+    pub qemu_launch: SimDuration,
+    /// One QMP management request round-trip (e.g. 9pfs fid-table clone).
+    pub qmp_request: SimDuration,
+    /// Per-fid cost of cloning a 9pfs fid table inside QEMU.
+    pub qmp_clone_per_fid: SimDuration,
+    /// Attaching the console of a new domain (xenconsoled work).
+    pub console_attach: SimDuration,
+    /// Saving one page of guest memory to a suspend image.
+    pub save_per_page: SimDuration,
+    /// Restoring one page of guest memory from a suspend image. Restore
+    /// copies the *entire configured* memory back (Fig. 4: restore is
+    /// slightly slower than boot).
+    pub restore_per_page: SimDuration,
+    /// Fixed guest-side boot work (unikernel early init until app main).
+    pub guest_boot_fixed: SimDuration,
+
+    // ------------------------------------------------------------------
+    // xencloned (second stage)
+    // ------------------------------------------------------------------
+    /// Fixed second-stage daemon overhead per clone (ring read, dispatch).
+    pub xencloned_dispatch: SimDuration,
+    /// Reading and caching the parent's Xenstore information (charged only
+    /// for the first clone of a parent; §6.2 reports ~3 ms first vs ~1.9 ms
+    /// subsequent userspace operations).
+    pub xencloned_parent_scan: SimDuration,
+
+    // ------------------------------------------------------------------
+    // Linux process / container / VM baselines
+    // ------------------------------------------------------------------
+    /// Fixed cost of the `fork()` system call (task struct, fd table, ...).
+    pub fork_base: SimDuration,
+    /// Copying one page-table entry during `fork()`.
+    pub fork_pt_copy_per_page: SimDuration,
+    /// Write-protecting one PTE on the first `fork()` of a process.
+    pub fork_cow_mark_per_page: SimDuration,
+    /// Linux COW fault (page copy + PTE fixup).
+    pub linux_cow_fault: SimDuration,
+    /// Starting a container (namespace + cgroup setup + runtime overhead,
+    /// excluding orchestration latency).
+    pub container_start: SimDuration,
+    /// Kubernetes pod scheduling + kubelet + readiness-probe latency until
+    /// a new container instance is reported Ready.
+    pub pod_ready_latency: SimDuration,
+    /// Latency until a cloned unikernel instance is reported Ready by the
+    /// orchestrator (KubeKraft path).
+    pub unikernel_ready_latency: SimDuration,
+
+    // ------------------------------------------------------------------
+    // I/O data path
+    // ------------------------------------------------------------------
+    /// One-way latency of a packet across the virtual link (bridge/bond).
+    pub net_link_latency: SimDuration,
+    /// Per-byte cost of moving packet payload through the PV ring path.
+    pub net_per_byte: SimDuration,
+    /// Guest-side cost to process one HTTP request (Unikraft + lwip path;
+    /// no user/kernel crossing).
+    pub http_service_unikernel: SimDuration,
+    /// Process-side cost to process one HTTP request (native Linux stack,
+    /// includes user/kernel switches).
+    pub http_service_process: SimDuration,
+    /// Handling one Redis command (SET) in the server.
+    pub redis_op: SimDuration,
+    /// Serializing one key/value pair into the RDB snapshot.
+    pub redis_serialize_per_key: SimDuration,
+    /// Writing one 4 KiB block through 9pfs (front + ring + QEMU + ramdisk).
+    pub p9fs_write_per_page: SimDuration,
+    /// One 9pfs protocol round-trip (TOPEN/TWALK/... request + response).
+    pub p9fs_rpc: SimDuration,
+
+    // ------------------------------------------------------------------
+    // Fuzzing (KFX + AFL)
+    // ------------------------------------------------------------------
+    /// AFL-side work per iteration (mutation, queue bookkeeping, pipe I/O).
+    pub afl_overhead: SimDuration,
+    /// Executing the harness body for one input (adapter + syscall).
+    pub fuzz_exec_body: SimDuration,
+    /// Inserting one breakpoint during KFX instrumentation (clone_cow path).
+    pub kfx_breakpoint_insert: SimDuration,
+    /// Per-iteration coverage-tracing overhead for a paravirtualized guest
+    /// (breakpoint exits + KFX bookkeeping).
+    pub kfx_coverage_overhead_pv: SimDuration,
+    /// Per-iteration coverage-tracing overhead for an HVM Linux guest
+    /// (VM exits are pricier and the kernel surface is larger).
+    pub kfx_coverage_overhead_hvm: SimDuration,
+    /// Restoring one dirty page during `clone_reset`.
+    pub kfx_reset_per_page: SimDuration,
+    /// Fixed `clone_reset` overhead (hypercall + vCPU state restore).
+    pub kfx_reset_base: SimDuration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            // Hypervisor: generic.
+            hypercall_base: SimDuration::from_ns(300),
+            domain_create_base: SimDuration::from_us(180),
+            vcpu_init: SimDuration::from_us(30),
+            mem_alloc_per_page: SimDuration::from_ns(380),
+            mem_free_per_page: SimDuration::from_ns(150),
+            page_copy: SimDuration::from_ns(750),
+            event_delivery: SimDuration::from_us(2),
+
+            // CLONEOP first stage. A 4 MiB guest (1024 pages) yields
+            // ~1 ms of first-stage time: base 250us + 1024*(290+170+75)ns
+            // + ~40 private pages.
+            clone_stage1_base: SimDuration::from_us(250),
+            clone_share_per_page: SimDuration::from_ns(290),
+            clone_reshare_per_page: SimDuration::from_ns(28),
+            clone_pt_build_per_page: SimDuration::from_ns(44),
+            clone_private_page: SimDuration::from_ns(3400),
+            cow_fault_copy: SimDuration::from_ns(2600),
+            cow_fault_transfer: SimDuration::from_ns(1100),
+
+            // Xenstore.
+            xs_request_base: SimDuration::from_us(450),
+            xs_per_existing_entry: SimDuration::from_ns(80),
+            xs_watch_match: SimDuration::from_ns(90),
+            xs_watch_fire: SimDuration::from_us(6),
+            xs_clone_per_entry: SimDuration::from_ns(900),
+            xs_access_log_append: SimDuration::from_ns(800),
+            xs_access_log_rotate: SimDuration::from_ms(210),
+            xs_introduce: SimDuration::from_us(520),
+            xs_transaction: SimDuration::from_us(10),
+
+            // Toolstack / Dom0 userspace.
+            xl_create_base: SimDuration::from_ms(100),
+            image_load_per_page: SimDuration::from_ns(7600),
+            xl_name_check_per_domain: SimDuration::from_us(95),
+            xl_destroy_base: SimDuration::from_ms(175),
+            kfx_attach: SimDuration::from_ms(120),
+            xenbus_transition: SimDuration::from_us(540),
+            backend_create: SimDuration::from_us(2600),
+            udev_event: SimDuration::from_us(3300),
+            bridge_add: SimDuration::from_us(3600),
+            bond_enslave: SimDuration::from_us(4300),
+            ovs_group_add: SimDuration::from_us(4600),
+            qemu_launch: SimDuration::from_ms(14),
+            qmp_request: SimDuration::from_us(450),
+            qmp_clone_per_fid: SimDuration::from_us(9),
+            console_attach: SimDuration::from_us(2300),
+            save_per_page: SimDuration::from_ns(9500),
+            restore_per_page: SimDuration::from_ns(33000),
+            guest_boot_fixed: SimDuration::from_ms(12),
+
+            // xencloned.
+            xencloned_dispatch: SimDuration::from_us(450),
+            xencloned_parent_scan: SimDuration::from_us(1100),
+
+            // Baselines.
+            fork_base: SimDuration::from_us(55),
+            fork_pt_copy_per_page: SimDuration::from_ns(62),
+            fork_cow_mark_per_page: SimDuration::from_ns(130),
+            linux_cow_fault: SimDuration::from_ns(1800),
+            container_start: SimDuration::from_ms(900),
+            pod_ready_latency: SimDuration::from_secs(29),
+            unikernel_ready_latency: SimDuration::from_ms(2800),
+
+            // I/O data path.
+            net_link_latency: SimDuration::from_us(18),
+            net_per_byte: SimDuration::from_ns(1),
+            http_service_unikernel: SimDuration::from_us(33),
+            http_service_process: SimDuration::from_us(36),
+            redis_op: SimDuration::from_ns(1600),
+            redis_serialize_per_key: SimDuration::from_ns(420),
+            p9fs_write_per_page: SimDuration::from_us(11),
+            p9fs_rpc: SimDuration::from_us(35),
+
+            // Fuzzing.
+            afl_overhead: SimDuration::from_us(210),
+            fuzz_exec_body: SimDuration::from_us(1250),
+            kfx_breakpoint_insert: SimDuration::from_us(3),
+            kfx_coverage_overhead_pv: SimDuration::from_us(420),
+            kfx_coverage_overhead_hvm: SimDuration::from_us(1350),
+            kfx_reset_per_page: SimDuration::from_us(38),
+            kfx_reset_base: SimDuration::from_us(11),
+        }
+    }
+}
+
+impl CostModel {
+    /// Returns the calibrated default model (alias for [`Default`]).
+    pub fn calibrated() -> Self {
+        Self::default()
+    }
+
+    /// Returns a zero-cost model, useful in unit tests that assert on
+    /// functional behaviour without caring about timing.
+    pub fn free() -> Self {
+        // SAFETY of the transmute-free approach: build from default and
+        // reset every field; a macro would be overkill for a test helper.
+        let mut m = Self::default();
+        let zero = SimDuration::ZERO;
+        m.hypercall_base = zero;
+        m.domain_create_base = zero;
+        m.vcpu_init = zero;
+        m.mem_alloc_per_page = zero;
+        m.mem_free_per_page = zero;
+        m.page_copy = zero;
+        m.event_delivery = zero;
+        m.clone_stage1_base = zero;
+        m.clone_share_per_page = zero;
+        m.clone_reshare_per_page = zero;
+        m.clone_pt_build_per_page = zero;
+        m.clone_private_page = zero;
+        m.cow_fault_copy = zero;
+        m.cow_fault_transfer = zero;
+        m.xs_request_base = zero;
+        m.xs_per_existing_entry = zero;
+        m.xs_watch_match = zero;
+        m.xs_watch_fire = zero;
+        m.xs_clone_per_entry = zero;
+        m.xs_access_log_append = zero;
+        m.xs_access_log_rotate = zero;
+        m.xs_introduce = zero;
+        m.xs_transaction = zero;
+        m.xl_create_base = zero;
+        m.image_load_per_page = zero;
+        m.xl_name_check_per_domain = zero;
+        m.xl_destroy_base = zero;
+        m.kfx_attach = zero;
+        m.xenbus_transition = zero;
+        m.backend_create = zero;
+        m.udev_event = zero;
+        m.bridge_add = zero;
+        m.bond_enslave = zero;
+        m.ovs_group_add = zero;
+        m.qemu_launch = zero;
+        m.qmp_request = zero;
+        m.qmp_clone_per_fid = zero;
+        m.console_attach = zero;
+        m.save_per_page = zero;
+        m.restore_per_page = zero;
+        m.guest_boot_fixed = zero;
+        m.xencloned_dispatch = zero;
+        m.xencloned_parent_scan = zero;
+        m.fork_base = zero;
+        m.fork_pt_copy_per_page = zero;
+        m.fork_cow_mark_per_page = zero;
+        m.linux_cow_fault = zero;
+        m.container_start = zero;
+        m.pod_ready_latency = zero;
+        m.unikernel_ready_latency = zero;
+        m.net_link_latency = zero;
+        m.net_per_byte = zero;
+        m.http_service_unikernel = zero;
+        m.http_service_process = zero;
+        m.redis_op = zero;
+        m.redis_serialize_per_key = zero;
+        m.p9fs_write_per_page = zero;
+        m.p9fs_rpc = zero;
+        m.afl_overhead = zero;
+        m.fuzz_exec_body = zero;
+        m.kfx_breakpoint_insert = zero;
+        m.kfx_coverage_overhead_pv = zero;
+        m.kfx_coverage_overhead_hvm = zero;
+        m.kfx_reset_per_page = zero;
+        m.kfx_reset_base = zero;
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_nonzero() {
+        let m = CostModel::default();
+        assert!(m.hypercall_base.as_ns() > 0);
+        assert!(m.clone_pt_build_per_page.as_ns() > 0);
+        assert!(m.xs_request_base.as_ns() > 0);
+    }
+
+    #[test]
+    fn free_model_is_all_zero_where_it_matters() {
+        let m = CostModel::free();
+        assert!(m.hypercall_base.is_zero());
+        assert!(m.xs_access_log_rotate.is_zero());
+        assert!(m.pod_ready_latency.is_zero());
+        assert!(m.kfx_reset_per_page.is_zero());
+    }
+
+    #[test]
+    fn stage1_for_4mib_guest_is_about_one_millisecond() {
+        // The paper reports ~1 ms for the first stage of cloning the 4 MiB
+        // Mini-OS UDP server (§6.1). Sanity-check the unit costs compose to
+        // the right order of magnitude: base + 1024 shared pages + page
+        // table + ~40 private pages.
+        let m = CostModel::default();
+        let pages = 1024u64;
+        let total = m.clone_stage1_base
+            + m.clone_share_per_page * pages
+            + m.clone_pt_build_per_page * pages
+            + m.clone_private_page * 40;
+        let ms = total.as_ms_f64();
+        assert!((0.5..2.0).contains(&ms), "stage1 = {ms} ms");
+    }
+}

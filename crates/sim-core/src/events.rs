@@ -1,0 +1,163 @@
+//! Deterministic discrete-event queue.
+//!
+//! [`EventQueue`] orders events by virtual time with FIFO tie-breaking
+//! (events scheduled for the same instant pop in scheduling order), which
+//! keeps the whole simulation reproducible run-to-run.
+
+use std::collections::BinaryHeap;
+use std::cmp::{Ordering, Reverse};
+
+use crate::time::SimTime;
+
+/// An event stamped with its due time and a monotonic sequence number.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A time-ordered, FIFO-stable event queue.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_ns(20), "later");
+/// q.push(SimTime::from_ns(10), "first");
+/// q.push(SimTime::from_ns(10), "second");
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(10), "first")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(10), "second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(20), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at instant `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(s)| (s.at, s.event))
+    }
+
+    /// Returns the due time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Removes and returns the earliest event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(5), 'b');
+        q.push(SimTime::from_ns(1), 'a');
+        q.push(SimTime::from_ns(5), 'c');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(100), 1u32);
+        assert!(q.pop_due(SimTime::from_ns(99)).is_none());
+        assert_eq!(q.pop_due(SimTime::from_ns(100)).unwrap().1, 1);
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn large_interleaving_stays_sorted() {
+        let mut q = EventQueue::new();
+        // Insert in a scrambled deterministic order.
+        for i in 0u64..1000 {
+            let t = (i * 7919) % 101;
+            q.push(SimTime::from_ns(t), (t, i));
+        }
+        let mut last = (SimTime::ZERO, 0u64);
+        while let Some((at, (t, seq))) = q.pop() {
+            assert_eq!(at.as_ns(), t);
+            assert!(at > last.0 || (at == last.0 && seq > last.1) || last == (SimTime::ZERO, 0));
+            last = (at, seq);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Strongly typed identifiers and memory units.
+//!
+//! Mirrors the Xen naming: *machine frame numbers* ([`Mfn`]) index host
+//! physical memory, *pseudo-physical frame numbers* ([`Pfn`]) index a guest's
+//! view of its own memory, and [`DomId`] identifies a domain. Using newtypes
+//! keeps the p2m (Pfn → Mfn) and the frame table (Mfn → metadata) from being
+//! mixed up.
+
+use std::fmt;
+
+/// Size of one memory page in bytes (4 KiB, as on x86 Xen).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Converts a size in MiB to a page count.
+pub const fn mib_to_pages(mib: u64) -> u64 {
+    mib * 1024 * 1024 / PAGE_SIZE as u64
+}
+
+/// Converts a page count to bytes.
+pub const fn pages_to_bytes(pages: u64) -> u64 {
+    pages * PAGE_SIZE as u64
+}
+
+/// A domain identifier.
+///
+/// `DomId(0)` is the privileged host domain (Dom0). Nephele additionally
+/// defines two wildcard/pseudo ids mirroring the paper's interface
+/// extensions: [`DomId::COW`] (the `dom_cow` owner of shared pages) and
+/// [`DomId::CHILD`] (the `DOMID_CHILD` wildcard used when granting memory or
+/// creating event channels for not-yet-existing clones, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomId(pub u32);
+
+impl DomId {
+    /// The privileged host domain.
+    pub const DOM0: DomId = DomId(0);
+    /// Pseudo-domain owning all COW-shared pages (`dom_cow`).
+    pub const COW: DomId = DomId(0x7FF4);
+    /// Wildcard for "any future clone of this domain" (`DOMID_CHILD`).
+    pub const CHILD: DomId = DomId(0x7FF5);
+    /// Wildcard used by Xen for "the hypervisor itself".
+    pub const XEN: DomId = DomId(0x7FF2);
+
+    /// Returns `true` for real (schedulable) domains, `false` for wildcards.
+    pub fn is_real(self) -> bool {
+        self.0 < 0x7FF0
+    }
+
+    /// Returns `true` if this is the privileged host domain.
+    pub fn is_dom0(self) -> bool {
+        self == Self::DOM0
+    }
+}
+
+impl fmt::Display for DomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DomId::COW => write!(f, "dom_cow"),
+            DomId::CHILD => write!(f, "domid_child"),
+            DomId::XEN => write!(f, "dom_xen"),
+            DomId(n) => write!(f, "dom{n}"),
+        }
+    }
+}
+
+/// A machine (host-physical) frame number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Mfn(pub u64);
+
+/// A guest pseudo-physical frame number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pfn(pub u64);
+
+impl fmt::Display for Mfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mfn:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(mib_to_pages(4), 1024);
+        assert_eq!(pages_to_bytes(2), 8192);
+    }
+
+    #[test]
+    fn wildcard_ids_are_not_real() {
+        assert!(DomId::DOM0.is_real());
+        assert!(DomId(42).is_real());
+        assert!(!DomId::COW.is_real());
+        assert!(!DomId::CHILD.is_real());
+        assert!(DomId::DOM0.is_dom0());
+        assert!(!DomId(1).is_dom0());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DomId(3).to_string(), "dom3");
+        assert_eq!(DomId::COW.to_string(), "dom_cow");
+        assert_eq!(DomId::CHILD.to_string(), "domid_child");
+        assert_eq!(Mfn(16).to_string(), "mfn:0x10");
+        assert_eq!(Pfn(16).to_string(), "pfn:0x10");
+    }
+}

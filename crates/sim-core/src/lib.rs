@@ -1,0 +1,39 @@
+//! Core simulation substrate for the Nephele reproduction.
+//!
+//! Every other crate in this workspace models a component of a Xen-like
+//! virtualization environment (hypervisor, Xenstore, toolstack, guests, ...).
+//! This crate provides the pieces they all share:
+//!
+//! * [`time`] — a virtual-time representation ([`SimTime`], [`SimDuration`]).
+//!   The simulation never reads the host clock; all reported durations are
+//!   derived from virtual time.
+//! * [`clock`] — a shareable monotonic [`Clock`] advanced by charging costs.
+//! * [`costs`] — the single calibrated [`CostModel`] from which every
+//!   modelled operation derives its virtual duration.
+//! * [`events`] — a deterministic discrete-event queue.
+//! * [`rng`] — a small deterministic PRNG ([`SplitMix64`]) so the lower
+//!   layers do not need external crates.
+//! * [`stats`] — streaming statistics and series recording for experiments.
+//! * [`ids`] — strongly typed identifiers (domain ids, frame numbers) and
+//!   page-size constants.
+//!
+//! [`SimTime`]: time::SimTime
+//! [`SimDuration`]: time::SimDuration
+//! [`Clock`]: clock::Clock
+//! [`CostModel`]: costs::CostModel
+//! [`SplitMix64`]: rng::SplitMix64
+
+pub mod clock;
+pub mod costs;
+pub mod events;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use clock::Clock;
+pub use costs::CostModel;
+pub use events::EventQueue;
+pub use ids::{DomId, Mfn, Pfn, PAGE_SIZE};
+pub use rng::SplitMix64;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,246 @@
+//! Virtual time representation.
+//!
+//! The simulation is driven entirely by a virtual clock measured in
+//! nanoseconds. [`SimTime`] is an absolute instant since simulation start and
+//! [`SimDuration`] a span between instants. Both are thin wrappers around
+//! `u64` with saturating arithmetic so that modelling code never panics on
+//! overflow.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant of virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The instant at which every simulation starts.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant `ns` nanoseconds after simulation start.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating to zero if
+    /// `earlier` is in the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration of `ns` nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration of `us` microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration of `ms` milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration of `s` seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in microseconds as a float.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the duration in milliseconds as a float.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the duration in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Scales the duration by an integer factor, saturating on overflow.
+    pub fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+
+    /// Scales the duration by a float factor (used for jitter and
+    /// contention models); negative factors clamp to zero.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        if factor <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((self.0 as f64 * factor) as u64)
+    }
+
+    /// Returns `true` if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs.max(1))
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.0 as f64 / 1_000_000.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimDuration::from_us(3).as_ns(), 3_000);
+        assert_eq!(SimDuration::from_ms(3).as_ns(), 3_000_000);
+        assert_eq!(SimDuration::from_secs(3).as_ns(), 3_000_000_000);
+        assert_eq!(SimTime::from_ns(42).as_ns(), 42);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ns(100) + SimDuration::from_ns(50);
+        assert_eq!(t.as_ns(), 150);
+        assert_eq!((t - SimTime::from_ns(100)).as_ns(), 50);
+        assert_eq!(t.since(SimTime::from_ns(200)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        let d = SimDuration::from_ns(u64::MAX);
+        assert_eq!((d + d).as_ns(), u64::MAX);
+        assert_eq!(d.saturating_mul(3).as_ns(), u64::MAX);
+        assert_eq!((SimDuration::from_ns(5) - SimDuration::from_ns(9)).as_ns(), 0);
+    }
+
+    #[test]
+    fn float_conversions() {
+        let d = SimDuration::from_ms(1500);
+        assert!((d.as_secs_f64() - 1.5).abs() < 1e-9);
+        assert!((d.as_ms_f64() - 1500.0).abs() < 1e-9);
+        assert_eq!(d.mul_f64(2.0).as_ns(), 3_000_000_000);
+        assert_eq!(d.mul_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimDuration::from_ns(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_us(12)), "12.000us");
+        assert_eq!(format!("{}", SimDuration::from_ms(12)), "12.000ms");
+    }
+
+    #[test]
+    fn division_never_panics() {
+        assert_eq!((SimDuration::from_ns(10) / 0).as_ns(), 10);
+        assert_eq!((SimDuration::from_ns(10) / 2).as_ns(), 5);
+    }
+}

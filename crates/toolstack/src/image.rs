@@ -1,0 +1,147 @@
+//! Unikernel kernel images.
+//!
+//! A unikernel image statically links the application with its library OS;
+//! "statically linked unikernels tend to have high binary sizes, with a
+//! significant proportion of the memory containing text sections, making
+//! them great candidates for increasing the memory density by means of
+//! cloning" (§4.1). The image model records the section split so the boot
+//! path can populate guest memory (text/rodata become the shared,
+//! never-written pages; data/bss are written during execution).
+
+use sim_core::{ids::mib_to_pages, Pfn};
+
+/// A kernel image: sizes of the sections that end up in guest memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelImage {
+    /// Image name (e.g. "minios-udp").
+    pub name: String,
+    /// Pages of executable code.
+    pub text_pages: u64,
+    /// Pages of read-only data.
+    pub rodata_pages: u64,
+    /// Pages of initialized data (written at startup).
+    pub data_pages: u64,
+    /// Pages of zero-initialized data.
+    pub bss_pages: u64,
+}
+
+impl KernelImage {
+    /// A Mini-OS-style tiny image (the Fig. 4/5 UDP server): ~700 KiB of
+    /// text+rodata, a little data.
+    pub fn minios(name: &str) -> Self {
+        KernelImage {
+            name: name.to_string(),
+            text_pages: 120,
+            rodata_pages: 48,
+            data_pages: 16,
+            bss_pages: 24,
+        }
+    }
+
+    /// A Unikraft image bundling an application (NGINX/Redis-class): a few
+    /// MiB of text+rodata.
+    pub fn unikraft(name: &str) -> Self {
+        KernelImage {
+            name: name.to_string(),
+            text_pages: 420,
+            rodata_pages: 180,
+            data_pages: 64,
+            bss_pages: 96,
+        }
+    }
+
+    /// A Unikraft+Python interpreter image (the 6 MB FaaS image of §7.3).
+    pub fn unikraft_python(name: &str) -> Self {
+        KernelImage {
+            name: name.to_string(),
+            text_pages: 1100,
+            rodata_pages: 380,
+            data_pages: 96,
+            bss_pages: 128,
+        }
+    }
+
+    /// Total pages the image occupies in memory.
+    pub fn total_pages(&self) -> u64 {
+        self.text_pages + self.rodata_pages + self.data_pages + self.bss_pages
+    }
+
+    /// Pages that stay read-only for the image's lifetime (maximally
+    /// shareable under cloning).
+    pub fn readonly_pages(&self) -> u64 {
+        self.text_pages + self.rodata_pages
+    }
+}
+
+/// The memory layout the toolstack gives a booted guest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuestLayout {
+    /// Total RAM pages (excluding the special pages past RAM).
+    pub ram_pages: u64,
+    /// Pages occupied by the kernel image at the bottom of RAM.
+    pub image_pages: u64,
+    /// First heap page.
+    pub heap_start: Pfn,
+    /// Heap size in pages (between the image and the device pages).
+    pub heap_pages: u64,
+    /// First page of the device region at the top of RAM (rings and RX
+    /// buffers are carved from here, growing downwards).
+    pub dev_region_start: Pfn,
+}
+
+impl GuestLayout {
+    /// Computes the layout for `memory_mib` of RAM, an image, and
+    /// `dev_pages` of ring/buffer pages at the top.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image and device pages do not fit in RAM.
+    pub fn compute(memory_mib: u64, image: &KernelImage, dev_pages: u64) -> GuestLayout {
+        let ram_pages = mib_to_pages(memory_mib.max(4));
+        let image_pages = image.total_pages();
+        assert!(
+            image_pages + dev_pages < ram_pages,
+            "image ({image_pages}) + devices ({dev_pages}) exceed RAM ({ram_pages})"
+        );
+        let dev_region_start = Pfn(ram_pages - dev_pages);
+        GuestLayout {
+            ram_pages,
+            image_pages,
+            heap_start: Pfn(image_pages),
+            heap_pages: ram_pages - dev_pages - image_pages,
+            dev_region_start,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_totals() {
+        let img = KernelImage::minios("udp");
+        assert_eq!(img.total_pages(), 208);
+        assert_eq!(img.readonly_pages(), 168);
+        assert!(KernelImage::unikraft_python("py").total_pages() > img.total_pages());
+    }
+
+    #[test]
+    fn layout_partitions_ram() {
+        let img = KernelImage::minios("udp");
+        let l = GuestLayout::compute(4, &img, 258);
+        assert_eq!(l.ram_pages, 1024);
+        assert_eq!(l.heap_start, Pfn(208));
+        assert_eq!(l.heap_pages, 1024 - 258 - 208);
+        assert_eq!(l.dev_region_start, Pfn(1024 - 258));
+        // The three regions tile RAM exactly.
+        assert_eq!(l.image_pages + l.heap_pages + 258, l.ram_pages);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed RAM")]
+    fn oversized_image_rejected() {
+        let img = KernelImage::unikraft_python("py");
+        GuestLayout::compute(4, &img, 600);
+    }
+}

@@ -1,0 +1,18 @@
+//! The Xen toolstack model: `xl`, domain configuration, kernel images and
+//! Dom0 accounting.
+//!
+//! This crate reproduces the instantiation-side machinery of the paper's
+//! evaluation: the full boot path (hypervisor allocations, image loading,
+//! per-entry Xenstore population, device negotiation, bridging), `xl
+//! save`/`xl restore`, vanilla `xl`'s optional O(n) name-uniqueness scan,
+//! and the Dom0 memory model used by Fig. 5.
+
+pub mod config;
+pub mod dom0;
+pub mod image;
+pub mod xl;
+
+pub use config::{DomainConfig, DomainConfigBuilder, VifSpec};
+pub use dom0::Dom0Model;
+pub use image::{GuestLayout, KernelImage};
+pub use xl::{CreatedDomain, DomRecord, Xl, XlError, PAGES_PER_VIF};

@@ -1,0 +1,782 @@
+//! A Xenstore-like hierarchical key-value registry.
+//!
+//! Xenstore is Xen's device registry: a small tree of string values with
+//! per-node permissions, *watches* (prefix subscriptions with notification)
+//! and transactions. The toolstack populates it during domain creation and
+//! the split drivers negotiate through it.
+//!
+//! Nephele's additions (§5.2.1) are implemented faithfully:
+//!
+//! * [`Xenstore::introduce_domain`] accepts an optional parent id — clone
+//!   introductions are initiated by `xencloned` and carry the parent;
+//! * the new [`Xenstore::xs_clone`] request deep-copies a directory on the
+//!   daemon side in a single request, rewriting domain-id references with
+//!   per-device heuristics ([`XsCloneOp`], Figs. 2–3). This slashes the
+//!   number of request round-trips, which is what makes cloning's
+//!   instantiation growth so much flatter than boot's in Fig. 4;
+//! * an access log with rotation; the rotation pauses the daemon and is the
+//!   source of the latency spikes in Fig. 4 ("Xenstore logs every incoming
+//!   request, just as reported by LightVM").
+
+pub mod log;
+pub mod tree;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use sim_core::{Clock, CostModel, DomId};
+
+use crate::log::AccessLog;
+use crate::tree::Node;
+
+/// Errors returned by Xenstore requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XsError {
+    /// Path does not exist.
+    NoEnt(String),
+    /// Caller may not access the path.
+    Denied(String),
+    /// Malformed path.
+    BadPath(String),
+    /// Unknown transaction id.
+    BadTxn(u32),
+}
+
+impl fmt::Display for XsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XsError::NoEnt(p) => write!(f, "ENOENT: {p}"),
+            XsError::Denied(p) => write!(f, "EACCES: {p}"),
+            XsError::BadPath(p) => write!(f, "EINVAL: bad path {p}"),
+            XsError::BadTxn(t) => write!(f, "EINVAL: bad transaction {t}"),
+        }
+    }
+}
+
+impl std::error::Error for XsError {}
+
+/// Convenience alias for Xenstore results.
+pub type Result<T> = std::result::Result<T, XsError>;
+
+/// Heuristics applied by [`Xenstore::xs_clone`] (Fig. 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XsCloneOp {
+    /// Normal in-depth directory copy, no rewriting.
+    Basic,
+    /// Console device cloning.
+    DevConsole,
+    /// Network device cloning.
+    DevVif,
+    /// 9pfs device cloning.
+    Dev9pfs,
+}
+
+/// A fired watch event awaiting dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchEvent {
+    /// The token supplied at registration (identifies the subscriber).
+    pub token: String,
+    /// The path that changed.
+    pub path: String,
+}
+
+#[derive(Debug, Clone)]
+struct Watch {
+    owner: DomId,
+    token: String,
+    prefix: String,
+}
+
+/// A pending transaction: buffered writes applied atomically at commit.
+#[derive(Debug, Default)]
+struct Txn {
+    ops: Vec<TxnOp>,
+}
+
+#[derive(Debug, Clone)]
+enum TxnOp {
+    Write { path: String, value: String },
+    Rm { path: String },
+}
+
+/// The Xenstore daemon.
+#[derive(Debug)]
+pub struct Xenstore {
+    clock: Clock,
+    costs: Rc<CostModel>,
+    root: Node,
+    watches: Vec<Watch>,
+    fired: Vec<WatchEvent>,
+    txns: HashMap<u32, Txn>,
+    next_txn: u32,
+    access_log: AccessLog,
+    /// Entries currently stored (cached; kept in sync with the tree).
+    entry_count: u64,
+    /// Approximate resident bytes per entry for the Dom0 memory accounting
+    /// of Fig. 5 (the paper reports oxenstored growing to ~350 MB).
+    resident_per_entry: u64,
+}
+
+fn validate(path: &str) -> Result<()> {
+    if !path.starts_with('/') || path.contains("//") || path.len() > 1024 {
+        return Err(XsError::BadPath(path.to_string()));
+    }
+    Ok(())
+}
+
+impl Xenstore {
+    /// Creates an empty store with the standard top-level directories.
+    pub fn new(clock: Clock, costs: Rc<CostModel>) -> Self {
+        let mut xs = Xenstore {
+            clock,
+            costs,
+            root: Node::dir(DomId::DOM0),
+            watches: Vec::new(),
+            fired: Vec::new(),
+            txns: HashMap::new(),
+            next_txn: 1,
+            access_log: AccessLog::new(3000),
+            entry_count: 0,
+            resident_per_entry: 1024,
+        };
+        for dir in ["/tool", "/local", "/local/domain", "/vm", "/libxl"] {
+            xs.mkdir_internal(DomId::DOM0, dir).expect("static dirs");
+        }
+        xs
+    }
+
+    // ------------------------------------------------------------------
+    // Cost accounting
+    // ------------------------------------------------------------------
+
+    fn charge_request(&mut self, kind: &str, path: &str) {
+        self.clock.advance(self.costs.xs_request_base);
+        self.clock.advance(
+            self.costs
+                .xs_per_existing_entry
+                .saturating_mul(self.entry_count),
+        );
+        let rotated = self.access_log.append(kind, path);
+        self.clock.advance(self.costs.xs_access_log_append);
+        if rotated {
+            // Rotation stalls the daemon: the latency spikes of Fig. 4.
+            self.clock.advance(self.costs.xs_access_log_rotate);
+        }
+    }
+
+    fn fire_watches(&mut self, path: &str) {
+        // Every registered watch is matched against the written path.
+        self.clock.advance(
+            self.costs
+                .xs_watch_match
+                .saturating_mul(self.watches.len() as u64),
+        );
+        let mut hits = Vec::new();
+        for w in &self.watches {
+            if path == w.prefix || path.starts_with(&format!("{}/", w.prefix)) {
+                hits.push(WatchEvent {
+                    token: w.token.clone(),
+                    path: path.to_string(),
+                });
+            }
+        }
+        for h in hits {
+            self.clock.advance(self.costs.xs_watch_fire);
+            self.fired.push(h);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Permissions
+    // ------------------------------------------------------------------
+
+    fn may_write(&self, who: DomId, path: &str) -> bool {
+        if who.is_dom0() {
+            return true;
+        }
+        // Guests may only write below their own home directory.
+        path.starts_with(&format!("/local/domain/{}/", who.0))
+            || path == format!("/local/domain/{}", who.0)
+    }
+
+    // ------------------------------------------------------------------
+    // Core requests
+    // ------------------------------------------------------------------
+
+    /// Reads the value at `path`.
+    pub fn read(&mut self, who: DomId, path: &str) -> Result<String> {
+        validate(path)?;
+        self.charge_request("read", path);
+        let _ = who;
+        match self.root.get(path) {
+            Some(node) => Ok(node.value.clone().unwrap_or_default()),
+            None => Err(XsError::NoEnt(path.to_string())),
+        }
+    }
+
+    /// Whether a path exists (no logging; used internally and by tests).
+    pub fn exists(&self, path: &str) -> bool {
+        self.root.get(path).is_some()
+    }
+
+    /// Writes `value` at `path`, creating intermediate directories, firing
+    /// watches and charging the per-request costs.
+    pub fn write(&mut self, who: DomId, path: &str, value: &str) -> Result<()> {
+        validate(path)?;
+        if !self.may_write(who, path) {
+            return Err(XsError::Denied(path.to_string()));
+        }
+        self.charge_request("write", path);
+        self.write_unlogged(who, path, value);
+        self.fire_watches(path);
+        Ok(())
+    }
+
+    fn write_unlogged(&mut self, who: DomId, path: &str, value: &str) {
+        let created = self.root.insert(path, value, who);
+        self.entry_count += created;
+    }
+
+    fn mkdir_internal(&mut self, who: DomId, path: &str) -> Result<()> {
+        validate(path)?;
+        let created = self.root.mkdir(path, who);
+        self.entry_count += created;
+        Ok(())
+    }
+
+    /// Creates a directory node.
+    pub fn mkdir(&mut self, who: DomId, path: &str) -> Result<()> {
+        validate(path)?;
+        if !self.may_write(who, path) {
+            return Err(XsError::Denied(path.to_string()));
+        }
+        self.charge_request("mkdir", path);
+        self.mkdir_internal(who, path)?;
+        self.fire_watches(path);
+        Ok(())
+    }
+
+    /// Removes `path` and everything beneath it.
+    pub fn rm(&mut self, who: DomId, path: &str) -> Result<()> {
+        validate(path)?;
+        if !self.may_write(who, path) {
+            return Err(XsError::Denied(path.to_string()));
+        }
+        self.charge_request("rm", path);
+        let removed = self
+            .root
+            .remove(path)
+            .ok_or_else(|| XsError::NoEnt(path.to_string()))?;
+        self.entry_count = self.entry_count.saturating_sub(removed);
+        self.fire_watches(path);
+        Ok(())
+    }
+
+    /// Lists the child names of a directory.
+    pub fn directory(&mut self, who: DomId, path: &str) -> Result<Vec<String>> {
+        validate(path)?;
+        let _ = who;
+        self.charge_request("directory", path);
+        match self.root.get(path) {
+            Some(node) => Ok(node.children.keys().cloned().collect()),
+            None => Err(XsError::NoEnt(path.to_string())),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Watches
+    // ------------------------------------------------------------------
+
+    /// Registers a watch on `prefix`; changes at or below it queue a
+    /// [`WatchEvent`] carrying `token`.
+    pub fn watch(&mut self, who: DomId, token: &str, prefix: &str) -> Result<()> {
+        validate(prefix)?;
+        self.charge_request("watch", prefix);
+        self.watches.push(Watch {
+            owner: who,
+            token: token.to_string(),
+            prefix: prefix.trim_end_matches('/').to_string(),
+        });
+        Ok(())
+    }
+
+    /// Removes a watch by owner and token.
+    pub fn unwatch(&mut self, who: DomId, token: &str) {
+        self.charge_request("unwatch", token);
+        self.watches
+            .retain(|w| !(w.owner == who && w.token == token));
+    }
+
+    /// Drains queued watch events for platform dispatch.
+    pub fn drain_watch_events(&mut self) -> Vec<WatchEvent> {
+        std::mem::take(&mut self.fired)
+    }
+
+    /// Number of registered watches.
+    pub fn watch_count(&self) -> usize {
+        self.watches.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Starts a transaction, returning its id.
+    pub fn txn_start(&mut self, who: DomId) -> u32 {
+        let _ = who;
+        self.clock.advance(self.costs.xs_transaction);
+        let id = self.next_txn;
+        self.next_txn += 1;
+        self.txns.insert(id, Txn::default());
+        id
+    }
+
+    /// Buffers a write inside a transaction.
+    pub fn txn_write(&mut self, who: DomId, txn: u32, path: &str, value: &str) -> Result<()> {
+        validate(path)?;
+        if !self.may_write(who, path) {
+            return Err(XsError::Denied(path.to_string()));
+        }
+        let t = self.txns.get_mut(&txn).ok_or(XsError::BadTxn(txn))?;
+        t.ops.push(TxnOp::Write {
+            path: path.to_string(),
+            value: value.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Buffers a removal inside a transaction.
+    pub fn txn_rm(&mut self, who: DomId, txn: u32, path: &str) -> Result<()> {
+        validate(path)?;
+        if !self.may_write(who, path) {
+            return Err(XsError::Denied(path.to_string()));
+        }
+        let t = self.txns.get_mut(&txn).ok_or(XsError::BadTxn(txn))?;
+        t.ops.push(TxnOp::Rm {
+            path: path.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Commits a transaction: all buffered operations apply atomically,
+    /// each charged as a request, with watches fired afterwards.
+    pub fn txn_commit(&mut self, who: DomId, txn: u32) -> Result<()> {
+        let t = self.txns.remove(&txn).ok_or(XsError::BadTxn(txn))?;
+        self.clock.advance(self.costs.xs_transaction);
+        let mut touched = Vec::new();
+        for op in t.ops {
+            match op {
+                TxnOp::Write { path, value } => {
+                    self.charge_request("write", &path);
+                    self.write_unlogged(who, &path, &value);
+                    touched.push(path);
+                }
+                TxnOp::Rm { path } => {
+                    self.charge_request("rm", &path);
+                    if let Some(removed) = self.root.remove(&path) {
+                        self.entry_count = self.entry_count.saturating_sub(removed);
+                    }
+                    touched.push(path);
+                }
+            }
+        }
+        for path in touched {
+            self.fire_watches(&path);
+        }
+        Ok(())
+    }
+
+    /// Aborts a transaction, discarding buffered operations.
+    pub fn txn_abort(&mut self, txn: u32) -> Result<()> {
+        self.txns.remove(&txn).map(|_| ()).ok_or(XsError::BadTxn(txn))
+    }
+
+    // ------------------------------------------------------------------
+    // Domain management
+    // ------------------------------------------------------------------
+
+    /// Introduces a domain to the store, creating its home directory. For
+    /// clones, `parent` carries the parent domain id (the augmented
+    /// introduction request of §5.2.1).
+    pub fn introduce_domain(&mut self, domid: DomId, parent: Option<DomId>) -> Result<()> {
+        self.clock.advance(self.costs.xs_introduce);
+        self.charge_request("introduce", &format!("/local/domain/{}", domid.0));
+        let home = format!("/local/domain/{}", domid.0);
+        self.mkdir_internal(DomId::DOM0, &home)?;
+        if let Some(p) = parent {
+            self.write_unlogged(DomId::DOM0, &format!("{home}/parent"), &p.0.to_string());
+        }
+        self.fire_watches(&home);
+        Ok(())
+    }
+
+    /// Removes a domain's subtree on destruction.
+    pub fn forget_domain(&mut self, domid: DomId) {
+        let home = format!("/local/domain/{}", domid.0);
+        if self.exists(&home) {
+            let _ = self.rm(DomId::DOM0, &home);
+        }
+        self.watches.retain(|w| w.owner != domid);
+    }
+
+    // ------------------------------------------------------------------
+    // xs_clone (Nephele)
+    // ------------------------------------------------------------------
+
+    /// Clones the directory at `parent_path` to `child_path` in a single
+    /// request (§5.2.1, Fig. 2). Depending on `op`, values referencing the
+    /// parent domain are rewritten to reference the child. Watches fire
+    /// once for the cloned directory root rather than per entry.
+    pub fn xs_clone(
+        &mut self,
+        who: DomId,
+        op: XsCloneOp,
+        parent_domid: DomId,
+        child_domid: DomId,
+        parent_path: &str,
+        child_path: &str,
+    ) -> Result<()> {
+        validate(parent_path)?;
+        validate(child_path)?;
+        if !who.is_dom0() {
+            return Err(XsError::Denied(parent_path.to_string()));
+        }
+        // One request round-trip for the entire directory.
+        self.charge_request("xs_clone", parent_path);
+
+        let src = self
+            .root
+            .get(parent_path)
+            .ok_or_else(|| XsError::NoEnt(parent_path.to_string()))?
+            .clone();
+        let entries = src.count_entries();
+        self.clock
+            .advance(self.costs.xs_clone_per_entry.saturating_mul(entries));
+
+        let rewritten = match op {
+            XsCloneOp::Basic => src,
+            XsCloneOp::DevConsole | XsCloneOp::DevVif | XsCloneOp::Dev9pfs => {
+                let mut n = src;
+                n.rewrite_domid(parent_domid.0, child_domid.0);
+                n
+            }
+        };
+        let created = self.root.graft(child_path, rewritten, DomId::DOM0);
+        self.entry_count += created;
+        self.fire_watches(child_path);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection / accounting
+    // ------------------------------------------------------------------
+
+    /// Total entries in the store.
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Modelled resident memory of the daemon in bytes (Fig. 5 Dom0 side).
+    pub fn resident_bytes(&self) -> u64 {
+        self.entry_count * self.resident_per_entry
+    }
+
+    /// Enables or disables access logging (the paper notes disabling it
+    /// removes the spikes but not the baseline trend).
+    pub fn set_access_logging(&mut self, on: bool) {
+        self.access_log.set_enabled(on);
+    }
+
+    /// Number of log rotations so far (spike count in Fig. 4).
+    pub fn log_rotations(&self) -> u64 {
+        self.access_log.rotations()
+    }
+
+    /// Lines appended to the access log so far.
+    pub fn log_lines(&self) -> u64 {
+        self.access_log.lines_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xs() -> Xenstore {
+        Xenstore::new(Clock::new(), Rc::new(CostModel::free()))
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut xs = xs();
+        xs.write(DomId::DOM0, "/local/domain/1/name", "guest").unwrap();
+        assert_eq!(xs.read(DomId::DOM0, "/local/domain/1/name").unwrap(), "guest");
+    }
+
+    #[test]
+    fn read_missing_is_enoent() {
+        let mut xs = xs();
+        assert!(matches!(
+            xs.read(DomId::DOM0, "/nope"),
+            Err(XsError::NoEnt(_))
+        ));
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let mut xs = xs();
+        assert!(matches!(
+            xs.write(DomId::DOM0, "relative", "x"),
+            Err(XsError::BadPath(_))
+        ));
+        assert!(matches!(
+            xs.write(DomId::DOM0, "/a//b", "x"),
+            Err(XsError::BadPath(_))
+        ));
+    }
+
+    #[test]
+    fn guest_confined_to_home_directory() {
+        let mut xs = xs();
+        let guest = DomId(7);
+        assert!(matches!(
+            xs.write(guest, "/local/domain/8/attack", "x"),
+            Err(XsError::Denied(_))
+        ));
+        xs.write(guest, "/local/domain/7/data", "ok").unwrap();
+    }
+
+    #[test]
+    fn directory_lists_children() {
+        let mut xs = xs();
+        xs.write(DomId::DOM0, "/local/domain/1/device/vif/0/mac", "aa").unwrap();
+        xs.write(DomId::DOM0, "/local/domain/1/device/vif/0/state", "4").unwrap();
+        let mut kids = xs.directory(DomId::DOM0, "/local/domain/1/device/vif/0").unwrap();
+        kids.sort();
+        assert_eq!(kids, vec!["mac", "state"]);
+    }
+
+    #[test]
+    fn rm_removes_subtree_and_updates_count() {
+        let mut xs = xs();
+        let base = xs.entry_count();
+        xs.write(DomId::DOM0, "/local/domain/1/a/b", "x").unwrap();
+        xs.write(DomId::DOM0, "/local/domain/1/a/c", "y").unwrap();
+        assert!(xs.entry_count() > base);
+        xs.rm(DomId::DOM0, "/local/domain/1").unwrap();
+        assert_eq!(xs.entry_count(), base);
+        assert!(!xs.exists("/local/domain/1"));
+    }
+
+    #[test]
+    fn watches_fire_on_prefix() {
+        let mut xs = xs();
+        xs.watch(DomId::DOM0, "netback", "/local/domain/0/backend/vif").unwrap();
+        xs.write(DomId::DOM0, "/local/domain/0/backend/vif/3/0/state", "1").unwrap();
+        xs.write(DomId::DOM0, "/local/domain/3/device/vif/0/state", "1").unwrap();
+        let evts = xs.drain_watch_events();
+        assert_eq!(evts.len(), 1);
+        assert_eq!(evts[0].token, "netback");
+        assert!(xs.drain_watch_events().is_empty());
+    }
+
+    #[test]
+    fn unwatch_silences() {
+        let mut xs = xs();
+        xs.watch(DomId::DOM0, "t", "/tool").unwrap();
+        xs.unwatch(DomId::DOM0, "t");
+        xs.write(DomId::DOM0, "/tool/x", "1").unwrap();
+        assert!(xs.drain_watch_events().is_empty());
+    }
+
+    #[test]
+    fn transactions_apply_atomically() {
+        let mut xs = xs();
+        let t = xs.txn_start(DomId::DOM0);
+        xs.txn_write(DomId::DOM0, t, "/local/domain/2/a", "1").unwrap();
+        xs.txn_write(DomId::DOM0, t, "/local/domain/2/b", "2").unwrap();
+        assert!(!xs.exists("/local/domain/2/a"), "not visible before commit");
+        xs.txn_commit(DomId::DOM0, t).unwrap();
+        assert_eq!(xs.read(DomId::DOM0, "/local/domain/2/a").unwrap(), "1");
+        assert_eq!(xs.read(DomId::DOM0, "/local/domain/2/b").unwrap(), "2");
+        assert!(matches!(xs.txn_commit(DomId::DOM0, t), Err(XsError::BadTxn(_))));
+    }
+
+    #[test]
+    fn txn_abort_discards() {
+        let mut xs = xs();
+        let t = xs.txn_start(DomId::DOM0);
+        xs.txn_write(DomId::DOM0, t, "/local/domain/2/a", "1").unwrap();
+        xs.txn_abort(t).unwrap();
+        assert!(!xs.exists("/local/domain/2/a"));
+    }
+
+    #[test]
+    fn introduce_records_parent() {
+        let mut xs = xs();
+        xs.introduce_domain(DomId(9), Some(DomId(4))).unwrap();
+        assert_eq!(xs.read(DomId::DOM0, "/local/domain/9/parent").unwrap(), "4");
+    }
+
+    #[test]
+    fn forget_domain_clears_state() {
+        let mut xs = xs();
+        xs.introduce_domain(DomId(9), None).unwrap();
+        xs.watch(DomId(9), "w", "/local/domain/9").unwrap();
+        xs.forget_domain(DomId(9));
+        assert!(!xs.exists("/local/domain/9"));
+        assert_eq!(xs.watch_count(), 0);
+    }
+
+    #[test]
+    fn xs_clone_copies_and_rewrites() {
+        let mut xs = xs();
+        let p = DomId(3);
+        let c = DomId(8);
+        xs.write(DomId::DOM0, "/local/domain/3/device/vif/0/backend",
+                 "/local/domain/0/backend/vif/3/0").unwrap();
+        xs.write(DomId::DOM0, "/local/domain/3/device/vif/0/backend-id", "0").unwrap();
+        xs.write(DomId::DOM0, "/local/domain/3/device/vif/0/mac", "00:16:3e:01:02:03").unwrap();
+        xs.write(DomId::DOM0, "/local/domain/3/device/vif/0/state", "4").unwrap();
+
+        xs.xs_clone(
+            DomId::DOM0,
+            XsCloneOp::DevVif,
+            p,
+            c,
+            "/local/domain/3/device/vif/0",
+            "/local/domain/8/device/vif/0",
+        )
+        .unwrap();
+
+        assert_eq!(
+            xs.read(DomId::DOM0, "/local/domain/8/device/vif/0/backend").unwrap(),
+            "/local/domain/0/backend/vif/8/0",
+            "domid reference rewritten"
+        );
+        // MAC is identical by design (transparent cloning, §5.2.1).
+        assert_eq!(
+            xs.read(DomId::DOM0, "/local/domain/8/device/vif/0/mac").unwrap(),
+            "00:16:3e:01:02:03"
+        );
+        assert_eq!(
+            xs.read(DomId::DOM0, "/local/domain/8/device/vif/0/state").unwrap(),
+            "4"
+        );
+        // The parent's entries are untouched.
+        assert_eq!(
+            xs.read(DomId::DOM0, "/local/domain/3/device/vif/0/backend").unwrap(),
+            "/local/domain/0/backend/vif/3/0"
+        );
+    }
+
+    #[test]
+    fn xs_clone_basic_does_not_rewrite() {
+        let mut xs = xs();
+        xs.write(DomId::DOM0, "/local/domain/3/data/ref", "/local/domain/3/x").unwrap();
+        xs.xs_clone(
+            DomId::DOM0,
+            XsCloneOp::Basic,
+            DomId(3),
+            DomId(8),
+            "/local/domain/3/data",
+            "/local/domain/8/data",
+        )
+        .unwrap();
+        assert_eq!(
+            xs.read(DomId::DOM0, "/local/domain/8/data/ref").unwrap(),
+            "/local/domain/3/x"
+        );
+    }
+
+    #[test]
+    fn xs_clone_requires_dom0() {
+        let mut xs = xs();
+        xs.write(DomId::DOM0, "/local/domain/3/data/x", "1").unwrap();
+        assert!(matches!(
+            xs.xs_clone(
+                DomId(3),
+                XsCloneOp::Basic,
+                DomId(3),
+                DomId(8),
+                "/local/domain/3/data",
+                "/local/domain/8/data",
+            ),
+            Err(XsError::Denied(_))
+        ));
+    }
+
+    #[test]
+    fn xs_clone_fires_single_watch() {
+        let mut xs = xs();
+        xs.write(DomId::DOM0, "/local/domain/3/device/vif/0/state", "4").unwrap();
+        xs.write(DomId::DOM0, "/local/domain/3/device/vif/0/mac", "aa").unwrap();
+        xs.watch(DomId::DOM0, "front", "/local/domain/8").unwrap();
+        xs.xs_clone(
+            DomId::DOM0,
+            XsCloneOp::DevVif,
+            DomId(3),
+            DomId(8),
+            "/local/domain/3/device/vif/0",
+            "/local/domain/8/device/vif/0",
+        )
+        .unwrap();
+        assert_eq!(xs.drain_watch_events().len(), 1, "one event for the whole dir");
+    }
+
+    #[test]
+    fn request_cost_scales_with_store_size() {
+        let clock = Clock::new();
+        let mut xs = Xenstore::new(clock.clone(), Rc::new(CostModel::calibrated()));
+        // Populate the store.
+        for i in 0..500 {
+            xs.write(DomId::DOM0, &format!("/tool/pad/{i}"), "x").unwrap();
+        }
+        let t0 = clock.now();
+        xs.write(DomId::DOM0, "/tool/probe1", "x").unwrap();
+        let small = clock.now().since(t0);
+        for i in 500..5000 {
+            xs.write(DomId::DOM0, &format!("/tool/pad/{i}"), "x").unwrap();
+        }
+        let t1 = clock.now();
+        xs.write(DomId::DOM0, "/tool/probe2", "x").unwrap();
+        let big = clock.now().since(t1);
+        assert!(big > small, "cost must grow with entry count");
+    }
+
+    #[test]
+    fn access_log_rotation_spikes() {
+        let clock = Clock::new();
+        let mut xs = Xenstore::new(clock.clone(), Rc::new(CostModel::calibrated()));
+        let rotate_cost = CostModel::calibrated().xs_access_log_rotate;
+        let mut spikes = 0;
+        for i in 0..7000u32 {
+            let t0 = clock.now();
+            xs.write(DomId::DOM0, &format!("/tool/k{}", i % 64), "v").unwrap();
+            if clock.now().since(t0) >= rotate_cost {
+                spikes += 1;
+            }
+        }
+        assert_eq!(spikes as u64, xs.log_rotations());
+        assert!(spikes >= 2, "rotation threshold crossed at least twice");
+    }
+
+    #[test]
+    fn disabling_logging_stops_rotation() {
+        let mut xs = xs();
+        xs.set_access_logging(false);
+        for i in 0..10_000u32 {
+            xs.write(DomId::DOM0, &format!("/tool/k{}", i % 64), "v").unwrap();
+        }
+        assert_eq!(xs.log_rotations(), 0);
+    }
+
+    #[test]
+    fn resident_bytes_track_entries() {
+        let mut xs = xs();
+        let before = xs.resident_bytes();
+        xs.write(DomId::DOM0, "/tool/a", "1").unwrap();
+        assert!(xs.resident_bytes() > before);
+    }
+}

@@ -1,0 +1,214 @@
+//! The Xenstore node tree.
+
+use std::collections::BTreeMap;
+
+use sim_core::DomId;
+
+/// A tree node: an optional value plus named children.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The node's value (directories typically have none).
+    pub value: Option<String>,
+    /// Child nodes by name (ordered for deterministic iteration).
+    pub children: BTreeMap<String, Node>,
+    /// Owning domain (permission bookkeeping).
+    pub owner: DomId,
+}
+
+fn components(path: &str) -> impl Iterator<Item = &str> {
+    path.split('/').filter(|c| !c.is_empty())
+}
+
+impl Node {
+    /// Creates an empty directory node owned by `owner`.
+    pub fn dir(owner: DomId) -> Self {
+        Node {
+            value: None,
+            children: BTreeMap::new(),
+            owner,
+        }
+    }
+
+    /// Looks up the node at `path` relative to this node.
+    pub fn get(&self, path: &str) -> Option<&Node> {
+        let mut cur = self;
+        for c in components(path) {
+            cur = cur.children.get(c)?;
+        }
+        Some(cur)
+    }
+
+    /// Inserts `value` at `path`, creating intermediate directories.
+    /// Returns the number of *new* entries created (0 for an overwrite).
+    pub fn insert(&mut self, path: &str, value: &str, owner: DomId) -> u64 {
+        let mut created = 0;
+        let mut cur = self;
+        for c in components(path) {
+            if !cur.children.contains_key(c) {
+                created += 1;
+                cur.children.insert(c.to_string(), Node::dir(owner));
+            }
+            cur = cur.children.get_mut(c).expect("just inserted");
+        }
+        cur.value = Some(value.to_string());
+        created
+    }
+
+    /// Creates a directory at `path`; returns new entries created.
+    pub fn mkdir(&mut self, path: &str, owner: DomId) -> u64 {
+        let mut created = 0;
+        let mut cur = self;
+        for c in components(path) {
+            if !cur.children.contains_key(c) {
+                created += 1;
+                cur.children.insert(c.to_string(), Node::dir(owner));
+            }
+            cur = cur.children.get_mut(c).expect("just inserted");
+        }
+        created
+    }
+
+    /// Removes the subtree at `path`; returns the number of entries removed
+    /// or `None` if the path does not exist.
+    pub fn remove(&mut self, path: &str) -> Option<u64> {
+        let comps: Vec<&str> = components(path).collect();
+        let (last, dirs) = comps.split_last()?;
+        let mut cur = self;
+        for c in dirs {
+            cur = cur.children.get_mut(*c)?;
+        }
+        let removed = cur.children.remove(*last)?;
+        Some(removed.count_entries())
+    }
+
+    /// Counts entries in this subtree (each node counts as one entry).
+    pub fn count_entries(&self) -> u64 {
+        1 + self.children.values().map(Node::count_entries).sum::<u64>()
+    }
+
+    /// Grafts `subtree` at `path` (replacing anything there); returns the
+    /// net number of entries added.
+    pub fn graft(&mut self, path: &str, subtree: Node, owner: DomId) -> u64 {
+        let added = subtree.count_entries();
+        let removed = self.remove(path).unwrap_or(0);
+        let comps: Vec<&str> = components(path).collect();
+        let Some((last, dirs)) = comps.split_last() else {
+            return 0;
+        };
+        let mut created = 0;
+        let mut cur = self;
+        for c in dirs {
+            if !cur.children.contains_key(*c) {
+                created += 1;
+                cur.children.insert(c.to_string(), Node::dir(owner));
+            }
+            cur = cur.children.get_mut(*c).expect("just inserted");
+        }
+        cur.children.insert(last.to_string(), subtree);
+        created + added - removed
+    }
+
+    /// Rewrites domain-id references from `old` to `new` in every value of
+    /// this subtree: path components `/local/domain/<old>/` (and the
+    /// trailing-id form used by backend paths, e.g.
+    /// `/backend/vif/<old>/0`), plus values that are exactly `<old>`.
+    /// These are the heuristics behind the device variants of `xs_clone`.
+    pub fn rewrite_domid(&mut self, old: u32, new: u32) {
+        let old_home = format!("/local/domain/{old}/");
+        let new_home = format!("/local/domain/{new}/");
+        let old_home_end = format!("/local/domain/{old}");
+        let new_home_end = format!("/local/domain/{new}");
+        let old_id = old.to_string();
+        let new_id = new.to_string();
+        self.visit_values(&mut |v| {
+            if v == &old_id {
+                *v = new_id.clone();
+                return;
+            }
+            if v.contains(&old_home) {
+                *v = v.replace(&old_home, &new_home);
+            } else if v.ends_with(&old_home_end) {
+                *v = format!("{}{}", &v[..v.len() - old_home_end.len()], new_home_end);
+            }
+            // Backend-style paths embed the frontend domid as a component:
+            // /local/domain/0/backend/vif/<old>/0.
+            let seg_old = format!("/{old_id}/");
+            let seg_new = format!("/{new_id}/");
+            if v.starts_with("/local/domain/0/backend/") && v.contains(&seg_old) {
+                *v = v.replacen(&seg_old, &seg_new, 1);
+            }
+        });
+    }
+
+    fn visit_values(&mut self, f: &mut impl FnMut(&mut String)) {
+        if let Some(v) = self.value.as_mut() {
+            f(v);
+        }
+        for child in self.children.values_mut() {
+            child.visit_values(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> Node {
+        Node::dir(DomId::DOM0)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut r = root();
+        assert_eq!(r.insert("/a/b/c", "v", DomId::DOM0), 3);
+        assert_eq!(r.get("/a/b/c").unwrap().value.as_deref(), Some("v"));
+        assert_eq!(r.insert("/a/b/c", "w", DomId::DOM0), 0, "overwrite creates nothing");
+        assert_eq!(r.get("/a/b/c").unwrap().value.as_deref(), Some("w"));
+    }
+
+    #[test]
+    fn count_and_remove() {
+        let mut r = root();
+        r.insert("/a/b", "1", DomId::DOM0);
+        r.insert("/a/c", "2", DomId::DOM0);
+        assert_eq!(r.get("/a").unwrap().count_entries(), 3);
+        assert_eq!(r.remove("/a"), Some(3));
+        assert_eq!(r.remove("/a"), None);
+    }
+
+    #[test]
+    fn graft_accounts_net_entries() {
+        let mut r = root();
+        r.insert("/src/x", "1", DomId::DOM0);
+        let sub = r.get("/src").unwrap().clone();
+        let added = r.graft("/dst/here", sub, DomId::DOM0);
+        // subtree has 2 entries, plus 1 intermediate dir "dst".
+        assert_eq!(added, 3);
+        assert_eq!(r.get("/dst/here/x").unwrap().value.as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn rewrite_domid_forms() {
+        let mut r = root();
+        r.insert("/d/backend", "/local/domain/0/backend/vif/3/0", DomId::DOM0);
+        r.insert("/d/frontend", "/local/domain/3/device/vif/0", DomId::DOM0);
+        r.insert("/d/frontend-id", "3", DomId::DOM0);
+        r.insert("/d/home", "/local/domain/3", DomId::DOM0);
+        r.insert("/d/mac", "00:16:3e:00:00:03", DomId::DOM0);
+        let mut d = r.get("/d").unwrap().clone();
+        d.rewrite_domid(3, 9);
+        assert_eq!(
+            d.get("/backend").unwrap().value.as_deref(),
+            Some("/local/domain/0/backend/vif/9/0")
+        );
+        assert_eq!(
+            d.get("/frontend").unwrap().value.as_deref(),
+            Some("/local/domain/9/device/vif/0")
+        );
+        assert_eq!(d.get("/frontend-id").unwrap().value.as_deref(), Some("9"));
+        assert_eq!(d.get("/home").unwrap().value.as_deref(), Some("/local/domain/9"));
+        // MAC addresses stay untouched even though they contain "3".
+        assert_eq!(d.get("/mac").unwrap().value.as_deref(), Some("00:16:3e:00:00:03"));
+    }
+}

@@ -1,0 +1,43 @@
+//! FaaS autoscaling: containers vs. unikernel clones (§7.3).
+//!
+//! Demand rises in steps; the autoscaler adds one instance per step. The
+//! trace shows why clones track demand so much more closely: they are
+//! Ready in seconds, not tens of seconds.
+//!
+//! Run with: `cargo run --release --example faas_autoscale`
+
+use faas::{run_faas, Backend, FaasConfig};
+use nephele::sim_core::SimDuration;
+
+fn main() {
+    let cfg = FaasConfig {
+        duration: SimDuration::from_secs(60),
+        ..Default::default()
+    };
+    let containers = run_faas(&FaasConfig {
+        backend: Backend::Containers,
+        ..cfg.clone()
+    });
+    let unikernels = run_faas(&FaasConfig {
+        backend: Backend::Unikernels,
+        ..cfg
+    });
+
+    println!("instance-ready times (s):");
+    println!("  containers: {:?}", containers.ready_times);
+    println!("  unikernels: {:?}", unikernels.ready_times);
+    println!();
+    println!("  sec | demand-served (containers) | demand-served (unikernels) | memory MB (c/u)");
+    for s in (0..60).step_by(5) {
+        let c = containers.throughput_series[s].1;
+        let u = unikernels.throughput_series[s].1;
+        let cm = containers.memory_series[s].1;
+        let um = unikernels.memory_series[s].1;
+        println!("  {s:>3} | {c:>26.0} | {u:>26.0} | {cm:>6.0} / {um:<6.0}");
+    }
+    println!();
+    println!(
+        "total served: containers {:.0}, unikernels {:.0}",
+        containers.served_total, unikernels.served_total
+    );
+}

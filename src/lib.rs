@@ -1,0 +1,1 @@
+//! Root package; see the nephele crate.

@@ -1,0 +1,124 @@
+//! Platform-level property tests: arbitrary mixes of boots, clones and
+//! destroys must keep every component's view consistent and leak nothing.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use nephele::sim_core::DomId;
+use nephele::toolstack::{DomainConfig, KernelImage};
+use nephele::{MuxKind, Platform, PlatformConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Boot,
+    Clone { idx: usize },
+    Destroy { idx: usize },
+}
+
+fn ops() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        1 => Just(Op::Boot),
+        3 => any::<usize>().prop_map(|idx| Op::Clone { idx }),
+        1 => any::<usize>().prop_map(|idx| Op::Destroy { idx }),
+    ]
+}
+
+fn small_platform() -> Platform {
+    let mut pc = PlatformConfig::small();
+    pc.machine.guest_pool_mib = 512;
+    pc.mux = MuxKind::None;
+    Platform::new(pc)
+}
+
+fn boot(p: &mut Platform, seq: usize) -> DomId {
+    let cfg = DomainConfig::builder(&format!("g{seq}"))
+        .memory_mib(4)
+        .vif(Ipv4Addr::new(10, 0, 0, (2 + seq % 200) as u8))
+        .max_clones(u32::MAX)
+        .build();
+    p.launch_plain(&cfg, &KernelImage::minios("g")).expect("boot")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn platform_state_stays_consistent(script in proptest::collection::vec(ops(), 1..40)) {
+        let mut p = small_platform();
+        let baseline = p.hyp_free_bytes();
+        let mut live: Vec<DomId> = vec![boot(&mut p, 0)];
+        let mut boots = 1;
+
+        for op in script {
+            match op {
+                Op::Boot => {
+                    if live.len() < 24 {
+                        live.push(boot(&mut p, boots));
+                        boots += 1;
+                    }
+                }
+                Op::Clone { idx } => {
+                    if live.len() < 24 {
+                        let parent = live[idx % live.len()];
+                        let kids = p.clone_domain(parent, 1).expect("clone");
+                        live.extend(kids);
+                    }
+                }
+                Op::Destroy { idx } => {
+                    if live.len() > 1 {
+                        let i = idx % live.len();
+                        let d = live[i];
+                        // Only leaves, to keep COW chains alive elsewhere.
+                        if p.hv.domain(d).unwrap().children.is_empty() {
+                            p.destroy(d).expect("destroy");
+                            live.remove(i);
+                        }
+                    }
+                }
+            }
+
+            // Cross-component consistency after every step.
+            for d in &live {
+                prop_assert!(p.hv.domain_exists(*d));
+                prop_assert!(p.hv.domain(*d).unwrap().is_runnable(), "{d} not running");
+                prop_assert!(p.xl.record(*d).is_some(), "{d} missing from registry");
+                prop_assert!(
+                    p.xs.exists(&format!("/local/domain/{}", d.0)),
+                    "{d} missing from xenstore"
+                );
+                prop_assert!(p.dm.vif(*d, 0).unwrap().is_connected());
+                prop_assert!(p.dm.console_attached(*d));
+            }
+            // Dom0 + live domains is all there is.
+            prop_assert_eq!(p.hv.domain_count(), live.len() + 1);
+        }
+
+        // Full teardown (leaves first) returns every byte.
+        while !live.is_empty() {
+            let i = live
+                .iter()
+                .position(|d| p.hv.domain(*d).unwrap().children.is_empty())
+                .expect("leaf exists");
+            let d = live.remove(i);
+            p.destroy(d).expect("teardown");
+        }
+        prop_assert_eq!(p.hyp_free_bytes(), baseline, "leaked guest-pool memory");
+        prop_assert_eq!(p.dm.vif_count(), 0);
+        prop_assert_eq!(p.hv.domain_count(), 1);
+    }
+
+    /// Virtual time is monotonic and every operation costs something.
+    #[test]
+    fn operations_always_advance_time(n_clones in 1usize..12) {
+        let mut p = small_platform();
+        let parent = boot(&mut p, 0);
+        let mut last = p.clock.now();
+        for _ in 0..n_clones {
+            p.clone_domain(parent, 1).expect("clone");
+            let now = p.clock.now();
+            prop_assert!(now > last, "clone charged no time");
+            last = now;
+        }
+    }
+}

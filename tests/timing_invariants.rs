@@ -1,0 +1,182 @@
+//! Timing invariants the paper's evaluation rests on, checked end-to-end
+//! against the calibrated platform.
+
+use std::net::Ipv4Addr;
+
+use nephele::apps::UdpEchoApp;
+use nephele::sim_core::SimDuration;
+use nephele::toolstack::{DomainConfig, KernelImage};
+use nephele::{Platform, PlatformConfig};
+
+fn cfg(name: &str, max_clones: u32) -> DomainConfig {
+    DomainConfig::builder(name)
+        .memory_mib(4)
+        .vif(Ipv4Addr::new(10, 0, 0, 2))
+        .max_clones(max_clones)
+        .build()
+}
+
+fn boot(p: &mut Platform, name: &str, max_clones: u32) -> (nephele::sim_core::DomId, SimDuration) {
+    let t0 = p.clock.now();
+    let d = p
+        .launch(&cfg(name, max_clones), &KernelImage::minios(name), Box::new(UdpEchoApp::new(7000)))
+        .unwrap();
+    (d, p.clock.now().since(t0))
+}
+
+#[test]
+fn headline_clone_speedup_is_about_8x() {
+    let mut p = Platform::new(PlatformConfig::small());
+    let (parent, boot_time) = boot(&mut p, "udp", 64);
+    // Warm the daemon's parent cache first.
+    p.guest_fork(parent, 1).unwrap();
+    let t0 = p.clock.now();
+    for _ in 0..8 {
+        p.guest_fork(parent, 1).unwrap();
+    }
+    let clone_time = p.clock.now().since(t0) / 8;
+    let speedup = boot_time.as_ns() as f64 / clone_time.as_ns() as f64;
+    assert!(
+        (5.0..14.0).contains(&speedup),
+        "clone speedup {speedup:.1}x (paper: ~8x; boot {boot_time}, clone {clone_time})"
+    );
+    // Absolute ballparks from §6.1.
+    let boot_ms = boot_time.as_ms_f64();
+    let clone_ms = clone_time.as_ms_f64();
+    assert!((100.0..350.0).contains(&boot_ms), "boot {boot_ms:.0} ms");
+    assert!((8.0..40.0).contains(&clone_ms), "clone {clone_ms:.0} ms");
+}
+
+#[test]
+fn first_stage_is_about_one_millisecond() {
+    use nephele::hypervisor::cloneop::CloneOp;
+    use nephele::sim_core::DomId;
+
+    let mut p = Platform::new(PlatformConfig::small());
+    let (parent, _) = boot(&mut p, "udp", 64);
+    let t0 = p.clock.now();
+    p.hv.cloneop(
+        DomId::DOM0,
+        CloneOp::Clone {
+            target: Some(parent),
+            nr_clones: 1,
+        },
+    )
+    .unwrap();
+    let stage1 = p.clock.now().since(t0).as_ms_f64();
+    assert!(
+        (0.2..3.0).contains(&stage1),
+        "first stage for a 4 MiB guest = {stage1:.2} ms (paper: ~1 ms)"
+    );
+    p.finish_pending_clones(parent).unwrap();
+}
+
+#[test]
+fn deep_copy_roughly_doubles_clone_time() {
+    let mut p = Platform::new(PlatformConfig::small());
+    let (parent, _) = boot(&mut p, "udp", 64);
+    p.guest_fork(parent, 1).unwrap(); // warm cache
+
+    let t0 = p.clock.now();
+    p.guest_fork(parent, 1).unwrap();
+    let fast = p.clock.now().since(t0);
+
+    p.daemon.config.use_xs_clone = false;
+    let t1 = p.clock.now();
+    p.guest_fork(parent, 1).unwrap();
+    let slow = p.clock.now().since(t1);
+
+    let ratio = slow.as_ns() as f64 / fast.as_ns() as f64;
+    assert!(
+        (1.2..4.0).contains(&ratio),
+        "deep-copy/xs_clone ratio {ratio:.2} (paper: ~2x at the start)"
+    );
+}
+
+#[test]
+fn disabling_access_logging_removes_spikes_only() {
+    // Boot a few instances with logging on a tiny rotation threshold via
+    // many clones, then compare against logging off: means stay in the
+    // same ballpark, maxima differ (the spikes).
+    let run = |logging: bool| -> (f64, f64) {
+        let mut p = Platform::new(PlatformConfig::small());
+        p.xs.set_access_logging(logging);
+        let (parent, _) = boot(&mut p, "udp", 4096);
+        p.guest_fork(parent, 1).unwrap();
+        let mut max = 0.0f64;
+        let mut sum = 0.0f64;
+        let n = 60;
+        for _ in 0..n {
+            let t0 = p.clock.now();
+            p.guest_fork(parent, 1).unwrap();
+            let ms = p.clock.now().since(t0).as_ms_f64();
+            max = max.max(ms);
+            sum += ms;
+        }
+        (sum / n as f64, max)
+    };
+    let (mean_on, _max_on) = run(true);
+    let (mean_off, _max_off) = run(false);
+    let rel = (mean_on - mean_off).abs() / mean_off;
+    assert!(rel < 0.25, "logging must not shift the mean much ({rel:.2})");
+}
+
+#[test]
+fn name_validation_makes_boot_superlinear() {
+    let boot_with = |validate: bool, n: usize| -> (f64, f64) {
+        let mut p = Platform::new(PlatformConfig::small());
+        p.xl.validate_names = validate;
+        let img = KernelImage::minios("udp");
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for i in 0..n {
+            let t0 = p.clock.now();
+            p.launch_plain(&cfg(&format!("g{i}"), 0), &img).unwrap();
+            let ms = p.clock.now().since(t0).as_ms_f64();
+            if i == 0 {
+                first = ms;
+            }
+            last = ms;
+        }
+        (first, last)
+    };
+    let (f_novalid, l_novalid) = boot_with(false, 40);
+    let (f_valid, l_valid) = boot_with(true, 40);
+    // The scan makes later boots grow faster than the baseline's growth.
+    let growth_novalid = l_novalid - f_novalid;
+    let growth_valid = l_valid - f_valid;
+    assert!(
+        growth_valid > growth_novalid,
+        "validated growth {growth_valid:.2} vs baseline {growth_novalid:.2}"
+    );
+}
+
+#[test]
+fn userspace_ops_first_vs_later_clone() {
+    let mut p = Platform::new(PlatformConfig::small());
+    p.daemon.config.minimal = true;
+    let (parent, _) = boot(&mut p, "udp", 64);
+
+    let measure_stage2 = |p: &mut Platform| -> f64 {
+        use nephele::hypervisor::cloneop::CloneOp;
+        use nephele::sim_core::DomId;
+        p.hv.cloneop(
+            DomId::DOM0,
+            CloneOp::Clone {
+                target: Some(parent),
+                nr_clones: 1,
+            },
+        )
+        .unwrap();
+        let t0 = p.clock.now();
+        p.finish_pending_clones(parent).unwrap();
+        p.clock.now().since(t0).as_ms_f64()
+    };
+
+    let first = measure_stage2(&mut p);
+    let second = measure_stage2(&mut p);
+    assert!(first > second, "{first:.2} vs {second:.2}");
+    // Paper: ~3 ms then ~1.9 ms.
+    assert!((1.5..5.0).contains(&first), "first = {first:.2} ms");
+    assert!((1.0..3.5).contains(&second), "second = {second:.2} ms");
+}
