@@ -1,9 +1,9 @@
-//! Criterion micro-benchmarks for the instantiation paths: full boot,
-//! clone (both Xenstore copy modes) and save/restore, plus the process
-//! fork baseline. These measure the *simulator's* host-side performance;
-//! the virtual-time results are produced by the `fig4`/`fig6` binaries.
+//! Micro-benchmarks for the instantiation paths: full boot, clone (both
+//! Xenstore copy modes) and save/restore, plus the process fork baseline.
+//! These measure the *simulator's* host-side performance; the
+//! virtual-time results are produced by the `fig4`/`fig6` binaries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::Bench;
 
 use bench::support::{udp_guest_cfg, udp_image};
 use nephele::linux_procs::ProcessModel;
@@ -17,7 +17,7 @@ fn small_platform() -> Platform {
     Platform::new(pc)
 }
 
-fn bench_boot(c: &mut Criterion) {
+fn bench_boot(c: &mut Bench) {
     let mut g = c.benchmark_group("instantiation");
     g.sample_size(20);
     g.bench_function("boot_4mib_guest", |b| {
@@ -84,7 +84,7 @@ fn bench_boot(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_fork_model(c: &mut Criterion) {
+fn bench_fork_model(c: &mut Bench) {
     c.bench_function("process_fork_model_256mib", |b| {
         let clock = Clock::new();
         let mut pm = ProcessModel::new(clock, std::rc::Rc::new(CostModel::calibrated()));
@@ -93,5 +93,9 @@ fn bench_fork_model(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_boot, bench_fork_model);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::new("clone_boot");
+    bench_boot(&mut c);
+    bench_fork_model(&mut c);
+    c.finish();
+}

@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks for the memory subsystem: frame allocation,
-//! COW sharing/resharing (the per-page costs dominating the Fig. 6 curves)
+//! Micro-benchmarks for the memory subsystem: frame allocation, COW
+//! sharing/resharing (the per-page costs dominating the Fig. 6 curves)
 //! and both fault resolutions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::Bench;
 
 use nephele::hypervisor::memory::{FrameOwner, FrameTable};
 use nephele::sim_core::DomId;
@@ -10,7 +10,7 @@ use nephele::sim_core::DomId;
 const D1: DomId = DomId(1);
 const D2: DomId = DomId(2);
 
-fn bench_frames(c: &mut Criterion) {
+fn bench_frames(c: &mut Bench) {
     let mut g = c.benchmark_group("frame_table");
     g.bench_function("alloc_free", |b| {
         let mut ft = FrameTable::new(1024);
@@ -58,5 +58,8 @@ fn bench_frames(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_frames);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::new("memory_cow");
+    bench_frames(&mut c);
+    c.finish();
+}

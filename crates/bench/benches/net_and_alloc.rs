@@ -1,10 +1,10 @@
-//! Criterion micro-benchmarks for the data-path components: bond slave
-//! selection, OVS group selection, shared-ring transfer, the mini TCP
-//! stack and the tinyalloc guest allocator.
+//! Micro-benchmarks for the data-path components: bond slave selection,
+//! OVS group selection, shared-ring transfer, the mini TCP stack and the
+//! tinyalloc guest allocator.
 
 use std::net::Ipv4Addr;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::Bench;
 
 use nephele::devices::ring::SharedRing;
 use nephele::guest::TinyAlloc;
@@ -32,7 +32,7 @@ fn pkt(port: u16) -> Packet {
     )
 }
 
-fn bench_mux(c: &mut Criterion) {
+fn bench_mux(c: &mut Bench) {
     let mut g = c.benchmark_group("mux");
     g.bench_function("bond_select_1000_slaves", |b| {
         let mut bond = Bond::new(XmitHashPolicy::Layer34);
@@ -59,7 +59,7 @@ fn bench_mux(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_ring(c: &mut Criterion) {
+fn bench_ring(c: &mut Bench) {
     c.bench_function("shared_ring_push_pop", |b| {
         let mut ring = SharedRing::new(Pfn(1), 256);
         b.iter(|| {
@@ -69,7 +69,7 @@ fn bench_ring(c: &mut Criterion) {
     });
 }
 
-fn bench_stack(c: &mut Criterion) {
+fn bench_stack(c: &mut Bench) {
     c.bench_function("tcp_request_response", |b| {
         let mut server = NetStack::new(MacAddr::xen(1, 0), Ipv4Addr::new(10, 0, 0, 1));
         let mut client = NetStack::new(MacAddr::xen(2, 0), Ipv4Addr::new(10, 0, 0, 2));
@@ -88,7 +88,7 @@ fn bench_stack(c: &mut Criterion) {
     });
 }
 
-fn bench_tinyalloc(c: &mut Criterion) {
+fn bench_tinyalloc(c: &mut Bench) {
     let mut g = c.benchmark_group("tinyalloc");
     g.bench_function("alloc_free_cycle", |b| {
         let mut ta = TinyAlloc::new(0, 1 << 24, 1024);
@@ -112,5 +112,11 @@ fn bench_tinyalloc(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_mux, bench_ring, bench_stack, bench_tinyalloc);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::new("net_and_alloc");
+    bench_mux(&mut c);
+    bench_ring(&mut c);
+    bench_stack(&mut c);
+    bench_tinyalloc(&mut c);
+    c.finish();
+}

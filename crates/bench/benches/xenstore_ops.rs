@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks for Xenstore: basic requests, watch
-//! matching, and the `xs_clone` request against its deep-copy equivalent
-//! (the mechanism behind the Fig. 4 gap).
+//! Micro-benchmarks for Xenstore: basic requests, watch matching, and
+//! the `xs_clone` request against its deep-copy equivalent (the
+//! mechanism behind the Fig. 4 gap).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use testkit::bench::Bench;
 
 use nephele::sim_core::{Clock, CostModel, DomId};
 use nephele::xenstore::{XsCloneOp, Xenstore};
@@ -26,7 +26,7 @@ fn populate_device_dir(xs: &mut Xenstore, dom: u32) {
     }
 }
 
-fn bench_requests(c: &mut Criterion) {
+fn bench_requests(c: &mut Bench) {
     let mut g = c.benchmark_group("xenstore");
     g.bench_function("write", |b| {
         let mut xs = fresh_store();
@@ -55,7 +55,7 @@ fn bench_requests(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_xs_clone(c: &mut Criterion) {
+fn bench_xs_clone(c: &mut Bench) {
     let mut g = c.benchmark_group("xs_clone");
     g.bench_function("xs_clone_device_dir", |b| {
         let mut xs = fresh_store();
@@ -99,5 +99,9 @@ fn bench_xs_clone(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_requests, bench_xs_clone);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::new("xenstore_ops");
+    bench_requests(&mut c);
+    bench_xs_clone(&mut c);
+    c.finish();
+}

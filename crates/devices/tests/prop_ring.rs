@@ -2,7 +2,7 @@
 //! bounded FIFOs (no loss, no duplication, accurate counters) and the fid
 //! table keeps per-domain isolation under arbitrary request interleavings.
 
-use proptest::prelude::*;
+use testkit::prop::{btree_sets, check, just, ranges, u32s, vecs, weighted, Gen};
 
 use devices::memfs::MemFs;
 use devices::p9fs::{P9Backend, P9Request, P9Response};
@@ -15,23 +15,21 @@ enum RingOp {
     Pop,
 }
 
-fn ring_ops() -> impl Strategy<Value = RingOp> {
-    prop_oneof![
-        2 => any::<u32>().prop_map(RingOp::Push),
-        1 => Just(RingOp::Pop),
-    ]
+fn ring_ops() -> impl Gen<Value = RingOp> {
+    weighted(vec![
+        (2, u32s().map(RingOp::Push).boxed()),
+        (1, just(RingOp::Pop).boxed()),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// The ring is a bounded FIFO: it agrees with a reference deque capped
+/// at the ring capacity, and its counters add up.
+#[test]
+fn ring_is_a_bounded_fifo() {
+    check(256, |g| {
+        let cap = g.draw(&ranges(1usize..64));
+        let ops = g.draw(&vecs(ring_ops(), 1..200));
 
-    /// The ring is a bounded FIFO: it agrees with a reference deque capped
-    /// at the ring capacity, and its counters add up.
-    #[test]
-    fn ring_is_a_bounded_fifo(
-        cap in 1usize..64,
-        ops in proptest::collection::vec(ring_ops(), 1..200),
-    ) {
         let mut ring = SharedRing::new(Pfn(1), cap);
         let mut model: std::collections::VecDeque<u32> = Default::default();
         let (mut pushed, mut popped, mut dropped) = (0u64, 0u64, 0u64);
@@ -41,74 +39,80 @@ proptest! {
                 RingOp::Push(v) => {
                     let ok = ring.push(v);
                     if model.len() < cap {
-                        prop_assert!(ok);
+                        assert!(ok);
                         model.push_back(v);
                         pushed += 1;
                     } else {
-                        prop_assert!(!ok, "push must fail on a full ring");
+                        assert!(!ok, "push must fail on a full ring");
                         dropped += 1;
                     }
                 }
                 RingOp::Pop => {
-                    prop_assert_eq!(ring.pop(), model.pop_front());
+                    assert_eq!(ring.pop(), model.pop_front());
                     if ring.consumed() > popped {
                         popped += 1;
                     }
                 }
             }
         }
-        prop_assert_eq!(ring.len(), model.len());
-        prop_assert_eq!(ring.produced(), pushed);
-        prop_assert_eq!(ring.consumed(), popped);
-        prop_assert_eq!(ring.dropped(), dropped);
-        prop_assert_eq!(ring.produced() - ring.consumed(), ring.len() as u64);
-    }
+        assert_eq!(ring.len(), model.len());
+        assert_eq!(ring.produced(), pushed);
+        assert_eq!(ring.consumed(), popped);
+        assert_eq!(ring.dropped(), dropped);
+        assert_eq!(ring.produced() - ring.consumed(), ring.len() as u64);
+    });
+}
 
-    /// Ring cloning policies: `clone_copy` preserves exact content and
-    /// order; `clone_fresh` is empty; neither disturbs the parent.
-    #[test]
-    fn ring_clone_policies(values in proptest::collection::vec(any::<u32>(), 0..32)) {
+/// Ring cloning policies: `clone_copy` preserves exact content and
+/// order; `clone_fresh` is empty; neither disturbs the parent.
+#[test]
+fn ring_clone_policies() {
+    check(256, |g| {
+        let values = g.draw(&vecs(u32s(), 0..32));
+
         let mut parent = SharedRing::new(Pfn(1), 64);
         for v in &values {
             parent.push(*v);
         }
         let mut copy = parent.clone_copy(Pfn(2));
         let fresh = parent.clone_fresh(Pfn(3));
-        prop_assert!(fresh.is_empty());
+        assert!(fresh.is_empty());
         let drained: Vec<u32> = std::iter::from_fn(|| copy.pop()).collect();
-        prop_assert_eq!(drained, values.clone());
-        prop_assert_eq!(parent.len(), values.len(), "parent untouched");
-    }
+        assert_eq!(drained, values.clone());
+        assert_eq!(parent.len(), values.len(), "parent untouched");
+    });
+}
 
-    /// 9pfs fids: cloning a parent's table gives the child an equal but
-    /// independent table; clunks on one side never affect the other.
-    #[test]
-    fn p9_fid_isolation(
-        fids in proptest::collection::btree_set(0u32..64, 1..16),
-        clunk_child in proptest::collection::vec(any::<u32>(), 0..8),
-    ) {
+/// 9pfs fids: cloning a parent's table gives the child an equal but
+/// independent table; clunks on one side never affect the other.
+#[test]
+fn p9_fid_isolation() {
+    check(256, |g| {
+        let fids = g.draw(&btree_sets(ranges(0u32..64), 1..16));
+        let clunk_child = g.draw(&vecs(u32s(), 0..8));
+
         let mut fs = MemFs::new();
         fs.mkdir_p("/export").unwrap();
         let mut be = P9Backend::new("/export");
         let parent = DomId(5);
         let child = DomId(6);
         for fid in &fids {
-            prop_assert_eq!(
+            assert_eq!(
                 be.handle(&mut fs, parent, P9Request::Attach { fid: *fid }),
                 P9Response::Ok
             );
         }
         let n = be.clone_fids(parent, child);
-        prop_assert_eq!(n, fids.len());
-        prop_assert_eq!(be.fid_count(child), fids.len());
+        assert_eq!(n, fids.len());
+        assert_eq!(be.fid_count(child), fids.len());
 
         for c in &clunk_child {
             let _ = be.handle(&mut fs, child, P9Request::Clunk { fid: *c });
         }
-        prop_assert_eq!(be.fid_count(parent), fids.len(), "parent fids untouched");
+        assert_eq!(be.fid_count(parent), fids.len(), "parent fids untouched");
         // Forgetting the child wipes only the child.
         be.forget_domain(child);
-        prop_assert_eq!(be.fid_count(child), 0);
-        prop_assert_eq!(be.fid_count(parent), fids.len());
-    }
+        assert_eq!(be.fid_count(child), 0);
+        assert_eq!(be.fid_count(parent), fids.len());
+    });
 }

@@ -2,7 +2,7 @@
 //! memory is conserved, and the allocator keeps working under arbitrary
 //! alloc/free interleavings.
 
-use proptest::prelude::*;
+use testkit::prop::{check, ranges, usizes, vecs, weighted, Gen, Source};
 
 use guest::TinyAlloc;
 
@@ -12,18 +12,18 @@ enum Op {
     FreeIdx(usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        2 => (1u64..5000).prop_map(Op::Alloc),
-        1 => any::<usize>().prop_map(Op::FreeIdx),
-    ]
+fn op_strategy() -> impl Gen<Value = Op> {
+    weighted(vec![
+        (2, ranges(1u64..5000).map(Op::Alloc).boxed()),
+        (1, usizes().map(Op::FreeIdx).boxed()),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn no_overlap_and_conservation() {
+    check(256, |g| {
+        let ops = g.draw(&vecs(op_strategy(), 1..200));
 
-    #[test]
-    fn no_overlap_and_conservation(ops in proptest::collection::vec(op_strategy(), 1..200)) {
         const BASE: u64 = 0x10_000;
         const SIZE: u64 = 1 << 20;
         let mut ta = TinyAlloc::new(BASE, SIZE, 512);
@@ -34,14 +34,14 @@ proptest! {
                 Op::Alloc(sz) => {
                     if let Some(p) = ta.alloc(sz) {
                         // Alignment and bounds.
-                        prop_assert_eq!(p % 16, 0);
+                        assert_eq!(p % 16, 0);
                         let asz = ta.allocation_size(p).unwrap();
-                        prop_assert!(asz >= sz);
-                        prop_assert!(p >= BASE && p + asz <= BASE + SIZE);
+                        assert!(asz >= sz);
+                        assert!(p >= BASE && p + asz <= BASE + SIZE);
                         // No overlap with any live allocation.
                         for q in &live {
                             let qsz = ta.allocation_size(*q).unwrap();
-                            prop_assert!(
+                            assert!(
                                 p + asz <= *q || *q + qsz <= p,
                                 "overlap {p:#x}+{asz} vs {q:#x}+{qsz}"
                             );
@@ -52,8 +52,8 @@ proptest! {
                 Op::FreeIdx(i) => {
                     if !live.is_empty() {
                         let p = live.remove(i % live.len());
-                        prop_assert!(ta.free(p));
-                        prop_assert!(!ta.free(p), "double free must fail");
+                        assert!(ta.free(p));
+                        assert!(!ta.free(p), "double free must fail");
                     }
                 }
             }
@@ -61,34 +61,64 @@ proptest! {
 
         // Accounting: used bytes equals the sum of live allocation sizes.
         let used: u64 = live.iter().map(|p| ta.allocation_size(*p).unwrap()).sum();
-        prop_assert_eq!(ta.used_bytes(), used);
-        prop_assert_eq!(ta.num_used(), live.len());
+        assert_eq!(ta.used_bytes(), used);
+        assert_eq!(ta.num_used(), live.len());
 
         // Freeing everything brings used down to zero and compacts the
         // free list into contiguous runs.
         for p in live {
             ta.free(p);
         }
-        prop_assert_eq!(ta.used_bytes(), 0);
+        assert_eq!(ta.used_bytes(), 0);
         // Everything freed and merged: free list + virgin covers the arena.
-        prop_assert_eq!(ta.free_list_bytes() + ta.virgin_bytes(), SIZE);
-    }
+        assert_eq!(ta.free_list_bytes() + ta.virgin_bytes(), SIZE);
+    });
+}
 
-    /// After tearing everything down, the identical allocation sequence
-    /// succeeds again entirely from the (compacted) free list — the bump
-    /// pointer does not advance a second time.
-    #[test]
-    fn full_reuse_after_teardown(sizes in proptest::collection::vec(16u64..2048, 1..64)) {
+/// The generator behind `full_reuse_after_teardown`, shared with the
+/// corpus-conversion check below.
+fn teardown_sizes() -> impl Gen<Value = Vec<u64>> {
+    vecs(ranges(16u64..2048), 1..64)
+}
+
+/// After tearing everything down, the identical allocation sequence
+/// succeeds again entirely from the (compacted) free list — the bump
+/// pointer does not advance a second time.
+#[test]
+fn full_reuse_after_teardown() {
+    check(256, |g| {
+        let sizes = g.draw(&teardown_sizes());
+
         let mut ta = TinyAlloc::new(0, 1 << 20, 256);
         let ptrs: Vec<u64> = sizes.iter().filter_map(|s| ta.alloc(*s)).collect();
-        prop_assert_eq!(ptrs.len(), sizes.len(), "first round must fit");
+        assert_eq!(ptrs.len(), sizes.len(), "first round must fit");
         for p in &ptrs {
             ta.free(*p);
         }
         let virgin_before = ta.virgin_bytes();
         for s in &sizes {
-            prop_assert!(ta.alloc(*s).is_some(), "reuse failed for {s}");
+            assert!(ta.alloc(*s).is_some(), "reuse failed for {s}");
         }
-        prop_assert_eq!(ta.virgin_bytes(), virgin_before, "no new virgin memory consumed");
-    }
+        assert_eq!(ta.virgin_bytes(), virgin_before, "no new virgin memory consumed");
+    });
+}
+
+/// The corpus entry converted from the old proptest regression file
+/// ("shrinks to sizes = [65]") must still decode to exactly that input,
+/// so the recorded allocator regression keeps being replayed.
+#[test]
+fn corpus_tape_decodes_to_recorded_regression() {
+    let corpus = std::fs::read_to_string(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/testkit-regressions"),
+    )
+    .expect("corpus file is checked in");
+    let tape: Vec<u64> = corpus
+        .lines()
+        .find_map(|l| l.split('#').next().unwrap().trim().strip_prefix("full_reuse_after_teardown:"))
+        .expect("entry for full_reuse_after_teardown")
+        .split_whitespace()
+        .map(|v| v.parse().unwrap())
+        .collect();
+    let mut src = Source::replay(tape);
+    assert_eq!(src.draw(&teardown_sizes()), vec![65], "tape must decode to sizes = [65]");
 }

@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use proptest::prelude::*;
+use testkit::prop::{check, one_of, ranges, u8s, usizes, vecs, Gen};
 
 use hypervisor::cloneop::{CloneOp, CloneOpResult};
 use hypervisor::domain::ClonePolicy;
@@ -24,13 +24,14 @@ enum Op {
     Destroy { dom_idx: usize },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<usize>(), 0u64..64, any::<u8>())
-            .prop_map(|(dom_idx, pfn, val)| Op::Write { dom_idx, pfn, val }),
-        any::<usize>().prop_map(|dom_idx| Op::Clone { dom_idx }),
-        any::<usize>().prop_map(|dom_idx| Op::Destroy { dom_idx }),
-    ]
+fn op_strategy() -> impl Gen<Value = Op> {
+    one_of(vec![
+        (usizes(), ranges(0u64..64), u8s())
+            .map(|(dom_idx, pfn, val)| Op::Write { dom_idx, pfn, val })
+            .boxed(),
+        usizes().map(|dom_idx| Op::Clone { dom_idx }).boxed(),
+        usizes().map(|dom_idx| Op::Destroy { dom_idx }).boxed(),
+    ])
 }
 
 fn fresh_hv() -> Hypervisor {
@@ -79,14 +80,14 @@ fn clone_one(hv: &mut Hypervisor, parent: DomId) -> DomId {
     child
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// COW semantics match a per-domain reference model: every domain
+/// observes its own writes and its fork-point inheritance, never a
+/// sibling's writes.
+#[test]
+fn cow_matches_reference_model() {
+    check(64, |g| {
+        let ops = g.draw(&vecs(op_strategy(), 1..120));
 
-    /// COW semantics match a per-domain reference model: every domain
-    /// observes its own writes and its fork-point inheritance, never a
-    /// sibling's writes.
-    #[test]
-    fn cow_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
         let mut hv = fresh_hv();
         let root = make_root(&mut hv);
         let mut doms = vec![root];
@@ -137,14 +138,18 @@ proptest! {
         for ((dom, pfn), val) in &model {
             let mut buf = [0u8; 1];
             hv.read_page(DomId(*dom), Pfn(*pfn), 0, &mut buf).unwrap();
-            prop_assert_eq!(buf[0], *val, "dom{} pfn{}", dom, pfn);
+            assert_eq!(buf[0], *val, "dom{} pfn{}", dom, pfn);
         }
-    }
+    });
+}
 
-    /// Frame accounting: COW refcounts equal the number of domains mapping
-    /// each shared frame, and destroying everything returns all memory.
-    #[test]
-    fn refcounts_and_no_leaks(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+/// Frame accounting: COW refcounts equal the number of domains mapping
+/// each shared frame, and destroying everything returns all memory.
+#[test]
+fn refcounts_and_no_leaks() {
+    check(64, |g| {
+        let ops = g.draw(&vecs(op_strategy(), 1..80));
+
         let mut hv = fresh_hv();
         let baseline = hv.free_pages();
         let root = make_root(&mut hv);
@@ -177,7 +182,7 @@ proptest! {
         }
         for (mfn, count) in mappers {
             let rc = hv.frames().inspect(sim_core::Mfn(mfn)).unwrap().refcount();
-            prop_assert_eq!(rc, count, "mfn {}", mfn);
+            assert_eq!(rc, count, "mfn {}", mfn);
         }
 
         // Tear everything down, children first.
@@ -198,6 +203,6 @@ proptest! {
             }
         }
         hv.destroy_domain(root).unwrap();
-        prop_assert_eq!(hv.free_pages(), baseline, "leaked frames");
-    }
+        assert_eq!(hv.free_pages(), baseline, "leaked frames");
+    });
 }

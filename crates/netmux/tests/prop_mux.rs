@@ -3,7 +3,7 @@
 
 use std::net::Ipv4Addr;
 
-use proptest::prelude::*;
+use testkit::prop::{check, ranges, u16s, u32s, u64s, vecs};
 
 use netmux::{
     Bond,
@@ -29,16 +29,14 @@ fn pkt(src_ip: u32, src_port: u16, dst_port: u16) -> Packet {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Bond selection is a pure function of the flow: any permutation of
+/// queries returns consistent, member-set-contained results.
+#[test]
+fn bond_selection_is_consistent() {
+    check(128, |g| {
+        let members = g.draw(&ranges(1u32..32));
+        let flows = g.draw(&vecs((u32s(), u16s(), u16s()), 1..64));
 
-    /// Bond selection is a pure function of the flow: any permutation of
-    /// queries returns consistent, member-set-contained results.
-    #[test]
-    fn bond_selection_is_consistent(
-        members in 1u32..32,
-        flows in proptest::collection::vec((any::<u32>(), any::<u16>(), any::<u16>()), 1..64),
-    ) {
         let mut bond = Bond::new(XmitHashPolicy::Layer34);
         for i in 0..members {
             bond.add_member(IfaceId(i));
@@ -46,22 +44,24 @@ proptest! {
         let mut first: Vec<IfaceId> = Vec::new();
         for (ip, sp, dp) in &flows {
             let sel = bond.select(&pkt(*ip, *sp, *dp)).unwrap();
-            prop_assert!(sel.0 < members, "selected non-member {sel:?}");
+            assert!(sel.0 < members, "selected non-member {sel:?}");
             first.push(sel);
         }
         // Re-query in reverse order: identical answers.
         for ((ip, sp, dp), expect) in flows.iter().zip(&first).rev() {
-            prop_assert_eq!(bond.select(&pkt(*ip, *sp, *dp)).unwrap(), *expect);
+            assert_eq!(bond.select(&pkt(*ip, *sp, *dp)).unwrap(), *expect);
         }
-    }
+    });
+}
 
-    /// Removing a member never leaves it selectable, for both mux kinds.
-    #[test]
-    fn removed_members_are_never_selected(
-        members in 2u32..16,
-        victim in any::<u32>(),
-        flows in proptest::collection::vec((any::<u32>(), any::<u16>()), 1..64),
-    ) {
+/// Removing a member never leaves it selectable, for both mux kinds.
+#[test]
+fn removed_members_are_never_selected() {
+    check(128, |g| {
+        let members = g.draw(&ranges(2u32..16));
+        let victim = g.draw(&u32s());
+        let flows = g.draw(&vecs((u32s(), u16s()), 1..64));
+
         let victim = IfaceId(victim % members);
         let mut bond = Bond::new(XmitHashPolicy::Layer34);
         let mut ovs: SelectGroup<FlowAwareSelect> = SelectGroup::flow_aware();
@@ -76,15 +76,20 @@ proptest! {
         bond.remove_member(victim);
         ovs.remove_member(victim);
         for (ip, sp) in &flows {
-            prop_assert_ne!(bond.select(&pkt(*ip, *sp, 80)).unwrap(), victim);
-            prop_assert_ne!(ovs.select(&pkt(*ip, *sp, 80)).unwrap(), victim);
+            assert_ne!(bond.select(&pkt(*ip, *sp, 80)).unwrap(), victim);
+            assert_ne!(ovs.select(&pkt(*ip, *sp, 80)).unwrap(), victim);
         }
-    }
+    });
+}
 
-    /// With many uniformly random flows, no bond slave starves: each gets
-    /// at least a quarter of its fair share.
-    #[test]
-    fn bond_balance_bound(members in 2u32..9, seed in any::<u64>()) {
+/// With many uniformly random flows, no bond slave starves: each gets
+/// at least a quarter of its fair share.
+#[test]
+fn bond_balance_bound() {
+    check(128, |g| {
+        let members = g.draw(&ranges(2u32..9));
+        let seed = g.draw(&u64s());
+
         let mut bond = Bond::new(XmitHashPolicy::Layer34);
         for i in 0..members {
             bond.add_member(IfaceId(i));
@@ -98,17 +103,19 @@ proptest! {
         }
         let fair = n / members;
         for (i, c) in counts.iter().enumerate() {
-            prop_assert!(*c >= fair / 4, "slave {i} starved: {c} of fair {fair}");
+            assert!(*c >= fair / 4, "slave {i} starved: {c} of fair {fair}");
         }
-    }
+    });
+}
 
-    /// The learning bridge never forwards a packet back out its ingress
-    /// port and never invents ports.
-    #[test]
-    fn bridge_never_hairpins(
-        ports in 2u32..12,
-        traffic in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 1..80),
-    ) {
+/// The learning bridge never forwards a packet back out its ingress
+/// port and never invents ports.
+#[test]
+fn bridge_never_hairpins() {
+    check(128, |g| {
+        let ports = g.draw(&ranges(2u32..12));
+        let traffic = g.draw(&vecs((u32s(), u32s(), u32s()), 1..80));
+
         let mut bridge = Bridge::new();
         for i in 0..ports {
             bridge.add_port(IfaceId(i));
@@ -125,9 +132,9 @@ proptest! {
                 vec![],
             );
             for out in bridge.forward(&p, ingress) {
-                prop_assert_ne!(out, ingress, "hairpin");
-                prop_assert!(out.0 < ports, "unknown port");
+                assert_ne!(out, ingress, "hairpin");
+                assert!(out.0 < ports, "unknown port");
             }
         }
-    }
+    });
 }

@@ -1,0 +1,25 @@
+//! Hermetic in-repo test kit.
+//!
+//! The workspace must build and test with **zero external registry
+//! dependencies**, so the usual third-party harnesses (proptest, criterion)
+//! are replaced by this crate:
+//!
+//! * [`prop`] — deterministic property testing. Generators are combinator
+//!   values ([`prop::u32s`], [`prop::ranges`], [`prop::vecs`],
+//!   [`prop::one_of`], [`prop::weighted`], `map`/`filter`) drawn from a
+//!   [`prop::Source`] whose randomness flows from [`sim_core::SplitMix64`] —
+//!   the same generator that drives the simulator's virtual time — so every
+//!   run is reproducible from a single printed seed. Failing inputs are
+//!   greedily shrunk to a minimal *choice tape* and persisted to a
+//!   `testkit-regressions` corpus file that is replayed before any new
+//!   random cases (replacing proptest's `.proptest-regressions`).
+//! * [`bench`] — a micro-benchmark harness (warmup, calibrated batching,
+//!   median/p90/p99 reporting, JSON output under `results/`) replacing
+//!   criterion for the `crates/bench/benches/*.rs` targets, which keep
+//!   `harness = false` so `cargo bench` still works.
+//!
+//! See `DESIGN.md` ("Deterministic randomness") and the README's
+//! "Testing & benchmarks" section for usage and replay instructions.
+
+pub mod bench;
+pub mod prop;

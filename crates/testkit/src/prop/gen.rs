@@ -1,0 +1,256 @@
+//! Generator combinators.
+//!
+//! A generator is a value implementing [`Gen`]: it produces a `Value` by
+//! drawing bounded integer *choices* from a [`Source`]. Because every
+//! generated input is fully described by its choice sequence, the runner
+//! can replay and shrink inputs generically — no per-type shrinkers.
+//!
+//! Choices are made so that *smaller choice values mean simpler inputs*
+//! (a zero choice picks a range's lower bound, the first `one_of` arm, the
+//! shortest collection), which is what lets the greedy tape shrinker in
+//! [`super::minimize`] converge on minimal counterexamples.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use super::Source;
+
+/// A deterministic value generator driven by bounded choices.
+pub trait Gen {
+    /// The type of generated values.
+    type Value;
+
+    /// Produces one value, drawing choices from `src`.
+    fn generate(&self, src: &mut Source) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `keep`, redrawing otherwise.
+    ///
+    /// After 100 consecutive rejections the current test case is discarded
+    /// (it does not count as a failure). Prefer constructive generators
+    /// over heavy filtering.
+    fn filter<F>(self, keep: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, keep }
+    }
+
+    /// Type-erases the generator so heterogeneous generators of the same
+    /// `Value` can be mixed in [`one_of`] / [`weighted`].
+    fn boxed(self) -> BoxGen<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased generator.
+pub type BoxGen<V> = Box<dyn Gen<Value = V>>;
+
+impl<V> Gen for BoxGen<V> {
+    type Value = V;
+    fn generate(&self, src: &mut Source) -> V {
+        (**self).generate(src)
+    }
+}
+
+impl<G: Gen + ?Sized> Gen for &G {
+    type Value = G::Value;
+    fn generate(&self, src: &mut Source) -> Self::Value {
+        (**self).generate(src)
+    }
+}
+
+/// See [`Gen::map`].
+pub struct Map<G, F> {
+    inner: G,
+    f: F,
+}
+
+impl<G: Gen, U, F: Fn(G::Value) -> U> Gen for Map<G, F> {
+    type Value = U;
+    fn generate(&self, src: &mut Source) -> U {
+        (self.f)(self.inner.generate(src))
+    }
+}
+
+/// See [`Gen::filter`].
+pub struct Filter<G, F> {
+    inner: G,
+    keep: F,
+}
+
+impl<G: Gen, F: Fn(&G::Value) -> bool> Gen for Filter<G, F> {
+    type Value = G::Value;
+    fn generate(&self, src: &mut Source) -> G::Value {
+        for _ in 0..100 {
+            let v = self.inner.generate(src);
+            if (self.keep)(&v) {
+                return v;
+            }
+        }
+        super::discard_case("filter rejected 100 consecutive draws")
+    }
+}
+
+/// Unsigned integer types usable with [`ranges`].
+pub trait Int: Copy {
+    fn from_u64(v: u64) -> Self;
+    fn to_u64(self) -> u64;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Int for $t {
+            fn from_u64(v: u64) -> Self { v as $t }
+            fn to_u64(self) -> u64 { self as u64 }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize);
+
+/// Uniform values in `[r.start, r.end)`. A zero choice yields `r.start`.
+pub fn ranges<T: Int>(r: Range<T>) -> impl Gen<Value = T> {
+    let (lo, hi) = (r.start.to_u64(), r.end.to_u64());
+    assert!(lo < hi, "empty generator range [{lo}, {hi})");
+    FromFn(move |src: &mut Source| T::from_u64(lo + src.choice(hi - lo)))
+}
+
+struct FromFn<F>(F);
+impl<V, F: Fn(&mut Source) -> V> Gen for FromFn<F> {
+    type Value = V;
+    fn generate(&self, src: &mut Source) -> V {
+        (self.0)(src)
+    }
+}
+
+/// Any `u8`.
+pub fn u8s() -> impl Gen<Value = u8> {
+    FromFn(|src: &mut Source| src.choice(1 << 8) as u8)
+}
+
+/// Any `u16`.
+pub fn u16s() -> impl Gen<Value = u16> {
+    FromFn(|src: &mut Source| src.choice(1 << 16) as u16)
+}
+
+/// Any `u32`.
+pub fn u32s() -> impl Gen<Value = u32> {
+    FromFn(|src: &mut Source| src.choice(1 << 32) as u32)
+}
+
+/// Any `u64`.
+pub fn u64s() -> impl Gen<Value = u64> {
+    FromFn(|src: &mut Source| src.choice(0))
+}
+
+/// Any `usize`.
+pub fn usizes() -> impl Gen<Value = usize> {
+    FromFn(|src: &mut Source| src.choice(0) as usize)
+}
+
+/// Either boolean.
+pub fn bools() -> impl Gen<Value = bool> {
+    FromFn(|src: &mut Source| src.choice(2) == 1)
+}
+
+/// Always `v`.
+pub fn just<V: Clone>(v: V) -> impl Gen<Value = V> {
+    FromFn(move |_: &mut Source| v.clone())
+}
+
+/// A `Vec` of `elem` values with a length drawn from `len`.
+pub fn vecs<G: Gen>(elem: G, len: Range<usize>) -> impl Gen<Value = Vec<G::Value>> {
+    let len = ranges(len);
+    FromFn(move |src: &mut Source| {
+        let n = len.generate(src);
+        (0..n).map(|_| elem.generate(src)).collect()
+    })
+}
+
+/// A `BTreeSet` of distinct `elem` values with a size drawn from `size`.
+///
+/// Discards the test case if the element domain is too small to reach the
+/// requested minimum size within a bounded number of draws.
+pub fn btree_sets<G>(elem: G, size: Range<usize>) -> impl Gen<Value = BTreeSet<G::Value>>
+where
+    G: Gen,
+    G::Value: Ord,
+{
+    let size = ranges(size);
+    FromFn(move |src: &mut Source| {
+        let target = size.generate(src);
+        let mut set = BTreeSet::new();
+        for _ in 0..(20 * target + 50) {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(elem.generate(src));
+        }
+        if set.len() < target.min(1) {
+            super::discard_case("btree_sets could not reach its minimum size")
+        }
+        set
+    })
+}
+
+/// Lowercase ASCII strings with a length drawn from `len` (the stand-in
+/// for proptest's `"[a-z]{m,n}"` regex strategies).
+pub fn lower_alpha_strings(len: Range<usize>) -> impl Gen<Value = String> {
+    let len = ranges(len);
+    FromFn(move |src: &mut Source| {
+        let n = len.generate(src);
+        (0..n).map(|_| (b'a' + src.choice(26) as u8) as char).collect()
+    })
+}
+
+/// Picks one of `arms` uniformly.
+pub fn one_of<V>(arms: Vec<BoxGen<V>>) -> impl Gen<Value = V> {
+    assert!(!arms.is_empty(), "one_of needs at least one arm");
+    FromFn(move |src: &mut Source| {
+        let i = src.choice(arms.len() as u64) as usize;
+        arms[i].generate(src)
+    })
+}
+
+/// Picks among `arms` with the given relative weights (the stand-in for
+/// proptest's `prop_oneof![w1 => a, w2 => b]`).
+pub fn weighted<V>(arms: Vec<(u32, BoxGen<V>)>) -> impl Gen<Value = V> {
+    let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+    assert!(total > 0, "weighted needs a positive total weight");
+    FromFn(move |src: &mut Source| {
+        let mut c = src.choice(total);
+        for (w, g) in &arms {
+            if c < *w as u64 {
+                return g.generate(src);
+            }
+            c -= *w as u64;
+        }
+        unreachable!("choice below total weight")
+    })
+}
+
+impl<A: Gen, B: Gen> Gen for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, src: &mut Source) -> Self::Value {
+        (self.0.generate(src), self.1.generate(src))
+    }
+}
+
+impl<A: Gen, B: Gen, C: Gen> Gen for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, src: &mut Source) -> Self::Value {
+        (self.0.generate(src), self.1.generate(src), self.2.generate(src))
+    }
+}

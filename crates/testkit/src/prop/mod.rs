@@ -1,0 +1,531 @@
+//! Deterministic property testing on top of [`sim_core::SplitMix64`].
+//!
+//! # Model
+//!
+//! A property is a closure `|g: &mut Source| { ... }` that *draws* inputs
+//! from generator combinators and asserts with the standard `assert!`
+//! family. All randomness flows from a seeded `SplitMix64`, and every draw
+//! is recorded as a bounded integer on a **choice tape**, so any input is
+//! reproducible from either its seed or its tape.
+//!
+//! On failure the runner greedily shrinks the tape ([`minimize`]) to a
+//! minimal counterexample, prints it together with the seed, and appends
+//! it to the crate's `tests/testkit-regressions` corpus file. Corpus
+//! entries matching the test name are replayed *before* any random cases,
+//! replacing proptest's `.proptest-regressions` mechanism.
+//!
+//! # Example
+//!
+//! ```
+//! use testkit::prop::{check, ranges, vecs, Gen};
+//!
+//! check(64, |g| {
+//!     let xs = g.draw(&vecs(ranges(0u32..100), 0..20));
+//!     let mut sorted = xs.clone();
+//!     sorted.sort();
+//!     assert_eq!(sorted.len(), xs.len());
+//! });
+//! ```
+//!
+//! To replay a failure by hand: `TESTKIT_SEED=0x1234 cargo test -q name`,
+//! or keep the printed `name: 1 49` line in `tests/testkit-regressions`.
+
+mod gen;
+
+pub use gen::{
+    bools,
+    btree_sets,
+    just,
+    lower_alpha_strings,
+    one_of,
+    ranges,
+    u16s,
+    u32s,
+    u64s,
+    u8s,
+    usizes,
+    vecs,
+    weighted,
+    BoxGen,
+    Gen,
+    Int, //
+};
+
+use std::fmt::Write as _;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use sim_core::SplitMix64;
+
+/// The draw context handed to properties: either a recording random
+/// stream or a replayed choice tape.
+pub struct Source {
+    rng: Option<SplitMix64>,
+    replay: Vec<u64>,
+    tape: Vec<u64>,
+}
+
+impl Source {
+    /// A random source seeded with `seed`; draws are recorded on the tape.
+    pub fn random(seed: u64) -> Self {
+        Source::from_rng(SplitMix64::new(seed))
+    }
+
+    fn from_rng(rng: SplitMix64) -> Self {
+        Source { rng: Some(rng), replay: Vec::new(), tape: Vec::new() }
+    }
+
+    /// A source replaying `tape`; draws past its end return 0 (the
+    /// minimal choice), so truncated tapes stay meaningful.
+    pub fn replay(tape: Vec<u64>) -> Self {
+        Source { rng: None, replay: tape, tape: Vec::new() }
+    }
+
+    /// Draws one value from a generator.
+    pub fn draw<G: Gen + ?Sized>(&mut self, g: &G) -> G::Value {
+        g.generate(self)
+    }
+
+    /// Draws a raw choice in `[0, bound)` (`bound == 0` means the full
+    /// `u64` range). Generators are built from this primitive.
+    pub fn choice(&mut self, bound: u64) -> u64 {
+        let v = match &mut self.rng {
+            Some(rng) => {
+                if bound == 0 {
+                    rng.next_u64()
+                } else {
+                    rng.next_below(bound)
+                }
+            }
+            None => {
+                let raw = self.replay.get(self.tape.len()).copied().unwrap_or(0);
+                if bound == 0 || raw < bound {
+                    raw
+                } else {
+                    raw % bound
+                }
+            }
+        };
+        self.tape.push(v);
+        v
+    }
+
+    /// The choices drawn so far, normalised (bounded, in draw order).
+    pub fn tape(&self) -> &[u64] {
+        &self.tape
+    }
+}
+
+/// Runs `property` against `cases` random inputs (plus any recorded
+/// regression tapes) with the default configuration.
+///
+/// Failures are shrunk, reported with their seed and minimal tape, and
+/// persisted to the corpus file. Panics (with context) on the first
+/// failing input.
+pub fn check<F: Fn(&mut Source)>(cases: u32, property: F) {
+    Config::new(cases).run(property)
+}
+
+/// Configuration for a [`check`] run.
+pub struct Config {
+    cases: u32,
+    seed: Option<u64>,
+    name: Option<String>,
+    persist: bool,
+    corpus_dir: Option<PathBuf>,
+}
+
+impl Config {
+    /// A default configuration running `cases` random cases.
+    pub fn new(cases: u32) -> Self {
+        Config { cases, seed: None, name: None, persist: true, corpus_dir: None }
+    }
+
+    /// Fixes the base seed (otherwise derived from the test name, or the
+    /// `TESTKIT_SEED` environment variable when set).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Overrides the test name used for corpus lookup and reporting
+    /// (otherwise inferred from the property closure's type name).
+    pub fn name(mut self, name: &str) -> Self {
+        self.name = Some(name.to_string());
+        self
+    }
+
+    /// Disables writing failures to the regression corpus.
+    pub fn persist(mut self, persist: bool) -> Self {
+        self.persist = persist;
+        self
+    }
+
+    /// Overrides the directory holding `testkit-regressions` (defaults to
+    /// `$CARGO_MANIFEST_DIR/tests`).
+    pub fn corpus_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.corpus_dir = Some(dir.into());
+        self
+    }
+
+    /// Runs the property. See [`check`].
+    pub fn run<F: Fn(&mut Source)>(self, property: F) {
+        let name = self
+            .name
+            .clone()
+            .or_else(closure_name::<F>)
+            .or_else(|| std::thread::current().name().map(str::to_string))
+            .unwrap_or_else(|| "property".to_string());
+        let corpus = self
+            .corpus_dir
+            .clone()
+            .unwrap_or_else(|| {
+                Path::new(&std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into()))
+                    .join("tests")
+            })
+            .join("testkit-regressions");
+
+        // Phase 1: replay recorded regressions for this test first.
+        for tape in load_corpus(&corpus, &name) {
+            if let Outcome::Fail(_, norm) = eval(&property, Source::replay(tape)) {
+                self.report(&name, &corpus, None, minimize(&property, norm), &property);
+            }
+        }
+
+        // Phase 2: fresh random cases, one forked stream per case.
+        let base = self.seed.or_else(env_seed).unwrap_or_else(|| default_seed(&name));
+        let mut master = SplitMix64::new(base);
+        let mut passed = 0u32;
+        let mut case = 0u32;
+        let mut discards = 0u32;
+        while passed < self.cases {
+            let src = Source::from_rng(master.fork_stream());
+            match eval(&property, src) {
+                Outcome::Pass => passed += 1,
+                Outcome::Skip(why) => {
+                    // Discarded cases are regenerated, within a budget that
+                    // catches unsatisfiable filters.
+                    discards += 1;
+                    assert!(
+                        discards <= 4 * self.cases.max(25),
+                        "[testkit] property '{name}' discarded {discards} cases \
+                         (last reason: {why})"
+                    );
+                }
+                Outcome::Fail(_, norm) => {
+                    let minimal = minimize(&property, norm);
+                    self.report(&name, &corpus, Some((base, case)), minimal, &property);
+                }
+            }
+            case += 1;
+        }
+    }
+
+    fn report<F: Fn(&mut Source)>(
+        &self,
+        name: &str,
+        corpus: &Path,
+        seed: Option<(u64, u32)>,
+        minimal: Vec<u64>,
+        property: &F,
+    ) -> ! {
+        let assertion = match eval(property, Source::replay(minimal.clone())) {
+            Outcome::Fail(msg, _) => msg,
+            _ => "(assertion no longer reproduces on the minimal tape)".to_string(),
+        };
+        let line = corpus_line(name, &minimal);
+        let mut msg = format!("\n[testkit] property '{name}' failed: {assertion}\n");
+        let _ = writeln!(msg, "[testkit] minimal tape ({} choices): {line}", minimal.len());
+        match seed {
+            Some((base, case)) => {
+                let _ = writeln!(
+                    msg,
+                    "[testkit] found with seed {base:#x} at case {case}; \
+                     rerun with TESTKIT_SEED={base:#x}"
+                );
+            }
+            None => {
+                let _ = writeln!(msg, "[testkit] reproduced from the regression corpus");
+            }
+        }
+        if self.persist {
+            match append_corpus(corpus, &line) {
+                Ok(true) => {
+                    let _ = writeln!(msg, "[testkit] tape recorded in {}", corpus.display());
+                }
+                Ok(false) => {
+                    let _ = writeln!(msg, "[testkit] tape already in {}", corpus.display());
+                }
+                Err(e) => {
+                    let _ = writeln!(msg, "[testkit] could not write {}: {e}", corpus.display());
+                }
+            }
+        }
+        panic!("{msg}");
+    }
+}
+
+/// Greedily shrinks a failing choice tape to a minimal one that still
+/// fails `property`: alternating passes of block deletion (shorter tapes)
+/// and per-choice binary minimisation (smaller choices), until a fixpoint
+/// or an evaluation budget is reached.
+pub fn minimize<F: Fn(&mut Source)>(property: &F, tape: Vec<u64>) -> Vec<u64> {
+    let mut best = match eval(property, Source::replay(tape.clone())) {
+        Outcome::Fail(_, norm) => norm,
+        _ => return tape, // flaky input; report what we were given
+    };
+    let mut budget = 3000usize;
+    let try_tape = |cand: &[u64], budget: &mut usize| -> Option<Vec<u64>> {
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        match eval(property, Source::replay(cand.to_vec())) {
+            Outcome::Fail(_, norm) => Some(norm),
+            _ => None,
+        }
+    };
+    let better = |a: &[u64], b: &[u64]| a.len() < b.len() || (a.len() == b.len() && a < b);
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: delete blocks of choices, largest first.
+        let mut block = best.len().max(1).next_power_of_two();
+        while block >= 1 && budget > 0 {
+            let mut start = 0;
+            while start < best.len() && budget > 0 {
+                let end = (start + block).min(best.len());
+                let cand: Vec<u64> =
+                    best[..start].iter().chain(&best[end..]).copied().collect();
+                match try_tape(&cand, &mut budget) {
+                    Some(norm) if better(&norm, &best) => {
+                        best = norm;
+                        improved = true;
+                    }
+                    _ => start += block,
+                }
+            }
+            if block == 1 {
+                break;
+            }
+            block /= 2;
+        }
+
+        // Pass 2: per position, binary-search the smallest failing choice.
+        let mut i = 0;
+        while i < best.len() && budget > 0 {
+            let (mut lo, mut hi) = (0u64, best[i]);
+            while lo < hi && budget > 0 {
+                let mid = lo + (hi - lo) / 2;
+                let mut cand = best.clone();
+                cand[i] = mid;
+                match try_tape(&cand, &mut budget) {
+                    Some(norm) if better(&norm, &best) => {
+                        let len_changed = norm.len() != best.len();
+                        best = norm;
+                        improved = true;
+                        if len_changed {
+                            break; // indices shifted; restart outer loop
+                        }
+                        hi = mid;
+                    }
+                    _ => lo = mid + 1,
+                }
+            }
+            i += 1;
+        }
+
+        if !improved || budget == 0 {
+            return best;
+        }
+    }
+}
+
+enum Outcome {
+    Pass,
+    /// The case was discarded (e.g. a filter gave up) — not a failure.
+    Skip(&'static str),
+    /// The property panicked; carries the panic message and the
+    /// normalised tape of the choices actually drawn.
+    Fail(String, Vec<u64>),
+}
+
+/// Marker payload for discarded cases; see [`discard_case`].
+struct Discard(&'static str);
+
+/// Aborts the current test case without failing it. Used by generators
+/// ([`Gen::filter`], [`btree_sets`]) that cannot produce a value.
+pub(crate) fn discard_case(why: &'static str) -> ! {
+    panic::panic_any(Discard(why))
+}
+
+fn eval<F: Fn(&mut Source)>(property: &F, mut src: Source) -> Outcome {
+    let _quiet = SilencePanics::new();
+    let result = panic::catch_unwind(AssertUnwindSafe(|| property(&mut src)));
+    match result {
+        Ok(()) => Outcome::Pass,
+        Err(payload) => {
+            if let Some(d) = payload.downcast_ref::<Discard>() {
+                Outcome::Skip(d.0)
+            } else {
+                // `&*payload`: deref the box so the inner value is the
+                // `dyn Any` (a bare `&payload` would unsize the Box itself
+                // into the trait object and every downcast would miss).
+                Outcome::Fail(payload_message(&*payload), src.tape().to_vec())
+            }
+        }
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "(non-string panic payload)".to_string()
+    }
+}
+
+/// While any property evaluation is in flight, the global panic hook is
+/// swapped for a silent one so expected panics (hundreds during
+/// shrinking) do not flood the output. Depth-counted so concurrent test
+/// threads compose; the original hook is restored by the last one out.
+struct SilencePanics;
+
+static HOOK: Mutex<HookState> = Mutex::new(HookState { depth: 0, saved: None });
+
+struct HookState {
+    depth: usize,
+    saved: Option<Box<dyn Fn(&panic::PanicHookInfo<'_>) + Sync + Send>>,
+}
+
+impl SilencePanics {
+    fn new() -> Self {
+        let mut st = HOOK.lock().unwrap();
+        if st.depth == 0 {
+            st.saved = Some(panic::take_hook());
+            panic::set_hook(Box::new(|_| {}));
+        }
+        st.depth += 1;
+        SilencePanics
+    }
+}
+
+impl Drop for SilencePanics {
+    fn drop(&mut self) {
+        let mut st = HOOK.lock().unwrap();
+        st.depth -= 1;
+        if st.depth == 0 {
+            if let Some(hook) = st.saved.take() {
+                panic::set_hook(hook);
+            }
+        }
+    }
+}
+
+/// Infers the enclosing test function's name from the property closure's
+/// type name (e.g. `prop_ring::ring_is_a_bounded_fifo::{{closure}}`).
+/// Robust against `--test-threads=1`, unlike the thread name.
+fn closure_name<F>() -> Option<String> {
+    let mut name = std::any::type_name::<F>();
+    while let Some(stripped) = name.strip_suffix("::{{closure}}") {
+        name = stripped;
+    }
+    let last = name.rsplit("::").next()?;
+    (!last.is_empty() && !last.contains('{')).then(|| last.to_string())
+}
+
+fn env_seed() -> Option<u64> {
+    let raw = std::env::var("TESTKIT_SEED").ok()?;
+    let raw = raw.trim();
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("[testkit] unparseable TESTKIT_SEED {raw:?}"),
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test default seed.
+fn default_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+// ---- regression corpus ----------------------------------------------------
+//
+// Format, one entry per line (decimal choices; `#` starts a comment):
+//
+//     <test-name>: <choice> <choice> ...
+//
+// Entries are replayed in file order before random generation.
+
+fn corpus_line(name: &str, tape: &[u64]) -> String {
+    let mut line = format!("{name}:");
+    for c in tape {
+        let _ = write!(line, " {c}");
+    }
+    line
+}
+
+fn load_corpus(path: &Path, name: &str) -> Vec<Vec<u64>> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut tapes = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        let Some((key, rest)) = line.split_once(':') else {
+            continue;
+        };
+        if key.trim() != name {
+            continue;
+        }
+        let tape: Result<Vec<u64>, _> = rest.split_whitespace().map(str::parse).collect();
+        match tape {
+            Ok(t) => tapes.push(t),
+            Err(e) => panic!(
+                "[testkit] bad corpus line {} in {}: {e}",
+                lineno + 1,
+                path.display()
+            ),
+        }
+    }
+    tapes
+}
+
+/// Appends `line` to the corpus file (creating it with a header first).
+/// Returns `Ok(false)` if an identical entry is already present.
+fn append_corpus(path: &Path, line: &str) -> std::io::Result<bool> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    if existing.lines().any(|l| l.trim() == line) {
+        return Ok(false);
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut text = existing;
+    if text.is_empty() {
+        text.push_str(
+            "# testkit regression corpus. Each line is `<test-name>: <choice tape>`\n\
+             # and is replayed before random cases are generated. Keep this file in\n\
+             # source control so recorded failures stay fixed (see DESIGN.md).\n",
+        );
+    }
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    text.push_str(line);
+    text.push('\n');
+    std::fs::write(path, text)?;
+    Ok(true)
+}

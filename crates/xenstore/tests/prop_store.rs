@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use proptest::prelude::*;
+use testkit::prop::{btree_sets, check, lower_alpha_strings, u16s, u8s, usizes, vecs, weighted, Gen};
 
 use sim_core::{Clock, CostModel, DomId};
 use xenstore::{XsCloneOp, Xenstore};
@@ -32,23 +32,23 @@ fn paths() -> Vec<String> {
     v
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (any::<usize>(), any::<u8>()).prop_map(|(path_idx, val)| Op::Write { path_idx, val }),
-        1 => any::<usize>().prop_map(|path_idx| Op::Rm { path_idx }),
-        1 => any::<usize>().prop_map(|path_idx| Op::Dir { path_idx }),
-    ]
+fn op_strategy() -> impl Gen<Value = Op> {
+    weighted(vec![
+        (3, (usizes(), u8s()).map(|(path_idx, val)| Op::Write { path_idx, val }).boxed()),
+        (1, usizes().map(|path_idx| Op::Rm { path_idx }).boxed()),
+        (1, usizes().map(|path_idx| Op::Dir { path_idx }).boxed()),
+    ])
 }
 
 fn fresh() -> Xenstore {
     Xenstore::new(Clock::new(), Rc::new(CostModel::free()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn store_matches_reference() {
+    check(128, |g| {
+        let ops = g.draw(&vecs(op_strategy(), 1..150));
 
-    #[test]
-    fn store_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..150)) {
         let mut xs = fresh();
         let all = paths();
         // Reference: path → value for explicitly written entries.
@@ -66,7 +66,7 @@ proptest! {
                     let path = &all[path_idx % all.len()];
                     let existed = xs.exists(path);
                     let r = xs.rm(DomId::DOM0, path);
-                    prop_assert_eq!(existed, r.is_ok());
+                    assert_eq!(existed, r.is_ok());
                     // Removal takes the whole subtree with it.
                     let prefix = format!("{path}/");
                     model.retain(|p, _| p != path && !p.starts_with(&prefix));
@@ -81,14 +81,18 @@ proptest! {
         }
 
         for (path, val) in &model {
-            prop_assert_eq!(&xs.read(DomId::DOM0, path).unwrap(), val, "{}", path);
+            assert_eq!(&xs.read(DomId::DOM0, path).unwrap(), val, "{}", path);
         }
-    }
+    });
+}
 
-    /// The cached entry count always matches a full recount implied by the
-    /// visible tree (checked via subtree removal returning to the base).
-    #[test]
-    fn entry_count_is_conserved(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+/// The cached entry count always matches a full recount implied by the
+/// visible tree (checked via subtree removal returning to the base).
+#[test]
+fn entry_count_is_conserved() {
+    check(128, |g| {
+        let ops = g.draw(&vecs(op_strategy(), 1..100));
+
         let mut xs = fresh();
         let base = xs.entry_count();
         let all = paths();
@@ -112,17 +116,19 @@ proptest! {
         if xs.exists("/tool/y") {
             xs.rm(DomId::DOM0, "/tool/y").unwrap();
         }
-        prop_assert_eq!(xs.entry_count(), base);
-    }
+        assert_eq!(xs.entry_count(), base);
+    });
+}
 
-    /// xs_clone grafts are exact copies modulo domid rewriting: cloning a
-    /// directory written with arbitrary entries yields the same child
-    /// structure, and re-cloning is idempotent in entry count.
-    #[test]
-    fn xs_clone_preserves_structure(
-        keys in proptest::collection::btree_set("[a-z]{1,6}", 1..10),
-        vals in proptest::collection::vec(any::<u16>(), 10),
-    ) {
+/// xs_clone grafts are exact copies modulo domid rewriting: cloning a
+/// directory written with arbitrary entries yields the same child
+/// structure, and re-cloning is idempotent in entry count.
+#[test]
+fn xs_clone_preserves_structure() {
+    check(128, |g| {
+        let keys = g.draw(&btree_sets(lower_alpha_strings(1..7), 1..10));
+        let vals = g.draw(&vecs(u16s(), 10..11));
+
         let mut xs = fresh();
         let parent = DomId(3);
         let child = DomId(9);
@@ -151,7 +157,7 @@ proptest! {
         let mut dst = xs.directory(DomId::DOM0, "/local/domain/9/device/vif/0").unwrap();
         src.sort();
         dst.sort();
-        prop_assert_eq!(&src, &dst);
+        assert_eq!(&src, &dst);
         for k in &keys {
             let a = xs.read(DomId::DOM0, &format!("/local/domain/3/device/vif/0/{k}")).unwrap();
             let b = xs.read(DomId::DOM0, &format!("/local/domain/9/device/vif/0/{k}")).unwrap();
@@ -159,9 +165,9 @@ proptest! {
             // verbatim by the rewrite heuristics... unless they collide
             // with the parent domid, which must be rewritten.
             if a == "3" {
-                prop_assert_eq!(&b, "9");
+                assert_eq!(&b, "9");
             } else {
-                prop_assert_eq!(&a, &b);
+                assert_eq!(&a, &b);
             }
         }
 
@@ -176,7 +182,7 @@ proptest! {
             "/local/domain/9/device/vif/0",
         )
         .unwrap();
-        prop_assert_eq!(xs.entry_count(), after_first);
-        prop_assert!(after_first > before);
-    }
+        assert_eq!(xs.entry_count(), after_first);
+        assert!(after_first > before);
+    });
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline: build, test, and compile benches
+# with no registry access. The workspace is hermetic (path-only
+# dependencies; see tests/hermetic_deps.rs), so --offline must succeed
+# from a clean checkout.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo test -q --offline (tier-1: root package)"
+cargo test -q --offline
+
+echo "== cargo test -q --workspace --offline (all member crates)"
+cargo test -q --workspace --offline
+
+echo "== cargo bench --no-run --offline"
+cargo bench --no-run --offline
+
+echo "verify.sh: all green"

@@ -3,7 +3,7 @@
 
 use std::net::Ipv4Addr;
 
-use proptest::prelude::*;
+use testkit::prop::{check, just, ranges, usizes, vecs, weighted, Gen};
 
 use nephele::sim_core::DomId;
 use nephele::toolstack::{DomainConfig, KernelImage};
@@ -16,12 +16,12 @@ enum Op {
     Destroy { idx: usize },
 }
 
-fn ops() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        1 => Just(Op::Boot),
-        3 => any::<usize>().prop_map(|idx| Op::Clone { idx }),
-        1 => any::<usize>().prop_map(|idx| Op::Destroy { idx }),
-    ]
+fn ops() -> impl Gen<Value = Op> {
+    weighted(vec![
+        (1, just(Op::Boot).boxed()),
+        (3, usizes().map(|idx| Op::Clone { idx }).boxed()),
+        (1, usizes().map(|idx| Op::Destroy { idx }).boxed()),
+    ])
 }
 
 fn small_platform() -> Platform {
@@ -40,11 +40,11 @@ fn boot(p: &mut Platform, seq: usize) -> DomId {
     p.launch_plain(&cfg, &KernelImage::minios("g")).expect("boot")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn platform_state_stays_consistent() {
+    check(24, |g| {
+        let script = g.draw(&vecs(ops(), 1..40));
 
-    #[test]
-    fn platform_state_stays_consistent(script in proptest::collection::vec(ops(), 1..40)) {
         let mut p = small_platform();
         let baseline = p.hyp_free_bytes();
         let mut live: Vec<DomId> = vec![boot(&mut p, 0)];
@@ -80,18 +80,18 @@ proptest! {
 
             // Cross-component consistency after every step.
             for d in &live {
-                prop_assert!(p.hv.domain_exists(*d));
-                prop_assert!(p.hv.domain(*d).unwrap().is_runnable(), "{d} not running");
-                prop_assert!(p.xl.record(*d).is_some(), "{d} missing from registry");
-                prop_assert!(
+                assert!(p.hv.domain_exists(*d));
+                assert!(p.hv.domain(*d).unwrap().is_runnable(), "{d} not running");
+                assert!(p.xl.record(*d).is_some(), "{d} missing from registry");
+                assert!(
                     p.xs.exists(&format!("/local/domain/{}", d.0)),
                     "{d} missing from xenstore"
                 );
-                prop_assert!(p.dm.vif(*d, 0).unwrap().is_connected());
-                prop_assert!(p.dm.console_attached(*d));
+                assert!(p.dm.vif(*d, 0).unwrap().is_connected());
+                assert!(p.dm.console_attached(*d));
             }
             // Dom0 + live domains is all there is.
-            prop_assert_eq!(p.hv.domain_count(), live.len() + 1);
+            assert_eq!(p.hv.domain_count(), live.len() + 1);
         }
 
         // Full teardown (leaves first) returns every byte.
@@ -103,22 +103,26 @@ proptest! {
             let d = live.remove(i);
             p.destroy(d).expect("teardown");
         }
-        prop_assert_eq!(p.hyp_free_bytes(), baseline, "leaked guest-pool memory");
-        prop_assert_eq!(p.dm.vif_count(), 0);
-        prop_assert_eq!(p.hv.domain_count(), 1);
-    }
+        assert_eq!(p.hyp_free_bytes(), baseline, "leaked guest-pool memory");
+        assert_eq!(p.dm.vif_count(), 0);
+        assert_eq!(p.hv.domain_count(), 1);
+    });
+}
 
-    /// Virtual time is monotonic and every operation costs something.
-    #[test]
-    fn operations_always_advance_time(n_clones in 1usize..12) {
+/// Virtual time is monotonic and every operation costs something.
+#[test]
+fn operations_always_advance_time() {
+    check(24, |g| {
+        let n_clones = g.draw(&ranges(1usize..12));
+
         let mut p = small_platform();
         let parent = boot(&mut p, 0);
         let mut last = p.clock.now();
         for _ in 0..n_clones {
             p.clone_domain(parent, 1).expect("clone");
             let now = p.clock.now();
-            prop_assert!(now > last, "clone charged no time");
+            assert!(now > last, "clone charged no time");
             last = now;
         }
-    }
+    });
 }
