@@ -11,10 +11,13 @@ use nephele::sim_core::{Clock, CostModel};
 use nephele::{MuxKind, Platform, PlatformConfig};
 
 fn small_platform() -> Platform {
-    let mut pc = PlatformConfig::small();
-    pc.machine.guest_pool_mib = 2048;
-    pc.mux = MuxKind::None;
-    Platform::new(pc)
+    Platform::new(
+        PlatformConfig::builder()
+            .guest_pool_mib(2048)
+            .ring_capacity(128)
+            .mux(MuxKind::None)
+            .build(),
+    )
 }
 
 fn bench_boot(c: &mut Bench) {

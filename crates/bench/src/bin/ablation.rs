@@ -20,9 +20,7 @@ fn clone_mean_ms(p: &mut Platform, parent: DomId, n: usize) -> f64 {
 }
 
 fn platform(mux: MuxKind) -> Platform {
-    let mut pc = PlatformConfig::default();
-    pc.mux = mux;
-    Platform::new(pc)
+    Platform::new(PlatformConfig::builder().mux(mux).build())
 }
 
 fn boot_parent(p: &mut Platform) -> DomId {
@@ -72,10 +70,12 @@ fn ablate_ring_capacity() {
     println!("\n## notification-ring capacity (burst of 64 clones in one hypercall)");
     println!("capacity,succeeded_without_drain");
     for cap in [4usize, 16, 64, 128] {
-        let mut pc = PlatformConfig::default();
-        pc.machine.notification_ring_capacity = cap;
-        pc.mux = MuxKind::None;
-        let mut p = Platform::new(pc);
+        let mut p = Platform::new(
+            PlatformConfig::builder()
+                .ring_capacity(cap)
+                .mux(MuxKind::None)
+                .build(),
+        );
         let parent = p
             .launch(
                 &udp_guest_cfg("udp", u32::MAX),
@@ -117,9 +117,7 @@ fn ablate_device_cloning() {
         ("no_network", false, true),
         ("minimal", false, false),
     ] {
-        let mut pc = PlatformConfig::default();
-        pc.mux = MuxKind::None;
-        let mut p = Platform::new(pc);
+        let mut p = Platform::new(PlatformConfig::builder().mux(MuxKind::None).build());
         p.daemon.config.clone_network = network;
         p.daemon.config.clone_9pfs = p9;
         p.daemon.config.minimal = !network && !p9;

@@ -14,8 +14,9 @@ fn main() {
         .filter(|s| *s <= max)
         .collect();
     eprintln!("fig6: fork/clone durations for allocation sizes up to {max} MiB...");
-    let (series, pts) = bench::fig6::run(&sizes);
+    let (series, pts, trace) = bench::fig6::run(&sizes);
     bench::support::print_csv("fig6: fork/clone duration (ms) vs allocation size (MiB)", &series);
+    bench::support::export_trace(&trace, "fig6");
 
     eprintln!();
     if let (Some(first), Some(last)) = (pts.first(), pts.last()) {

@@ -11,6 +11,9 @@ fn main() {
     eprintln!("fig7: wrk (400 conns/worker, 5 s, {reps} reps) vs 1..4 workers...");
     let (series, pts) = bench::fig7::run(reps);
     bench::support::print_csv("fig7: NGINX throughput (req/s)", &series);
+    // The queueing model has no platform; trace the real 4-worker clone
+    // family so the figure still ships a span breakdown.
+    bench::support::export_trace(&bench::fig7::traced_worker_family(), "fig7");
 
     eprintln!();
     eprintln!("summary:");

@@ -15,6 +15,7 @@
 //! only a couple of rotations remain across the 1000 clones.
 
 use apps::UdpEchoApp;
+use nephele::TraceSink;
 use sim_core::stats::Series;
 
 use crate::support::{paper_platform, udp_guest_cfg, udp_image};
@@ -30,6 +31,9 @@ pub struct Fig4Result {
     pub boot_run_rotations: u64,
     /// Mean of each curve (boot, restore, deep-copy clone, clone), ms.
     pub means: [f64; 4],
+    /// The trace recorded during the `xs_clone` run (disabled unless the
+    /// experiment was run with tracing on; see `support::export_trace`).
+    pub trace: TraceSink,
 }
 
 fn measure_boot(n: usize) -> (Vec<f64>, u64) {
@@ -66,7 +70,7 @@ fn measure_restore(n: usize) -> Vec<f64> {
     out
 }
 
-fn measure_clone(n: usize, use_xs_clone: bool) -> (Vec<f64>, u64) {
+fn measure_clone(n: usize, use_xs_clone: bool) -> (Vec<f64>, u64, TraceSink) {
     let mut p = paper_platform();
     p.daemon.config.use_xs_clone = use_xs_clone;
     let img = udp_image();
@@ -82,15 +86,17 @@ fn measure_clone(n: usize, use_xs_clone: bool) -> (Vec<f64>, u64) {
         p.guest_fork(parent, 1).expect("fork");
         out.push(p.clock.now().since(t0).as_ms_f64());
     }
-    (out, p.xs.log_rotations() - rotations_before)
+    // The sink outlives the platform (shared buffer), so the caller can
+    // export after the run is torn down.
+    (out, p.xs.log_rotations() - rotations_before, p.trace().clone())
 }
 
 /// Runs the experiment with `n` instances per curve (the paper uses 1000).
 pub fn run(n: usize) -> Fig4Result {
     let (boot, boot_rot) = measure_boot(n);
     let restore = measure_restore(n);
-    let (deep, _) = measure_clone(n, false);
-    let (clone, clone_rot) = measure_clone(n, true);
+    let (deep, _, _) = measure_clone(n, false);
+    let (clone, clone_rot, trace) = measure_clone(n, true);
 
     let mut series = Series::new(
         "instance",
@@ -111,6 +117,7 @@ pub fn run(n: usize) -> Fig4Result {
         clone_run_rotations: clone_rot,
         boot_run_rotations: boot_rot,
         means: sums.map(|s| s / n as f64),
+        trace,
     }
 }
 

@@ -38,7 +38,7 @@ fn run_boot(pool_mib: u64, limit: u64) -> PackingRun {
     let mut p = platform_with_pool(pool_mib);
     let img = udp_image();
     let mut series = Series::new("instances", &["hyp_free_gb", "dom0_free_gb"]);
-    let free0 = p.hyp_free_bytes();
+    let free0 = p.snapshot().hyp_free_bytes;
     let mut count = 0u64;
     while count < limit {
         let cfg = udp_guest_cfg(&format!("udp-{count}"), 0);
@@ -47,11 +47,12 @@ fn run_boot(pool_mib: u64, limit: u64) -> PackingRun {
             Err(_) => break,
         }
         if count % SAMPLE_EVERY == 0 {
+            let snap = p.snapshot();
             series.row(
                 count as f64,
                 &[
-                    p.hyp_free_bytes() as f64 / (1 << 30) as f64,
-                    p.dom0_free_bytes() as f64 / (1 << 30) as f64,
+                    snap.hyp_free_bytes as f64 / (1 << 30) as f64,
+                    snap.dom0_free_bytes as f64 / (1 << 30) as f64,
                 ],
             );
         }
@@ -59,7 +60,7 @@ fn run_boot(pool_mib: u64, limit: u64) -> PackingRun {
     PackingRun {
         series,
         max_instances: count,
-        bytes_per_instance: (free0 - p.hyp_free_bytes()) / count.max(1),
+        bytes_per_instance: (free0 - p.snapshot().hyp_free_bytes) / count.max(1),
     }
 }
 
@@ -72,7 +73,7 @@ fn run_clone(pool_mib: u64, limit: u64) -> PackingRun {
         .expect("parent");
     p.enlist_in_mux(parent);
     let mut series = Series::new("instances", &["hyp_free_gb", "dom0_free_gb"]);
-    let free_after_parent = p.hyp_free_bytes();
+    let free_after_parent = p.snapshot().hyp_free_bytes;
     let mut count = 1u64; // the parent
     while count < limit {
         match p.guest_fork(parent, 1) {
@@ -80,11 +81,12 @@ fn run_clone(pool_mib: u64, limit: u64) -> PackingRun {
             _ => break,
         }
         if count % SAMPLE_EVERY == 0 {
+            let snap = p.snapshot();
             series.row(
                 count as f64,
                 &[
-                    p.hyp_free_bytes() as f64 / (1 << 30) as f64,
-                    p.dom0_free_bytes() as f64 / (1 << 30) as f64,
+                    snap.hyp_free_bytes as f64 / (1 << 30) as f64,
+                    snap.dom0_free_bytes as f64 / (1 << 30) as f64,
                 ],
             );
         }
@@ -92,7 +94,7 @@ fn run_clone(pool_mib: u64, limit: u64) -> PackingRun {
     PackingRun {
         series,
         max_instances: count,
-        bytes_per_instance: (free_after_parent - p.hyp_free_bytes()) / (count - 1).max(1),
+        bytes_per_instance: (free_after_parent - p.snapshot().hyp_free_bytes) / (count - 1).max(1),
     }
 }
 

@@ -13,8 +13,10 @@ use linux_procs::ProcessModel;
 use nephele::hypervisor::cloneop::CloneOp;
 use nephele::sim_core::{Clock, CostModel, DomId};
 use nephele::toolstack::{DomainConfig, KernelImage};
-use nephele::{MuxKind, Platform, PlatformConfig};
+use nephele::{MuxKind, Platform, PlatformConfig, TraceSink};
 use sim_core::stats::Series;
+
+use crate::support::trace_config_from_env;
 
 /// The allocation sizes of the figure's x-axis (MiB).
 pub const SIZES_MIB: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
@@ -49,12 +51,15 @@ fn measure_process(size_mib: u64) -> (f64, f64) {
     (first, second)
 }
 
-fn measure_clone(size_mib: u64) -> (f64, f64, f64) {
-    let mut pc = PlatformConfig::default();
-    // Headroom for the VM plus its clones' private memory.
-    pc.machine.guest_pool_mib = (size_mib + 64).next_power_of_two().max(512) + 1024;
-    pc.mux = MuxKind::None;
-    let mut p = Platform::new(pc);
+fn measure_clone(size_mib: u64) -> (f64, f64, f64, TraceSink) {
+    let mut p = Platform::new(
+        PlatformConfig::builder()
+            // Headroom for the VM plus its clones' private memory.
+            .guest_pool_mib((size_mib + 64).next_power_of_two().max(512) + 1024)
+            .mux(MuxKind::None)
+            .tracing(trace_config_from_env())
+            .build(),
+    );
     // Only the mandatory second-stage operations (§6.2).
     p.daemon.config.minimal = true;
 
@@ -90,11 +95,14 @@ fn measure_clone(size_mib: u64) -> (f64, f64, f64) {
 
     let (first, _us1) = clone_once();
     let (second, us2) = clone_once();
-    (first, second, us2)
+    let trace = p.trace().clone();
+    (first, second, us2, trace)
 }
 
-/// Runs the experiment over `sizes` (defaults to [`SIZES_MIB`]).
-pub fn run(sizes: &[u64]) -> (Series, Vec<Fig6Point>) {
+/// Runs the experiment over `sizes` (defaults to [`SIZES_MIB`]). The
+/// returned sink holds the trace of the largest size's clone run
+/// (disabled unless `NEPHELE_TRACE` is set).
+pub fn run(sizes: &[u64]) -> (Series, Vec<Fig6Point>, TraceSink) {
     let mut series = Series::new(
         "size_mib",
         &[
@@ -106,9 +114,11 @@ pub fn run(sizes: &[u64]) -> (Series, Vec<Fig6Point>) {
         ],
     );
     let mut points = Vec::new();
+    let mut trace = TraceSink::disabled();
     for &size in sizes {
         let (pf1, pf2) = measure_process(size);
-        let (c1, c2, us) = measure_clone(size);
+        let (c1, c2, us, t) = measure_clone(size);
+        trace = t;
         series.row(size as f64, &[pf1, pf2, c1, c2, us]);
         points.push(Fig6Point {
             size_mib: size,
@@ -119,7 +129,7 @@ pub fn run(sizes: &[u64]) -> (Series, Vec<Fig6Point>) {
             userspace_ms: us,
         });
     }
-    (series, points)
+    (series, points, trace)
 }
 
 #[cfg(test)]
@@ -128,7 +138,7 @@ mod tests {
 
     #[test]
     fn gap_between_fork_and_clone_narrows_with_size() {
-        let (_, pts) = run(&[1, 256, 1024]);
+        let (_, pts, _) = run(&[1, 256, 1024]);
         let small = &pts[0];
         let large = &pts[2];
 
@@ -149,14 +159,14 @@ mod tests {
     #[test]
     fn sub_minimum_sizes_clone_alike() {
         // Xen's 4 MiB domain minimum keeps the curve flat below it.
-        let (_, tiny) = run(&[1, 2]);
+        let (_, tiny, _) = run(&[1, 2]);
         let rel = (tiny[0].clone2_ms - tiny[1].clone2_ms).abs() / tiny[0].clone2_ms;
         assert!(rel < 0.25, "sub-minimum sizes should clone alike ({rel:.2})");
     }
 
     #[test]
     fn userspace_operations_are_flat_and_small() {
-        let (_, pts) = run(&[1, 512]);
+        let (_, pts, _) = run(&[1, 512]);
         for p in &pts {
             assert!(
                 p.userspace_ms < 5.0,

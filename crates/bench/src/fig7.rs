@@ -116,6 +116,33 @@ pub fn run(reps: usize) -> (Series, Vec<(Fig7Point, Fig7Point)>) {
     (series, points)
 }
 
+/// The platform-side counterpart of the queueing numbers: boots the
+/// 4-worker clone family end-to-end (parent plus three clones behind the
+/// bond, as §7.1 deploys NGINX) with tracing taken from `NEPHELE_TRACE`,
+/// so the figure can report the span breakdown of the real clone path the
+/// throughput simulation abstracts away.
+pub fn traced_worker_family() -> nephele::TraceSink {
+    use apps::UdpEchoApp;
+    use nephele::{MuxKind, Platform, PlatformConfig};
+
+    use crate::support::{trace_config_from_env, udp_guest_cfg, udp_image};
+
+    let mut p = Platform::new(
+        PlatformConfig::builder()
+            .guest_pool_mib(512)
+            .mux(MuxKind::Bond)
+            .tracing(trace_config_from_env())
+            .build(),
+    );
+    let cfg = udp_guest_cfg("worker", 8);
+    let parent = p
+        .launch(&cfg, &udp_image(), Box::new(UdpEchoApp::new(7000)))
+        .expect("worker boot");
+    p.enlist_in_mux(parent);
+    p.guest_fork(parent, 3).expect("worker clones");
+    p.trace().clone()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

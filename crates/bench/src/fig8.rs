@@ -82,10 +82,12 @@ fn measure_process(keys: u64) -> (f64, f64) {
 
 /// The Unikraft clone path, end-to-end on the platform.
 fn measure_clone(keys: u64) -> (f64, f64, f64) {
-    let mut pc = PlatformConfig::default();
-    pc.machine.guest_pool_mib = 2048;
-    pc.mux = MuxKind::None;
-    let mut p = Platform::new(pc);
+    let mut p = Platform::new(
+        PlatformConfig::builder()
+            .guest_pool_mib(2048)
+            .mux(MuxKind::None)
+            .build(),
+    );
     p.daemon.config.clone_network = false; // §7.1 optimization
     p.dm.fs.mkdir_p("/export/redis").ok();
 

@@ -1,23 +1,61 @@
 //! Shared helpers for the figure experiments.
 
 use std::net::Ipv4Addr;
+use std::path::Path;
 
 use nephele::toolstack::{DomainConfig, KernelImage};
-use nephele::{Platform, PlatformConfig};
+use nephele::{Platform, PlatformConfig, TraceConfig, TraceSink};
 
 /// The service IP every UDP-server family shares.
 pub const UDP_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
+/// The tracing knob for the figure experiments: opt in by setting the
+/// `NEPHELE_TRACE` environment variable to anything but `0` or the empty
+/// string. Off by default so the benchmark numbers stay untouched.
+pub fn trace_config_from_env() -> TraceConfig {
+    match std::env::var("NEPHELE_TRACE") {
+        Ok(v) if !v.is_empty() && v != "0" => TraceConfig::enabled(),
+        _ => TraceConfig::default(),
+    }
+}
+
 /// Builds the paper's Fig. 4/5 machine: 12 GiB guest pool, 4 cores.
+/// Tracing follows `NEPHELE_TRACE` (see [`trace_config_from_env`]).
 pub fn paper_platform() -> Platform {
-    Platform::new(PlatformConfig::default())
+    Platform::new(PlatformConfig::builder().tracing(trace_config_from_env()).build())
 }
 
 /// Builds a platform with a custom guest pool (MiB).
 pub fn platform_with_pool(pool_mib: u64) -> Platform {
-    let mut cfg = PlatformConfig::default();
-    cfg.machine.guest_pool_mib = pool_mib;
-    Platform::new(cfg)
+    Platform::new(
+        PlatformConfig::builder()
+            .guest_pool_mib(pool_mib)
+            .tracing(trace_config_from_env())
+            .build(),
+    )
+}
+
+/// Exports a figure run's trace: chrome-trace JSON (loadable in
+/// `about:tracing` / Perfetto) and the span-aggregate CSV under
+/// `results/`, with the aggregates also printed to stdout next to the
+/// figure's series. No-op when the sink is disabled.
+pub fn export_trace(trace: &TraceSink, fig: &str) {
+    if !trace.is_enabled() {
+        return;
+    }
+    println!("# {fig}: span aggregates");
+    print!("{}", trace.span_aggregates_csv());
+    let dir = Path::new("results");
+    let json = dir.join(format!("{fig}_trace.json"));
+    let csv = dir.join(format!("{fig}_spans.csv"));
+    match trace.write_chrome_trace(&json) {
+        Ok(()) => eprintln!("{fig}: wrote {}", json.display()),
+        Err(e) => eprintln!("{fig}: chrome-trace export failed: {e}"),
+    }
+    match trace.write_span_aggregates(&csv) {
+        Ok(()) => eprintln!("{fig}: wrote {}", csv.display()),
+        Err(e) => eprintln!("{fig}: span-aggregate export failed: {e}"),
+    }
 }
 
 /// The Fig. 4/5 guest: 4 MiB Mini-OS UDP server with one vif.

@@ -34,7 +34,7 @@ use hypervisor::domain::PrivatePolicy;
 use hypervisor::error::HvError;
 use hypervisor::Hypervisor;
 use netmux::{IfaceId, MacAddr, Packet};
-use sim_core::{Clock, CostModel, DomId, Pfn};
+use sim_core::{Clock, CostModel, DomId, Pfn, TraceSink};
 use xenstore::{XsCloneOp, XsError, Xenstore};
 
 use crate::console::ConsoleBackend;
@@ -70,7 +70,15 @@ impl fmt::Display for DevError {
     }
 }
 
-impl std::error::Error for DevError {}
+impl std::error::Error for DevError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DevError::Xs(e) => Some(e),
+            DevError::Hv(e) => Some(e),
+            DevError::NoSuchDevice(..) | DevError::NoBackend(_) => None,
+        }
+    }
+}
 
 impl From<XsError> for DevError {
     fn from(e: XsError) -> Self {
@@ -135,6 +143,7 @@ pub struct DeviceManager {
     console: ConsoleBackend,
     qemus: Vec<QemuProcess>,
     next_pid: u32,
+    trace: TraceSink,
 }
 
 impl DeviceManager {
@@ -150,7 +159,19 @@ impl DeviceManager {
             console: ConsoleBackend::new(),
             qemus: Vec::new(),
             next_pid: 1000,
+            trace: TraceSink::default(),
         }
+    }
+
+    /// Attaches a trace sink (disabled by default); device-clone spans and
+    /// ring counters are recorded into it.
+    pub fn attach_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The attached trace sink.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     fn alloc_iface(&mut self) -> IfaceId {
@@ -194,6 +215,8 @@ impl DeviceManager {
         child: DomId,
         deep_copy: bool,
     ) -> Result<()> {
+        let span = self.trace.span("dev.clone_console");
+        span.attr("deep_copy", deep_copy);
         if deep_copy {
             self.deep_copy_dir(xs, &console_dir(parent), &console_dir(child), parent, child)?;
         } else {
@@ -314,6 +337,9 @@ impl DeviceManager {
         devid: u32,
         deep_copy: bool,
     ) -> Result<IfaceId> {
+        let span = self.trace.span("dev.clone_vif");
+        span.attr("devid", devid);
+        span.attr("deep_copy", deep_copy);
         let pf = vif_front_dir(parent, devid);
         let pb = vif_back_dir(parent, devid);
         let cf = vif_front_dir(child, devid);
@@ -401,7 +427,10 @@ impl DeviceManager {
             .vifs
             .get_mut(&(dom.0, devid))
             .ok_or(DevError::NoSuchDevice(dom, devid))?;
-        Ok(vif.tx.push(pkt))
+        let pushed = vif.tx.push(pkt);
+        self.trace
+            .count(if pushed { "dev.ring.tx" } else { "dev.ring.tx_drop" }, 1);
+        Ok(pushed)
     }
 
     /// Backend drains all pending TX packets from a vif.
@@ -422,10 +451,13 @@ impl DeviceManager {
                 .net_per_byte
                 .saturating_mul(pkt.len() as u64),
         );
-        match self.vifs.get_mut(&(dom.0, devid)) {
+        let pushed = match self.vifs.get_mut(&(dom.0, devid)) {
             Some(vif) => vif.rx.push(pkt),
             None => false,
-        }
+        };
+        self.trace
+            .count(if pushed { "dev.ring.rx" } else { "dev.ring.rx_drop" }, 1);
+        pushed
     }
 
     /// Guest drains its RX ring.
@@ -484,6 +516,8 @@ impl DeviceManager {
         child: DomId,
         deep_copy: bool,
     ) -> Result<usize> {
+        let span = self.trace.span("dev.clone_9pfs");
+        span.attr("deep_copy", deep_copy);
         let pf = p9_front_dir(parent);
         let pb = p9_back_dir(parent);
         let cf = p9_front_dir(child);
@@ -504,6 +538,7 @@ impl DeviceManager {
         let fids = q.qmp(QmpRequest::CloneP9 { parent, child });
         self.clock
             .advance(self.costs.qmp_clone_per_fid.saturating_mul(fids as u64));
+        span.attr("fids", fids);
         Ok(fids)
     }
 
@@ -550,7 +585,9 @@ impl DeviceManager {
         parent: DomId,
         child: DomId,
     ) -> Result<()> {
+        let span = self.trace.span("dev.deep_copy");
         let keys = xs.directory(DomId::DOM0, from)?;
+        span.attr("entries", keys.len());
         for key in keys {
             let v = xs.read(DomId::DOM0, &format!("{from}/{key}"))?;
             let old_home = format!("/local/domain/{}/", parent.0);

@@ -124,10 +124,13 @@ struct UnikernelBackend {
 
 impl UnikernelBackend {
     fn new(cfg: &FaasConfig) -> Self {
-        let mut pc = PlatformConfig::small();
-        pc.machine.guest_pool_mib = 2048;
-        pc.mux = MuxKind::Bond;
-        let mut platform = Platform::new(pc);
+        let mut platform = Platform::new(
+            PlatformConfig::builder()
+                .guest_pool_mib(2048)
+                .ring_capacity(128)
+                .mux(MuxKind::Bond)
+                .build(),
+        );
         // The shared rootfs carries the handler (and stands in for the
         // shared Python runtime).
         platform.dm.fs.mkdir_p("/srv/faas").unwrap();
@@ -146,8 +149,9 @@ impl UnikernelBackend {
             .max_clones(1024)
             .build();
         let ready_latency = platform.costs.unikernel_ready_latency;
-        let baseline_hyp_free = platform.hyp_free_bytes();
-        let baseline_dom0_free = platform.dom0_free_bytes();
+        let baseline = platform.snapshot();
+        let baseline_hyp_free = baseline.hyp_free_bytes;
+        let baseline_dom0_free = baseline.dom0_free_bytes;
         let template = platform
             .launch(
                 &dom_cfg,
@@ -195,12 +199,9 @@ impl InstanceBackend for UnikernelBackend {
     }
 
     fn memory_bytes(&mut self) -> u64 {
-        let vm = self
-            .baseline_hyp_free
-            .saturating_sub(self.platform.hyp_free_bytes());
-        let dom0 = self
-            .baseline_dom0_free
-            .saturating_sub(self.platform.dom0_free_bytes());
+        let snap = self.platform.snapshot();
+        let vm = self.baseline_hyp_free.saturating_sub(snap.hyp_free_bytes);
+        let dom0 = self.baseline_dom0_free.saturating_sub(snap.dom0_free_bytes);
         vm + dom0 + self.instances as u64 * self.orchestrator_per_instance
     }
 

@@ -173,9 +173,13 @@ fn finish(
 }
 
 fn fuzz_platform() -> Platform {
-    let mut pc = PlatformConfig::small();
-    pc.mux = nephele::MuxKind::None;
-    Platform::new(pc)
+    Platform::new(
+        PlatformConfig::builder()
+            .guest_pool_mib(256)
+            .ring_capacity(128)
+            .mux(nephele::MuxKind::None)
+            .build(),
+    )
 }
 
 fn fuzz_guest_cfg() -> DomainConfig {

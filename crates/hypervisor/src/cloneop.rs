@@ -82,9 +82,24 @@ pub enum CloneOpResult {
     Done,
 }
 
+/// Static span-attribute name of a subcommand.
+fn op_name(op: &CloneOp) -> &'static str {
+    match op {
+        CloneOp::Clone { .. } => "clone",
+        CloneOp::Completion { .. } => "completion",
+        CloneOp::SetGlobalEnabled(_) => "set_global_enabled",
+        CloneOp::CloneCow { .. } => "clone_cow",
+        CloneOp::Checkpoint { .. } => "checkpoint",
+        CloneOp::CloneReset { .. } => "clone_reset",
+    }
+}
+
 impl Hypervisor {
     /// Dispatches a `CLONEOP` hypercall issued by `caller`.
     pub fn cloneop(&mut self, caller: DomId, op: CloneOp) -> Result<CloneOpResult> {
+        let span = self.trace().span("hv.cloneop");
+        span.attr("caller", caller.0);
+        span.attr("op", op_name(&op));
         self.clock().advance(self.costs().hypercall_base);
         match op {
             CloneOp::Clone { target, nr_clones } => {
@@ -174,6 +189,9 @@ impl Hypervisor {
     /// duplication, page-table rebuild, grant-table and event-channel
     /// cloning, then a notification-ring entry plus `VIRQ_CLONED`.
     fn clone_one(&mut self, parent_id: DomId) -> Result<DomId> {
+        let span = self.trace().span("hv.clone_one");
+        span.attr("parent", parent_id.0);
+
         // Backpressure: a full ring stalls the first stage (§5).
         if self.clone_ring().is_full() {
             return Err(HvError::NotificationRingFull);
@@ -226,19 +244,33 @@ impl Hypervisor {
         let aux_frames: Vec<Mfn> = fresh.split_off(private_count as usize);
 
         // vCPUs: registers and affinity replicated; rax = 1 in the child.
-        self.clock()
-            .advance(costs.vcpu_init.saturating_mul(vcpus.len() as u64));
-        let child_vcpus: Vec<Vcpu> = vcpus.iter().map(Vcpu::clone_for_child).collect();
+        let child_vcpus: Vec<Vcpu> = {
+            let vspan = self.trace().span("clone.vcpu_copy");
+            vspan.attr("vcpus", vcpus.len());
+            self.clock()
+                .advance(costs.vcpu_init.saturating_mul(vcpus.len() as u64));
+            vcpus.iter().map(Vcpu::clone_for_child).collect()
+        };
 
-        // Memory: share everything except private pages.
+        // Memory: share everything except private pages. The private and
+        // shared pfn sets are disjoint, so the two passes below touch
+        // disjoint frames and charge the same total as one interleaved
+        // walk — but each pass gets its own span.
         let mut child_p2m = vec![None; p2m.len()];
         let mut remaps: Vec<(Mfn, Mfn)> = Vec::new();
         let mut fresh_iter = fresh.into_iter();
         let mut child_start_info = Mfn(0);
-        for (i, slot) in p2m.iter().enumerate() {
-            let Some(mfn) = *slot else { continue };
-            let pfn = Pfn(i as u64);
-            if let Some(policy) = private_pfns.get(&pfn) {
+
+        // Pass 1: duplicate private pages into the pre-allocated frames.
+        {
+            let pspan = self.trace().span("clone.private_pages");
+            pspan.attr("pages", private_count);
+            for (i, slot) in p2m.iter().enumerate() {
+                let Some(mfn) = *slot else { continue };
+                let pfn = Pfn(i as u64);
+                let Some(policy) = private_pfns.get(&pfn) else {
+                    continue;
+                };
                 let new = fresh_iter.next().expect("allocated one frame per private pfn");
                 match policy {
                     PrivatePolicy::Copy => {
@@ -257,7 +289,21 @@ impl Hypervisor {
                 if pfn == start_info_pfn {
                     child_start_info = new;
                 }
-            } else {
+            }
+            debug_assert!(fresh_iter.next().is_none());
+        }
+
+        // Pass 2: convert the remaining mapped pages to COW sharing (or
+        // bump the share count when the parent is itself a clone).
+        {
+            let cspan = self.trace().span("clone.cow_convert");
+            cspan.attr("pages", mapped - private_count);
+            for (i, slot) in p2m.iter().enumerate() {
+                let Some(mfn) = *slot else { continue };
+                let pfn = Pfn(i as u64);
+                if private_pfns.contains_key(&pfn) {
+                    continue;
+                }
                 match self.frames().inspect(mfn)?.owner() {
                     FrameOwner::Dom(d) if d == parent_id => {
                         // IDC pages stay writable-shared; everything else
@@ -275,17 +321,20 @@ impl Hypervisor {
                 child_p2m[i] = Some(mfn);
             }
         }
-        debug_assert!(fresh_iter.next().is_none());
 
         // Rebuild the child page table from the p2m (§5.2: "p2m ... is used
         // and updated on cloning when building the child page table").
-        self.clock()
-            .advance(costs.clone_pt_build_per_page.saturating_mul(mapped));
-        self.clock().advance(
-            costs
-                .clone_private_page
-                .saturating_mul(Domain::p2m_frames_needed(p2m.len() as u64)),
-        );
+        {
+            let tspan = self.trace().span("clone.pt_rebuild");
+            tspan.attr("mapped", mapped);
+            self.clock()
+                .advance(costs.clone_pt_build_per_page.saturating_mul(mapped));
+            self.clock().advance(
+                costs
+                    .clone_private_page
+                    .saturating_mul(Domain::p2m_frames_needed(p2m.len() as u64)),
+            );
+        }
 
         // Grant table: replicate, re-pointing grants of private frames.
         let mut child_grants = grants.clone_for_child();
@@ -364,6 +413,7 @@ impl Hypervisor {
             })
             .expect("ring fullness checked on entry");
         self.raise_virq(DomId::DOM0, crate::event::Virq::Cloned);
+        span.attr("child", child_id.0);
         Ok(child_id)
     }
 

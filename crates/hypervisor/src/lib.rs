@@ -32,7 +32,8 @@ use sim_core::{
     CostModel,
     DomId,
     Mfn,
-    Pfn, //
+    Pfn,
+    TraceSink, //
 };
 
 use crate::domain::{ClonePolicy, Domain, DomainState, PrivatePolicy};
@@ -104,6 +105,7 @@ pub struct Hypervisor {
     /// (parent, parent_port) → [(child, child_port)].
     child_bindings: HashMap<(u32, Port), Vec<(DomId, Port)>>,
     cpu_pool: CpuPool,
+    trace: TraceSink,
 }
 
 impl Hypervisor {
@@ -122,6 +124,7 @@ impl Hypervisor {
             pending_events: VecDeque::new(),
             child_bindings: HashMap::new(),
             cpu_pool: CpuPool::new(config.cores),
+            trace: TraceSink::default(),
         };
         // Dom0 exists from boot; its memory is modelled by the Dom0 model,
         // so it maps no pages from the guest pool.
@@ -138,6 +141,17 @@ impl Hypervisor {
     /// The shared cost model.
     pub fn costs(&self) -> &CostModel {
         &self.costs
+    }
+
+    /// Attaches a trace sink (disabled by default); all clone-path spans
+    /// and COW-fault counters are recorded into it.
+    pub fn attach_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The attached trace sink.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// The physical CPU pool.
@@ -389,6 +403,7 @@ impl Hypervisor {
             FrameOwner::Cow => match self.frames.cow_fault(mfn, dom)? {
                 CowResolution::Copied(copy) => {
                     self.clock.advance(self.costs.cow_fault_copy);
+                    self.trace.count("hv.cow_fault.copy", 1);
                     let d = self.domain_mut(dom)?;
                     d.p2m[pfn.0 as usize] = Some(copy);
                     if let Some(cp) = d.checkpoint.as_mut() {
@@ -398,6 +413,7 @@ impl Hypervisor {
                 }
                 CowResolution::Transferred => {
                     self.clock.advance(self.costs.cow_fault_transfer);
+                    self.trace.count("hv.cow_fault.transfer", 1);
                     Ok(mfn)
                 }
             },

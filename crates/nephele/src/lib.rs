@@ -16,6 +16,10 @@
 //! assert_eq!(kids.len(), 2);
 //! ```
 //!
+//! To observe what a run did, enable tracing and export the recorded
+//! spans ([`TraceConfig`], [`Platform::trace`], chrome-trace JSON and CSV
+//! exporters in [`sim_core::trace`]).
+//!
 //! Re-exports give access to every subsystem (`nephele::hypervisor`,
 //! `nephele::xenstore`, ...).
 
@@ -36,5 +40,16 @@ pub use platform::{
     MuxKind,
     Platform,
     PlatformConfig,
-    PlatformError, //
+    PlatformConfigBuilder,
+    PlatformError,
+    PlatformSnapshot, //
 };
+
+// The observability surface and the component error types wrapped by
+// `PlatformError`, so downstream code rarely needs to name member crates.
+pub use devices::DevError;
+pub use hypervisor::error::HvError;
+pub use sim_core::{TraceConfig, TraceSink};
+pub use toolstack::XlError;
+pub use xencloned::CloneDaemonError;
+pub use xenstore::XsError;

@@ -24,7 +24,7 @@ use netmux::{
     SockEvent,
     XmitHashPolicy, //
 };
-use sim_core::{Clock, CostModel, DomId, EventQueue, SimDuration, SplitMix64};
+use sim_core::{Clock, CostModel, DomId, EventQueue, SimDuration, SplitMix64, TraceConfig, TraceSink};
 use toolstack::{CreatedDomain, Dom0Model, DomainConfig, KernelImage, Xl, XlError};
 use xencloned::{CloneDaemonError, Xencloned};
 use xenstore::{XsError, Xenstore};
@@ -76,7 +76,18 @@ impl fmt::Display for PlatformError {
     }
 }
 
-impl std::error::Error for PlatformError {}
+impl std::error::Error for PlatformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlatformError::Hv(e) => Some(e),
+            PlatformError::Xl(e) => Some(e),
+            PlatformError::Xs(e) => Some(e),
+            PlatformError::Dev(e) => Some(e),
+            PlatformError::Daemon(e) => Some(e),
+            PlatformError::NoGuest(_) => None,
+        }
+    }
+}
 
 impl From<HvError> for PlatformError {
     fn from(e: HvError) -> Self {
@@ -108,6 +119,10 @@ impl From<CloneDaemonError> for PlatformError {
 pub type Result<T> = std::result::Result<T, PlatformError>;
 
 /// Platform construction options.
+///
+/// Build one with [`PlatformConfig::builder`] (preferred), start from
+/// [`PlatformConfig::default`], or use the [`PlatformConfig::small`]
+/// preset. The fields stay public for ad-hoc tweaking.
 #[derive(Debug, Clone)]
 pub struct PlatformConfig {
     /// Machine shape (defaults to the paper's: 12 GiB guest pool, 4 cores).
@@ -118,6 +133,9 @@ pub struct PlatformConfig {
     pub mux: MuxKind,
     /// Master PRNG seed.
     pub seed: u64,
+    /// Observability knobs (tracing is off by default; when off, the
+    /// instrumentation throughout the platform does near-zero work).
+    pub tracing: TraceConfig,
 }
 
 impl Default for PlatformConfig {
@@ -127,23 +145,119 @@ impl Default for PlatformConfig {
             costs: CostModel::calibrated(),
             mux: MuxKind::Bond,
             seed: 0x6e65_7068_656c_65, // "nephele"
+            tracing: TraceConfig::default(),
         }
     }
 }
 
 impl PlatformConfig {
-    /// A small-machine config for tests (256 MiB pool, free costs are NOT
-    /// applied — timing stays calibrated).
-    pub fn small() -> Self {
-        PlatformConfig {
-            machine: MachineConfig {
-                guest_pool_mib: 256,
-                cores: 4,
-                notification_ring_capacity: 128,
-            },
-            ..Default::default()
+    /// Starts a builder from the default (paper-calibrated) configuration.
+    ///
+    /// ```
+    /// use nephele::{MuxKind, PlatformConfig, TraceConfig};
+    ///
+    /// let cfg = PlatformConfig::builder()
+    ///     .cores(4)
+    ///     .mux(MuxKind::Ovs)
+    ///     .tracing(TraceConfig::enabled())
+    ///     .build();
+    /// assert_eq!(cfg.mux, MuxKind::Ovs);
+    /// assert!(cfg.tracing.enabled);
+    /// ```
+    pub fn builder() -> PlatformConfigBuilder {
+        PlatformConfigBuilder {
+            config: PlatformConfig::default(),
         }
     }
+
+    /// A small-machine preset for tests (256 MiB pool, free costs are NOT
+    /// applied — timing stays calibrated).
+    pub fn small() -> Self {
+        PlatformConfig::builder()
+            .guest_pool_mib(256)
+            .cores(4)
+            .ring_capacity(128)
+            .build()
+    }
+}
+
+/// Builder for [`PlatformConfig`]; created by [`PlatformConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct PlatformConfigBuilder {
+    config: PlatformConfig,
+}
+
+impl PlatformConfigBuilder {
+    /// Replaces the whole machine shape.
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.config.machine = machine;
+        self
+    }
+
+    /// Replaces the cost model.
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.config.costs = costs;
+        self
+    }
+
+    /// Sets the guest memory pool size in MiB.
+    pub fn guest_pool_mib(mut self, mib: u64) -> Self {
+        self.config.machine.guest_pool_mib = mib;
+        self
+    }
+
+    /// Sets the number of physical cores.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.config.machine.cores = cores;
+        self
+    }
+
+    /// Sets the clone notification ring capacity.
+    pub fn ring_capacity(mut self, capacity: usize) -> Self {
+        self.config.machine.notification_ring_capacity = capacity;
+        self
+    }
+
+    /// Selects the clone-interface multiplexer.
+    pub fn mux(mut self, mux: MuxKind) -> Self {
+        self.config.mux = mux;
+        self
+    }
+
+    /// Sets the master PRNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the observability knobs (see [`TraceConfig`]).
+    pub fn tracing(mut self, tracing: TraceConfig) -> Self {
+        self.config.tracing = tracing;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> PlatformConfig {
+        self.config
+    }
+}
+
+/// A point-in-time view of the platform's introspection metrics, returned
+/// by [`Platform::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlatformSnapshot {
+    /// Free hypervisor-pool memory in bytes (Fig. 5 "Hyp free").
+    pub hyp_free_bytes: u64,
+    /// Free Dom0 memory in bytes (Fig. 5 "Dom0 free").
+    pub dom0_free_bytes: u64,
+    /// Packets the fabric has routed.
+    pub packets_routed: u64,
+    /// Number of members in the clone mux.
+    pub mux_members: usize,
+    /// Live domains, Dom0 included.
+    pub domains: usize,
+    /// Clones whose second stage completed.
+    pub clones_completed: u64,
 }
 
 struct GuestSlot {
@@ -183,6 +297,7 @@ pub struct Platform {
     guests: HashMap<u32, GuestSlot>,
     timers: EventQueue<(u32, u64)>,
     packets_routed: u64,
+    trace: TraceSink,
 }
 
 impl Platform {
@@ -191,11 +306,17 @@ impl Platform {
     pub fn new(config: PlatformConfig) -> Self {
         let clock = Clock::new();
         let costs = Rc::new(config.costs);
+        let trace = TraceSink::new(clock.clone(), &config.tracing);
         let mut hv = Hypervisor::new(clock.clone(), costs.clone(), &config.machine);
-        let xs = Xenstore::new(clock.clone(), costs.clone());
-        let dm = DeviceManager::new(clock.clone(), costs.clone());
-        let xl = Xl::new(clock.clone(), costs.clone());
+        let mut xs = Xenstore::new(clock.clone(), costs.clone());
+        let mut dm = DeviceManager::new(clock.clone(), costs.clone());
+        let mut xl = Xl::new(clock.clone(), costs.clone());
         let mut daemon = Xencloned::new(clock.clone(), costs.clone());
+        hv.attach_trace(trace.clone());
+        xs.attach_trace(trace.clone());
+        dm.attach_trace(trace.clone());
+        xl.attach_trace(trace.clone());
+        daemon.attach_trace(trace.clone());
         daemon.start(&mut hv).expect("daemon start on fresh hypervisor");
 
         let mux: Option<Box<dyn CloneMux>> = match config.mux {
@@ -223,7 +344,28 @@ impl Platform {
             guests: HashMap::new(),
             timers: EventQueue::new(),
             packets_routed: 0,
+            trace,
         }
+    }
+
+    /// Borrows the platform's trace sink (disabled unless
+    /// [`PlatformConfig::tracing`] enabled it). Components share this sink,
+    /// so spans recorded by the hypervisor, Xenstore, devices, toolstack
+    /// and daemon all land in the same buffer.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Records the memory gauges (free hypervisor pool and Dom0 memory)
+    /// at the current virtual time. No-op when tracing is off.
+    fn record_mem_gauges(&self) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.trace
+            .gauge("mem.hyp_free_bytes", DomId::DOM0, self.hv.free_pages() * sim_core::PAGE_SIZE as u64);
+        self.trace
+            .gauge("mem.dom0_free_bytes", DomId::DOM0, self.dom0.free_bytes(&self.xs, &self.dm, &self.xl));
     }
 
     // ------------------------------------------------------------------
@@ -233,7 +375,12 @@ impl Platform {
     /// Boots a domain with no application attached (pure instantiation, as
     /// in the Fig. 4 baseline measurements).
     pub fn launch_plain(&mut self, cfg: &DomainConfig, image: &KernelImage) -> Result<DomId> {
+        let span = self.trace.span("platform.launch");
+        span.attr("name", cfg.name.as_str());
         let created = self.create_and_register(cfg, image, None)?;
+        span.attr("dom", created.id.0 as u64);
+        drop(span);
+        self.record_mem_gauges();
         Ok(created.id)
     }
 
@@ -245,10 +392,15 @@ impl Platform {
         image: &KernelImage,
         app: Box<dyn GuestApp>,
     ) -> Result<DomId> {
+        let span = self.trace.span("platform.launch");
+        span.attr("name", cfg.name.as_str());
         let created = self.create_and_register(cfg, image, Some(app))?;
         let dom = created.id;
+        span.attr("dom", dom.0 as u64);
         self.dispatch(dom, |app, env| app.on_boot(env));
         self.pump();
+        drop(span);
+        self.record_mem_gauges();
         Ok(dom)
     }
 
@@ -292,6 +444,9 @@ impl Platform {
     /// Clones `dom` from the outside (Dom0-triggered, as for VM fuzzing):
     /// runs both stages and returns the children.
     pub fn clone_domain(&mut self, dom: DomId, nr: u32) -> Result<Vec<DomId>> {
+        let span = self.trace.span("platform.clone_domain");
+        span.attr("parent", dom.0 as u64);
+        span.attr("nr", nr as u64);
         let r = self.hv.cloneop(
             DomId::DOM0,
             CloneOp::Clone {
@@ -303,6 +458,8 @@ impl Platform {
             return Ok(Vec::new());
         };
         self.finish_clones(dom)?;
+        drop(span);
+        self.record_mem_gauges();
         Ok(children)
     }
 
@@ -448,6 +605,9 @@ impl Platform {
     /// stage, guest-slot duplication and the `on_fork` callbacks in parent
     /// and children.
     pub fn guest_fork(&mut self, dom: DomId, nr: u32) -> Result<Vec<DomId>> {
+        let span = self.trace.span("platform.guest_fork");
+        span.attr("parent", dom.0 as u64);
+        span.attr("nr", nr as u64);
         let r = self.hv.cloneop(
             dom,
             CloneOp::Clone {
@@ -471,6 +631,8 @@ impl Platform {
             self.dispatch(*c, |app, env| app.on_fork(env, ForkOutcome::Child { parent: dom }));
         }
         self.pump();
+        drop(span);
+        self.record_mem_gauges();
         Ok(children)
     }
 
@@ -481,6 +643,7 @@ impl Platform {
     fn route_to_guest(&mut self, pkt: Packet) {
         self.clock.advance(self.costs.net_link_latency);
         self.packets_routed += 1;
+        self.trace.count("net.packets_routed", 1);
         let iface = if self.mux_ip == Some(pkt.dst_ip) {
             match self.mux.as_deref_mut().and_then(|m| m.select(&pkt)) {
                 Some(i) => Some(i),
@@ -497,6 +660,7 @@ impl Platform {
     fn route_from_guest(&mut self, pkt: Packet) {
         self.clock.advance(self.costs.net_link_latency);
         self.packets_routed += 1;
+        self.trace.count("net.packets_routed", 1);
         if pkt.dst_ip == HOST_IP {
             let replies = self.host_stack.handle_packet(&pkt);
             self.host_events.extend(self.host_stack.poll_events());
@@ -679,19 +843,36 @@ impl Platform {
     // Introspection
     // ------------------------------------------------------------------
 
+    /// Takes a point-in-time snapshot of the platform's introspection
+    /// metrics. This is the one-stop replacement for the individual
+    /// deprecated getters.
+    pub fn snapshot(&self) -> PlatformSnapshot {
+        PlatformSnapshot {
+            hyp_free_bytes: self.hv.free_pages() * sim_core::PAGE_SIZE as u64,
+            dom0_free_bytes: self.dom0.free_bytes(&self.xs, &self.dm, &self.xl),
+            packets_routed: self.packets_routed,
+            mux_members: self.mux.as_deref().map(|m| m.member_count()).unwrap_or(0),
+            domains: self.hv.domain_count(),
+            clones_completed: self.daemon.clones_completed(),
+        }
+    }
+
     /// Free hypervisor-pool memory in bytes (Fig. 5 "Hyp free").
+    #[deprecated(since = "0.2.0", note = "use Platform::snapshot().hyp_free_bytes")]
     pub fn hyp_free_bytes(&self) -> u64 {
-        self.hv.free_pages() * sim_core::PAGE_SIZE as u64
+        self.snapshot().hyp_free_bytes
     }
 
     /// Free Dom0 memory in bytes (Fig. 5 "Dom0 free").
+    #[deprecated(since = "0.2.0", note = "use Platform::snapshot().dom0_free_bytes")]
     pub fn dom0_free_bytes(&self) -> u64 {
-        self.dom0.free_bytes(&self.xs, &self.dm, &self.xl)
+        self.snapshot().dom0_free_bytes
     }
 
     /// Packets the fabric has routed.
+    #[deprecated(since = "0.2.0", note = "use Platform::snapshot().packets_routed")]
     pub fn packets_routed(&self) -> u64 {
-        self.packets_routed
+        self.snapshot().packets_routed
     }
 
     /// Whether a guest slot exists for `dom`.
@@ -700,8 +881,9 @@ impl Platform {
     }
 
     /// Number of members in the clone mux.
+    #[deprecated(since = "0.2.0", note = "use Platform::snapshot().mux_members")]
     pub fn mux_members(&self) -> usize {
-        self.mux.as_deref().map(|m| m.member_count()).unwrap_or(0)
+        self.snapshot().mux_members
     }
 }
 
@@ -843,7 +1025,7 @@ mod tests {
         let parent_out = p.dm.console_output(dom);
         assert!(parent_out.ends_with(b"parent of 2\n"));
         // Clone vifs were enslaved to the default bond.
-        assert_eq!(p.mux_members(), 2);
+        assert_eq!(p.snapshot().mux_members, 2);
     }
 
     #[test]
@@ -859,7 +1041,7 @@ mod tests {
             .unwrap();
         p.enlist_in_mux(dom);
         p.guest_fork(dom, 3).unwrap();
-        assert_eq!(p.mux_members(), 4, "parent + 3 clones in the bond");
+        assert_eq!(p.snapshot().mux_members, 4, "parent + 3 clones in the bond");
         p.take_host_events();
         // Spray flows; every one must be answered by exactly one clone.
         for port in 0..32u16 {
@@ -929,13 +1111,13 @@ mod tests {
         let d1 = p
             .launch_plain(&udp_cfg("m1", Ipv4Addr::new(10, 0, 0, 6)), &img)
             .unwrap();
-        let free_before = p.hyp_free_bytes();
+        let free_before = p.snapshot().hyp_free_bytes;
         p.clone_domain(d1, 1).unwrap();
-        let clone_cost = free_before - p.hyp_free_bytes();
-        let free_before2 = p.hyp_free_bytes();
+        let clone_cost = free_before - p.snapshot().hyp_free_bytes;
+        let free_before2 = p.snapshot().hyp_free_bytes;
         p.launch_plain(&udp_cfg("m2", Ipv4Addr::new(10, 0, 0, 7)), &img)
             .unwrap();
-        let boot_cost = free_before2 - p.hyp_free_bytes();
+        let boot_cost = free_before2 - p.snapshot().hyp_free_bytes;
         assert!(
             clone_cost * 2 < boot_cost,
             "clone ({clone_cost}) must use far less memory than boot ({boot_cost})"

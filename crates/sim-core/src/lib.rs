@@ -14,6 +14,8 @@
 //! * [`rng`] — a small deterministic PRNG ([`SplitMix64`]) so the lower
 //!   layers do not need external crates.
 //! * [`stats`] — streaming statistics and series recording for experiments.
+//! * [`trace`] — deterministic observability: virtual-time spans, counters
+//!   and gauges with chrome-trace / CSV exporters.
 //! * [`ids`] — strongly typed identifiers (domain ids, frame numbers) and
 //!   page-size constants.
 //!
@@ -30,6 +32,7 @@ pub mod ids;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use clock::Clock;
 pub use costs::CostModel;
@@ -37,3 +40,4 @@ pub use events::EventQueue;
 pub use ids::{DomId, Mfn, Pfn, PAGE_SIZE};
 pub use rng::SplitMix64;
 pub use time::{SimDuration, SimTime};
+pub use trace::{SpanGuard, TraceConfig, TraceSink};

@@ -1,0 +1,698 @@
+//! Deterministic, zero-dependency observability for the simulation.
+//!
+//! The platform owns a [`TraceSink`]; each mechanism component holds a
+//! cloned handle (they share one buffer, like [`Clock`] handles share one
+//! instant). Instrumented code opens virtual-time [`spans`](TraceSink::span)
+//! around hot paths, bumps named monotonic [`counters`](TraceSink::count)
+//! and records per-domain [`gauges`](TraceSink::gauge). Everything is
+//! stamped from the virtual [`Clock`] — the host clock is never read — so
+//! two runs with the same seed produce byte-identical exports.
+//!
+//! A sink is **disabled by default** ([`TraceSink::default`]): every
+//! operation on a disabled sink is a single `Option` check, so leaving the
+//! instrumentation in place costs effectively nothing when tracing is off.
+//!
+//! Two exporters are provided:
+//!
+//! * [`TraceSink::chrome_trace_json`] — the Chrome trace-event format
+//!   (loadable in `about:tracing` or [Perfetto](https://ui.perfetto.dev)),
+//!   with spans as complete (`"ph":"X"`) events and counters as `"ph":"C"`
+//!   events;
+//! * [`TraceSink::span_aggregates_csv`] — a flat `span,count,total_ms,mean_ms`
+//!   table, sorted by span name, for printing next to experiment series.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use std::rc::Rc;
+
+use crate::clock::Clock;
+use crate::ids::DomId;
+use crate::time::SimTime;
+
+/// Tracing knobs for a platform (off by default).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch. When `false` the platform keeps a disabled sink and
+    /// instrumentation does near-zero work.
+    pub enabled: bool,
+}
+
+impl TraceConfig {
+    /// A config with tracing switched on.
+    pub fn enabled() -> Self {
+        TraceConfig { enabled: true }
+    }
+}
+
+/// A typed span attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Owned string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::I64(v) => write!(f, "{v}"),
+            AttrValue::F64(v) => write!(f, "{v}"),
+            AttrValue::Str(v) => write!(f, "{v}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One recorded span (finished once `end` is set).
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (static taxonomy, e.g. `hv.cloneop`).
+    pub name: &'static str,
+    /// Index of the enclosing span in the sink's span list, if nested.
+    pub parent: Option<usize>,
+    /// Nesting depth (roots are 0).
+    pub depth: usize,
+    /// Virtual time at entry.
+    pub start: SimTime,
+    /// Virtual time at exit (`None` while the span is open).
+    pub end: Option<SimTime>,
+    /// Typed attributes attached via [`SpanGuard::attr`].
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl SpanRecord {
+    /// Span duration in virtual nanoseconds (0 while still open).
+    pub fn duration_ns(&self) -> u64 {
+        self.end.map(|e| e.since(self.start).as_ns()).unwrap_or(0)
+    }
+}
+
+/// One timestamped counter observation (the running total after the bump).
+#[derive(Debug, Clone)]
+pub struct CounterSample {
+    /// Counter name.
+    pub name: &'static str,
+    /// Virtual time of the bump.
+    pub at: SimTime,
+    /// Running total after the bump.
+    pub total: u64,
+}
+
+/// One timestamped per-domain gauge observation.
+#[derive(Debug, Clone)]
+pub struct GaugeSample {
+    /// Gauge name.
+    pub name: &'static str,
+    /// Domain the observation belongs to (Dom0 for host-wide gauges).
+    pub dom: DomId,
+    /// Virtual time of the observation.
+    pub at: SimTime,
+    /// Observed value.
+    pub value: u64,
+}
+
+/// Aggregate statistics for all spans sharing a name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanAggregate {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of finished spans with this name.
+    pub count: u64,
+    /// Total virtual nanoseconds across them.
+    pub total_ns: u64,
+    /// Mean virtual nanoseconds (integer division).
+    pub mean_ns: u64,
+}
+
+#[derive(Debug)]
+struct TraceBuf {
+    clock: Clock,
+    spans: Vec<SpanRecord>,
+    stack: Vec<usize>,
+    counters: BTreeMap<&'static str, u64>,
+    counter_samples: Vec<CounterSample>,
+    gauges: Vec<GaugeSample>,
+}
+
+/// A shareable handle onto a trace buffer; see the [module docs](self).
+///
+/// Cloning yields another handle onto the same buffer. The default sink is
+/// disabled: all recording calls return immediately.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    inner: Option<Rc<RefCell<TraceBuf>>>,
+}
+
+/// RAII guard for an open span: records the exit timestamp (from the shared
+/// virtual clock) when dropped, which makes spans robust to `?`-style early
+/// returns.
+#[must_use = "a span ends when its guard drops; binding to _ ends it immediately"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<(Rc<RefCell<TraceBuf>>, usize)>,
+}
+
+impl SpanGuard {
+    /// Attaches a typed attribute to the span.
+    pub fn attr(&self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some((buf, idx)) = &self.inner {
+            buf.borrow_mut().spans[*idx].attrs.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((buf, idx)) = self.inner.take() {
+            let mut b = buf.borrow_mut();
+            let end = b.clock.now();
+            b.spans[idx].end = Some(end);
+            b.stack.retain(|&i| i != idx);
+        }
+    }
+}
+
+impl TraceSink {
+    /// A disabled sink (same as [`TraceSink::default`]).
+    pub fn disabled() -> Self {
+        TraceSink { inner: None }
+    }
+
+    /// Builds a sink from the shared clock and a config; returns a disabled
+    /// sink when `config.enabled` is `false`.
+    pub fn new(clock: Clock, config: &TraceConfig) -> Self {
+        if !config.enabled {
+            return TraceSink::disabled();
+        }
+        TraceSink {
+            inner: Some(Rc::new(RefCell::new(TraceBuf {
+                clock,
+                spans: Vec::new(),
+                stack: Vec::new(),
+                counters: BTreeMap::new(),
+                counter_samples: Vec::new(),
+                gauges: Vec::new(),
+            }))),
+        }
+    }
+
+    /// Whether this sink records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span named `name`, stamped at the current virtual instant.
+    /// The span closes (and its exit is stamped) when the returned guard
+    /// drops. Spans opened while another is open become its children.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        let Some(buf) = &self.inner else {
+            return SpanGuard { inner: None };
+        };
+        let mut b = buf.borrow_mut();
+        let start = b.clock.now();
+        let parent = b.stack.last().copied();
+        let depth = parent.map(|p| b.spans[p].depth + 1).unwrap_or(0);
+        let idx = b.spans.len();
+        b.spans.push(SpanRecord {
+            name,
+            parent,
+            depth,
+            start,
+            end: None,
+            attrs: Vec::new(),
+        });
+        b.stack.push(idx);
+        SpanGuard {
+            inner: Some((buf.clone(), idx)),
+        }
+    }
+
+    /// Bumps the named monotonic counter by `delta` and records a
+    /// timestamped sample of the new total.
+    pub fn count(&self, name: &'static str, delta: u64) {
+        let Some(buf) = &self.inner else { return };
+        let mut b = buf.borrow_mut();
+        let at = b.clock.now();
+        let total = {
+            let c = b.counters.entry(name).or_insert(0);
+            *c += delta;
+            *c
+        };
+        b.counter_samples.push(CounterSample { name, at, total });
+    }
+
+    /// Records a timestamped per-domain gauge observation.
+    pub fn gauge(&self, name: &'static str, dom: DomId, value: u64) {
+        let Some(buf) = &self.inner else { return };
+        let mut b = buf.borrow_mut();
+        let at = b.clock.now();
+        b.gauges.push(GaugeSample { name, dom, at, value });
+    }
+
+    /// Current total of a counter (0 when unknown or disabled).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|b| b.borrow().counters.get(name).copied().unwrap_or(0))
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of all recorded spans, in open order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner
+            .as_ref()
+            .map(|b| b.borrow().spans.clone())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of all counter totals.
+    pub fn counters(&self) -> BTreeMap<&'static str, u64> {
+        self.inner
+            .as_ref()
+            .map(|b| b.borrow().counters.clone())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of all gauge samples, in record order.
+    pub fn gauges(&self) -> Vec<GaugeSample> {
+        self.inner
+            .as_ref()
+            .map(|b| b.borrow().gauges.clone())
+            .unwrap_or_default()
+    }
+
+    /// Clears all recorded data (spans, counters, gauges); the sink stays
+    /// enabled. Useful for scoping an export to one phase of an experiment.
+    pub fn clear(&self) {
+        if let Some(buf) = &self.inner {
+            let mut b = buf.borrow_mut();
+            b.spans.clear();
+            b.stack.clear();
+            b.counters.clear();
+            b.counter_samples.clear();
+            b.gauges.clear();
+        }
+    }
+
+    /// Checks the structural invariants of the recorded spans: every span
+    /// is finished, ends at or after its start, and lies within its parent's
+    /// interval. Returns a description of the first violation.
+    pub fn validate_well_nested(&self) -> Result<(), String> {
+        let spans = self.spans();
+        for (i, s) in spans.iter().enumerate() {
+            let Some(end) = s.end else {
+                return Err(format!("span #{i} {:?} is still open", s.name));
+            };
+            if end < s.start {
+                return Err(format!("span #{i} {:?} ends before it starts", s.name));
+            }
+            if let Some(p) = s.parent {
+                let parent = &spans[p];
+                let pend = parent.end.unwrap_or(SimTime::from_ns(u64::MAX));
+                if s.start < parent.start || end > pend {
+                    return Err(format!(
+                        "span #{i} {:?} escapes its parent {:?}",
+                        s.name, parent.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-name aggregates over finished spans, sorted by name.
+    pub fn span_aggregates(&self) -> Vec<SpanAggregate> {
+        let mut agg: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for s in self.spans() {
+            if s.end.is_some() {
+                let e = agg.entry(s.name).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += s.duration_ns();
+            }
+        }
+        agg.into_iter()
+            .map(|(name, (count, total_ns))| SpanAggregate {
+                name,
+                count,
+                total_ns,
+                mean_ns: total_ns / count.max(1),
+            })
+            .collect()
+    }
+
+    /// The span aggregates as `span,count,total_ms,mean_ms` CSV (header
+    /// included, rows sorted by span name, fixed-point milliseconds).
+    pub fn span_aggregates_csv(&self) -> String {
+        let mut out = String::from("span,count,total_ms,mean_ms\n");
+        for a in self.span_aggregates() {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                a.name,
+                a.count,
+                fmt_ms(a.total_ns),
+                fmt_ms(a.mean_ns)
+            ));
+        }
+        out
+    }
+
+    /// Exports everything recorded so far in the Chrome trace-event JSON
+    /// format. Spans become complete (`"ph":"X"`) events on one track,
+    /// counters become `"ph":"C"` events, gauges become per-domain counter
+    /// tracks. Timestamps are virtual microseconds with nanosecond
+    /// precision; the output is byte-stable for identical recordings.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut events: Vec<String> = Vec::new();
+        for s in &self.spans() {
+            let Some(end) = s.end else { continue };
+            let mut args = String::new();
+            for (k, v) in &s.attrs {
+                if !args.is_empty() {
+                    args.push(',');
+                }
+                args.push_str(&format!("{}:{}", json_str(k), json_attr(v)));
+            }
+            events.push(format!(
+                "{{\"name\":{},\"cat\":\"sim\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":0,\"args\":{{{}}}}}",
+                json_str(s.name),
+                fmt_us(s.start.as_ns()),
+                fmt_us(end.since(s.start).as_ns()),
+                args
+            ));
+        }
+        if let Some(buf) = &self.inner {
+            for c in &buf.borrow().counter_samples {
+                events.push(format!(
+                    "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":0,\"args\":{{\"value\":{}}}}}",
+                    json_str(c.name),
+                    fmt_us(c.at.as_ns()),
+                    c.total
+                ));
+            }
+        }
+        for g in &self.gauges() {
+            events.push(format!(
+                "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":{},\"args\":{{\"value\":{}}}}}",
+                json_str(g.name),
+                fmt_us(g.at.as_ns()),
+                g.dom.0,
+                g.value
+            ));
+        }
+        format!("{{\"traceEvents\":[{}]}}\n", events.join(","))
+    }
+
+    /// Writes [`chrome_trace_json`](Self::chrome_trace_json) to `path`,
+    /// creating parent directories as needed.
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        write_creating_dirs(path.as_ref(), &self.chrome_trace_json())
+    }
+
+    /// Writes [`span_aggregates_csv`](Self::span_aggregates_csv) to `path`,
+    /// creating parent directories as needed.
+    pub fn write_span_aggregates(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        write_creating_dirs(path.as_ref(), &self.span_aggregates_csv())
+    }
+}
+
+fn write_creating_dirs(path: &Path, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, content)
+}
+
+/// Formats nanoseconds as fixed-point microseconds (`123.456`), the unit of
+/// Chrome trace timestamps. Integer math only, so the output is stable.
+fn fmt_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Formats nanoseconds as fixed-point milliseconds (`1.234567`).
+fn fmt_ms(ns: u64) -> String {
+    format!("{}.{:06}", ns / 1_000_000, ns % 1_000_000)
+}
+
+/// JSON string literal with the characters the taxonomy can contain escaped.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_attr(v: &AttrValue) -> String {
+    match v {
+        AttrValue::U64(n) => n.to_string(),
+        AttrValue::I64(n) => n.to_string(),
+        AttrValue::F64(n) if n.is_finite() => n.to_string(),
+        AttrValue::F64(_) => "null".to_string(),
+        AttrValue::Str(s) => json_str(s),
+        AttrValue::Bool(b) => b.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn enabled_sink() -> (Clock, TraceSink) {
+        let clock = Clock::new();
+        let sink = TraceSink::new(clock.clone(), &TraceConfig::enabled());
+        (clock, sink)
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::default();
+        assert!(!sink.is_enabled());
+        {
+            let g = sink.span("noop");
+            g.attr("k", 1u64);
+            sink.count("c", 5);
+            sink.gauge("g", DomId::DOM0, 7);
+        }
+        assert!(sink.spans().is_empty());
+        assert_eq!(sink.counter_total("c"), 0);
+        assert!(sink.gauges().is_empty());
+        assert_eq!(sink.chrome_trace_json(), "{\"traceEvents\":[]}\n");
+    }
+
+    #[test]
+    fn spans_nest_and_stamp_virtual_time() {
+        let (clock, sink) = enabled_sink();
+        {
+            let root = sink.span("root");
+            clock.advance(SimDuration::from_us(10));
+            {
+                let child = sink.span("child");
+                child.attr("pages", 42u64);
+                clock.advance(SimDuration::from_us(5));
+            }
+            clock.advance(SimDuration::from_us(1));
+            drop(root);
+        }
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "root");
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].duration_ns(), 16_000);
+        assert_eq!(spans[1].name, "child");
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[1].start.as_ns(), 10_000);
+        assert_eq!(spans[1].duration_ns(), 5_000);
+        assert_eq!(spans[1].attrs, vec![("pages", AttrValue::U64(42))]);
+        sink.validate_well_nested().unwrap();
+    }
+
+    #[test]
+    fn guard_survives_early_return() {
+        fn inner(sink: &TraceSink, clock: &Clock) -> Result<(), ()> {
+            let _g = sink.span("fallible");
+            clock.advance(SimDuration::from_ns(3));
+            Err(())
+        }
+        let (clock, sink) = enabled_sink();
+        let _ = inner(&sink, &clock);
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].duration_ns(), 3);
+        sink.validate_well_nested().unwrap();
+    }
+
+    #[test]
+    fn counters_accumulate_with_samples() {
+        let (clock, sink) = enabled_sink();
+        sink.count("ring.tx", 1);
+        clock.advance(SimDuration::from_us(2));
+        sink.count("ring.tx", 2);
+        sink.count("ring.rx", 1);
+        assert_eq!(sink.counter_total("ring.tx"), 3);
+        assert_eq!(sink.counter_total("ring.rx"), 1);
+        assert_eq!(sink.counter_total("missing"), 0);
+        let counters = sink.counters();
+        assert_eq!(counters.get("ring.tx"), Some(&3));
+    }
+
+    #[test]
+    fn aggregates_group_by_name_sorted() {
+        let (clock, sink) = enabled_sink();
+        for _ in 0..3 {
+            let _g = sink.span("b.work");
+            clock.advance(SimDuration::from_ms(2));
+        }
+        {
+            let _g = sink.span("a.work");
+            clock.advance(SimDuration::from_ms(1));
+        }
+        let agg = sink.span_aggregates();
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0].name, "a.work");
+        assert_eq!(agg[0].count, 1);
+        assert_eq!(agg[0].total_ns, 1_000_000);
+        assert_eq!(agg[1].name, "b.work");
+        assert_eq!(agg[1].count, 3);
+        assert_eq!(agg[1].mean_ns, 2_000_000);
+        let csv = sink.span_aggregates_csv();
+        assert_eq!(
+            csv,
+            "span,count,total_ms,mean_ms\n\
+             a.work,1,1.000000,1.000000\n\
+             b.work,3,6.000000,2.000000\n"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_deterministic() {
+        fn run() -> String {
+            let (clock, sink) = enabled_sink();
+            {
+                let g = sink.span("hv.cloneop");
+                g.attr("children", 2u64);
+                g.attr("mode", "xs_clone");
+                clock.advance(SimDuration::from_us(7));
+                sink.count("cache.miss", 1);
+                sink.gauge("hyp_free", DomId(1), 4096);
+            }
+            sink.chrome_trace_json()
+        }
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same recording must serialize identically");
+        assert!(a.starts_with("{\"traceEvents\":["));
+        assert!(a.contains("\"name\":\"hv.cloneop\""));
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("\"dur\":7.000"));
+        assert!(a.contains("\"mode\":\"xs_clone\""));
+        assert!(a.contains("\"ph\":\"C\""));
+        assert!(a.contains("\"value\":4096"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let opens = a.matches('{').count();
+        let closes = a.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_enabled() {
+        let (clock, sink) = enabled_sink();
+        {
+            let _g = sink.span("x");
+            clock.advance(SimDuration::from_ns(1));
+        }
+        sink.count("c", 1);
+        sink.clear();
+        assert!(sink.is_enabled());
+        assert!(sink.spans().is_empty());
+        assert_eq!(sink.counter_total("c"), 0);
+    }
+
+    #[test]
+    fn validate_catches_open_span() {
+        let (_clock, sink) = enabled_sink();
+        let g = sink.span("open");
+        assert!(sink.validate_well_nested().is_err());
+        drop(g);
+        sink.validate_well_nested().unwrap();
+    }
+
+    #[test]
+    fn shared_handles_write_one_buffer() {
+        let (clock, sink) = enabled_sink();
+        let other = sink.clone();
+        {
+            let _g = sink.span("outer");
+            clock.advance(SimDuration::from_ns(5));
+            let _h = other.span("inner");
+        }
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].parent, Some(0), "handles share the span stack");
+    }
+}

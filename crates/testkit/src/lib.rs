@@ -13,7 +13,7 @@
 //!   greedily shrunk to a minimal *choice tape* and persisted to a
 //!   `testkit-regressions` corpus file that is replayed before any new
 //!   random cases (replacing proptest's `.proptest-regressions`).
-//! * [`bench`] — a micro-benchmark harness (warmup, calibrated batching,
+//! * [`mod@bench`] — a micro-benchmark harness (warmup, calibrated batching,
 //!   median/p90/p99 reporting, JSON output under `results/`) replacing
 //!   criterion for the `crates/bench/benches/*.rs` targets, which keep
 //!   `harness = false` so `cargo bench` still works.

@@ -25,7 +25,7 @@ use hypervisor::domain::ClonePolicy;
 use hypervisor::error::HvError;
 use hypervisor::{Hypervisor, MemoryImage};
 use netmux::IfaceId;
-use sim_core::{Clock, CostModel, DomId, Pfn};
+use sim_core::{Clock, CostModel, DomId, Pfn, TraceSink};
 use xenstore::{XsError, Xenstore};
 
 use crate::config::DomainConfig;
@@ -64,7 +64,16 @@ impl fmt::Display for XlError {
     }
 }
 
-impl std::error::Error for XlError {}
+impl std::error::Error for XlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XlError::Hv(e) => Some(e),
+            XlError::Xs(e) => Some(e),
+            XlError::Dev(e) => Some(e),
+            XlError::NameExists(_) | XlError::NoSuchImage(_) | XlError::NoSuchDomain(_) => None,
+        }
+    }
+}
 
 impl From<HvError> for XlError {
     fn from(e: HvError) -> Self {
@@ -129,6 +138,7 @@ pub struct Xl {
     pub validate_names: bool,
     records: HashMap<u32, DomRecord>,
     saved: HashMap<String, SavedGuest>,
+    trace: TraceSink,
 }
 
 impl Xl {
@@ -140,7 +150,19 @@ impl Xl {
             validate_names: false,
             records: HashMap::new(),
             saved: HashMap::new(),
+            trace: TraceSink::default(),
         }
+    }
+
+    /// Attaches a trace sink (disabled by default); boot-path spans are
+    /// recorded into it.
+    pub fn attach_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The attached trace sink.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// Lists `(name, id)` of registered domains, in id order.
@@ -277,6 +299,9 @@ impl Xl {
         cfg: &DomainConfig,
         image: &KernelImage,
     ) -> Result<CreatedDomain> {
+        let span = self.trace.span("xl.create");
+        span.attr("name", cfg.name.as_str());
+        span.attr("memory_mib", cfg.memory_mib);
         self.clock.advance(self.costs.xl_create_base);
         self.check_name(&cfg.name)?;
 
@@ -284,10 +309,21 @@ impl Xl {
         let layout = GuestLayout::compute(cfg.memory_mib, image, dev_pages);
 
         let dom = hv.create_domain(&cfg.name, cfg.memory_mib, cfg.vcpus)?;
-        xs.introduce_domain(dom, None)?;
-        self.write_base_entries(xs, dom, cfg)?;
-        self.populate_image(hv, dom, image)?;
-        let ifaces = self.setup_devices(hv, xs, dm, udev, dom, cfg, &layout)?;
+        {
+            let _s = self.trace.span("xl.xenstore_init");
+            xs.introduce_domain(dom, None)?;
+            self.write_base_entries(xs, dom, cfg)?;
+        }
+        {
+            let s = self.trace.span("xl.image_load");
+            s.attr("pages", image.total_pages());
+            self.populate_image(hv, dom, image)?;
+        }
+        let ifaces = {
+            let s = self.trace.span("xl.device_setup");
+            s.attr("vifs", cfg.vifs.len());
+            self.setup_devices(hv, xs, dm, udev, dom, cfg, &layout)?
+        };
 
         hv.set_clone_policy(
             dom,
@@ -363,6 +399,8 @@ impl Xl {
         slot: &str,
         image: &KernelImage,
     ) -> Result<()> {
+        let span = self.trace.span("xl.save");
+        span.attr("dom", dom.0);
         let rec = self
             .records
             .get(&dom.0)
@@ -396,6 +434,8 @@ impl Xl {
         slot: &str,
         new_name: Option<&str>,
     ) -> Result<CreatedDomain> {
+        let span = self.trace.span("xl.restore");
+        span.attr("slot", slot);
         let SavedGuest {
             mut config,
             image,

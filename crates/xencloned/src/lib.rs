@@ -33,7 +33,7 @@ use hypervisor::error::HvError;
 use hypervisor::notify::CloneNotification;
 use hypervisor::Hypervisor;
 use netmux::{CloneMux, IfaceId};
-use sim_core::{Clock, CostModel, DomId};
+use sim_core::{Clock, CostModel, DomId, TraceSink};
 use toolstack::Xl;
 use xenstore::{XsCloneOp, XsError, Xenstore};
 
@@ -58,7 +58,15 @@ impl fmt::Display for CloneDaemonError {
     }
 }
 
-impl std::error::Error for CloneDaemonError {}
+impl std::error::Error for CloneDaemonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CloneDaemonError::Hv(e) => Some(e),
+            CloneDaemonError::Xs(e) => Some(e),
+            CloneDaemonError::Dev(e) => Some(e),
+        }
+    }
+}
 
 impl From<HvError> for CloneDaemonError {
     fn from(e: HvError) -> Self {
@@ -137,6 +145,7 @@ pub struct Xencloned {
     parent_names: HashMap<u32, String>,
     clone_seq: HashMap<u32, u64>,
     clones_completed: u64,
+    trace: TraceSink,
 }
 
 impl Xencloned {
@@ -150,7 +159,19 @@ impl Xencloned {
             parent_names: HashMap::new(),
             clone_seq: HashMap::new(),
             clones_completed: 0,
+            trace: TraceSink::default(),
         }
+    }
+
+    /// Attaches a trace sink (disabled by default); second-stage spans and
+    /// parent-cache counters are recorded into it.
+    pub fn attach_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The attached trace sink.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// Daemon startup: binds `VIRQ_CLONED` and enables cloning globally.
@@ -198,16 +219,22 @@ impl Xencloned {
         n: CloneNotification,
     ) -> Result<CompletedClone> {
         let CloneNotification { parent, child, .. } = n;
+        let span = self.trace.span("xencloned.stage2");
+        span.attr("parent", parent.0);
+        span.attr("child", child.0);
         self.clock.advance(self.costs.xencloned_dispatch);
 
         // Read and cache the parent's Xenstore information on first use
         // (first clone ≈3 ms of userspace ops, later ≈1.9 ms, §6.2).
         if self.parent_cache.insert(parent.0) {
+            self.trace.count("xencloned.parent_cache.miss", 1);
             self.clock.advance(self.costs.xencloned_parent_scan);
             let name = xs
                 .read(DomId::DOM0, &format!("/local/domain/{}/name", parent.0))
                 .unwrap_or_else(|_| format!("dom{}", parent.0));
             self.parent_names.insert(parent.0, name);
+        } else {
+            self.trace.count("xencloned.parent_cache.hit", 1);
         }
 
         // Introduce the child with the parent id (step 2.1).

@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-use sim_core::{Clock, CostModel, DomId};
+use sim_core::{Clock, CostModel, DomId, TraceSink};
 
 use crate::log::AccessLog;
 use crate::tree::Node;
@@ -116,6 +116,17 @@ pub struct Xenstore {
     /// Approximate resident bytes per entry for the Dom0 memory accounting
     /// of Fig. 5 (the paper reports oxenstored growing to ~350 MB).
     resident_per_entry: u64,
+    trace: TraceSink,
+}
+
+/// Static span-attribute name of an [`XsCloneOp`].
+fn clone_op_name(op: XsCloneOp) -> &'static str {
+    match op {
+        XsCloneOp::Basic => "basic",
+        XsCloneOp::DevConsole => "dev_console",
+        XsCloneOp::DevVif => "dev_vif",
+        XsCloneOp::Dev9pfs => "dev_9pfs",
+    }
 }
 
 fn validate(path: &str) -> Result<()> {
@@ -139,11 +150,23 @@ impl Xenstore {
             access_log: AccessLog::new(3000),
             entry_count: 0,
             resident_per_entry: 1024,
+            trace: TraceSink::default(),
         };
         for dir in ["/tool", "/local", "/local/domain", "/vm", "/libxl"] {
             xs.mkdir_internal(DomId::DOM0, dir).expect("static dirs");
         }
         xs
+    }
+
+    /// Attaches a trace sink (disabled by default); request spans and
+    /// rotation counters are recorded into it.
+    pub fn attach_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The attached trace sink.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     // ------------------------------------------------------------------
@@ -161,7 +184,10 @@ impl Xenstore {
         self.clock.advance(self.costs.xs_access_log_append);
         if rotated {
             // Rotation stalls the daemon: the latency spikes of Fig. 4.
+            let span = self.trace.span("xs.log_rotate");
             self.clock.advance(self.costs.xs_access_log_rotate);
+            self.trace.count("xs.log_rotations", 1);
+            drop(span);
         }
     }
 
@@ -363,6 +389,8 @@ impl Xenstore {
     /// each charged as a request, with watches fired afterwards.
     pub fn txn_commit(&mut self, who: DomId, txn: u32) -> Result<()> {
         let t = self.txns.remove(&txn).ok_or(XsError::BadTxn(txn))?;
+        let span = self.trace.span("xs.txn_commit");
+        span.attr("ops", t.ops.len());
         self.clock.advance(self.costs.xs_transaction);
         let mut touched = Vec::new();
         for op in t.ops {
@@ -442,6 +470,8 @@ impl Xenstore {
         if !who.is_dom0() {
             return Err(XsError::Denied(parent_path.to_string()));
         }
+        let span = self.trace.span("xs.xs_clone");
+        span.attr("op", clone_op_name(op));
         // One request round-trip for the entire directory.
         self.charge_request("xs_clone", parent_path);
 
@@ -451,6 +481,7 @@ impl Xenstore {
             .ok_or_else(|| XsError::NoEnt(parent_path.to_string()))?
             .clone();
         let entries = src.count_entries();
+        span.attr("entries", entries);
         self.clock
             .advance(self.costs.xs_clone_per_entry.saturating_mul(entries));
 

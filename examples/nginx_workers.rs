@@ -10,12 +10,13 @@ use std::net::Ipv4Addr;
 use nephele::apps::{NginxApp, HTTP_PORT};
 use nephele::netmux::SockEvent;
 use nephele::toolstack::{DomainConfig, KernelImage};
-use nephele::{Platform, PlatformConfig};
+use nephele::{MuxKind, Platform, PlatformConfig};
 
 const SERVICE_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
 fn main() {
-    let mut platform = Platform::new(PlatformConfig::default());
+    // The bond mux spreads flows across the cloned workers.
+    let mut platform = Platform::new(PlatformConfig::builder().mux(MuxKind::Bond).build());
 
     let config = DomainConfig::builder("nginx")
         .memory_mib(16)
@@ -30,7 +31,7 @@ fn main() {
         .expect("boot");
     let workers = platform.hv.domain(master).unwrap().children.clone();
     println!("master {master} spawned {} workers: {workers:?}", workers.len());
-    println!("bond members: {}", platform.mux_members());
+    println!("bond members: {}", platform.snapshot().mux_members);
 
     // Fire 60 HTTP requests from the host; the bond picks a clone per flow.
     let mut answered = 0;

@@ -12,7 +12,7 @@ use nephele::{Platform, PlatformConfig};
 fn main() {
     // A full virtualization platform: hypervisor, Xenstore, device
     // backends, toolstack and the xencloned daemon.
-    let mut platform = Platform::new(PlatformConfig::default());
+    let mut platform = Platform::new(PlatformConfig::builder().cores(4).build());
 
     // Boot a 4 MiB unikernel with one network interface, allowed to clone.
     let config = DomainConfig::builder("demo")
@@ -64,9 +64,9 @@ fn main() {
     println!("parent still reads: {:?}", String::from_utf8_lossy(&buf));
 
     // Memory economics: a clone costs a fraction of a boot.
-    let before = platform.hyp_free_bytes();
+    let before = platform.snapshot().hyp_free_bytes;
     platform.clone_domain(parent, 1).unwrap();
-    let clone_cost = before - platform.hyp_free_bytes();
+    let clone_cost = before - platform.snapshot().hyp_free_bytes;
     println!(
         "one more clone consumed {} KiB (a full 4 MiB boot would consume >4096 KiB)",
         clone_cost / 1024

@@ -13,7 +13,7 @@ use nephele::toolstack::{DomainConfig, KernelImage};
 use nephele::{Platform, PlatformConfig};
 
 fn main() {
-    let mut platform = Platform::new(PlatformConfig::default());
+    let mut platform = Platform::new(PlatformConfig::builder().build());
     // Redis clones do not need network devices — xencloned clones only
     // what is needed (the paper's I/O-cloning optimization).
     platform.daemon.config.clone_network = false;

@@ -15,7 +15,13 @@ cargo test -q --offline
 echo "== cargo test -q --workspace --offline (all member crates)"
 cargo test -q --workspace --offline
 
+echo "== cargo test -q --offline --test trace_spans (observability layer)"
+cargo test -q --offline --test trace_spans
+
 echo "== cargo bench --no-run --offline"
 cargo bench --no-run --offline
+
+echo "== cargo doc --no-deps --offline (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace --quiet
 
 echo "verify.sh: all green"

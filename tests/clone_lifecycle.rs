@@ -58,12 +58,12 @@ fn full_lifecycle() {
     assert_eq!(p.hv.frames().inspect(mfn).unwrap().refcount(), 3);
 
     // Destroying everything returns all memory.
-    let live_before_any = p.hyp_free_bytes();
+    let live_before_any = p.snapshot().hyp_free_bytes;
     for k in kids {
         p.destroy(k).unwrap();
     }
     p.destroy(parent).unwrap();
-    assert!(p.hyp_free_bytes() > live_before_any);
+    assert!(p.snapshot().hyp_free_bytes > live_before_any);
     assert!(!p.hv.domain_exists(parent));
 }
 
@@ -123,9 +123,9 @@ fn memory_density_clone_vs_boot() {
     let img = KernelImage::minios("udp");
     let parent = p.launch_plain(&cfg("density", 2), &img).unwrap();
 
-    let before = p.hyp_free_bytes();
+    let before = p.snapshot().hyp_free_bytes;
     p.clone_domain(parent, 8).unwrap();
-    let per_clone = (before - p.hyp_free_bytes()) / 8;
+    let per_clone = (before - p.snapshot().hyp_free_bytes) / 8;
 
     // A 4 MiB guest must cost far less than 4 MiB per clone; the paper
     // reports ~1.6 MiB dominated by the RX ring.

@@ -131,7 +131,7 @@ fn idc_notifications_drive_guest_callbacks() {
 #[test]
 fn destroyed_family_releases_idc_pages() {
     let mut p = Platform::new(PlatformConfig::small());
-    let baseline = p.hyp_free_bytes();
+    let baseline = p.snapshot().hyp_free_bytes;
     let parent = p.launch_plain(&cfg("teardown"), &KernelImage::unikraft("t")).unwrap();
     let pipe = IdcPipe::create(&mut p.hv, parent, Pfn(500)).unwrap();
     let kids = p.clone_domain(parent, 2).unwrap();
@@ -141,7 +141,7 @@ fn destroyed_family_releases_idc_pages() {
         p.destroy(k).unwrap();
     }
     p.destroy(parent).unwrap();
-    assert_eq!(p.hyp_free_bytes(), baseline, "IDC pages must be reclaimed");
+    assert_eq!(p.snapshot().hyp_free_bytes, baseline, "IDC pages must be reclaimed");
 }
 
 #[test]

@@ -20,9 +20,13 @@ fn cfg(name: &str) -> DomainConfig {
 }
 
 fn run_family_udp(mux: MuxKind) -> usize {
-    let mut pc = PlatformConfig::small();
-    pc.mux = mux;
-    let mut p = Platform::new(pc);
+    let mut p = Platform::new(
+        PlatformConfig::builder()
+            .guest_pool_mib(256)
+            .ring_capacity(128)
+            .mux(mux)
+            .build(),
+    );
     let parent = p
         .launch(
             &cfg("echo"),
@@ -88,5 +92,5 @@ fn clone_of_clone_chains_through_generations() {
     assert!(p.hv.is_descendant(current, root));
     // Five generations of clones plus the root are alive and connected.
     assert_eq!(p.hv.domain_count(), 7); // dom0 + 6 family members
-    assert_eq!(p.mux_members(), 6); // root + 5 generations
+    assert_eq!(p.snapshot().mux_members, 6); // root + 5 generations
 }

@@ -45,7 +45,7 @@ fn nginx_forks_workers_and_serves_through_bond() {
 
     // Four workers were cloned and enslaved to the bond.
     assert_eq!(p.hv.domain(master).unwrap().children.len(), 4);
-    assert_eq!(p.mux_members(), 4);
+    assert_eq!(p.snapshot().mux_members, 4);
 
     // Many requests; every one must be answered despite shared MAC/IP.
     let mut answered = 0;

@@ -25,10 +25,13 @@ fn ops() -> impl Gen<Value = Op> {
 }
 
 fn small_platform() -> Platform {
-    let mut pc = PlatformConfig::small();
-    pc.machine.guest_pool_mib = 512;
-    pc.mux = MuxKind::None;
-    Platform::new(pc)
+    Platform::new(
+        PlatformConfig::builder()
+            .guest_pool_mib(512)
+            .ring_capacity(128)
+            .mux(MuxKind::None)
+            .build(),
+    )
 }
 
 fn boot(p: &mut Platform, seq: usize) -> DomId {
@@ -46,7 +49,7 @@ fn platform_state_stays_consistent() {
         let script = g.draw(&vecs(ops(), 1..40));
 
         let mut p = small_platform();
-        let baseline = p.hyp_free_bytes();
+        let baseline = p.snapshot().hyp_free_bytes;
         let mut live: Vec<DomId> = vec![boot(&mut p, 0)];
         let mut boots = 1;
 
@@ -103,7 +106,7 @@ fn platform_state_stays_consistent() {
             let d = live.remove(i);
             p.destroy(d).expect("teardown");
         }
-        assert_eq!(p.hyp_free_bytes(), baseline, "leaked guest-pool memory");
+        assert_eq!(p.snapshot().hyp_free_bytes, baseline, "leaked guest-pool memory");
         assert_eq!(p.dm.vif_count(), 0);
         assert_eq!(p.hv.domain_count(), 1);
     });

@@ -1,0 +1,173 @@
+//! The observability layer end-to-end: span tree shape of a clone run,
+//! virtual-time accounting, and deterministic chrome-trace export.
+
+use std::net::Ipv4Addr;
+
+use nephele::sim_core::trace::SpanRecord;
+use nephele::toolstack::{DomainConfig, KernelImage};
+use nephele::{Platform, PlatformConfig, TraceConfig};
+
+fn cfg(name: &str) -> DomainConfig {
+    DomainConfig::builder(name)
+        .memory_mib(4)
+        .vif(Ipv4Addr::new(10, 0, 0, 2))
+        .max_clones(64)
+        .build()
+}
+
+fn traced_platform() -> Platform {
+    Platform::new(
+        PlatformConfig::builder()
+            .guest_pool_mib(256)
+            .tracing(TraceConfig::enabled())
+            .build(),
+    )
+}
+
+/// Boots a parent and clones it twice; returns the platform.
+fn run_two_clones() -> Platform {
+    let mut p = traced_platform();
+    let parent = p
+        .launch_plain(&cfg("traced"), &KernelImage::minios("traced"))
+        .expect("boot");
+    p.clone_domain(parent, 2).expect("clone");
+    p
+}
+
+fn children_of<'a>(spans: &'a [SpanRecord], parent_idx: usize) -> Vec<&'a SpanRecord> {
+    spans.iter().filter(|s| s.parent == Some(parent_idx)).collect()
+}
+
+fn index_of(spans: &[SpanRecord], name: &str) -> usize {
+    spans
+        .iter()
+        .position(|s| s.name == name)
+        .unwrap_or_else(|| panic!("missing span {name}"))
+}
+
+#[test]
+fn tracing_is_off_by_default_and_records_nothing() {
+    let mut p = Platform::new(PlatformConfig::small());
+    assert!(!p.trace().is_enabled());
+    let parent = p
+        .launch_plain(&cfg("dark"), &KernelImage::minios("dark"))
+        .unwrap();
+    p.clone_domain(parent, 1).unwrap();
+    assert!(p.trace().spans().is_empty());
+    assert!(p.trace().counters().is_empty());
+}
+
+#[test]
+fn two_clone_run_emits_expected_span_tree() {
+    let p = run_two_clones();
+    let trace = p.trace();
+    trace.validate_well_nested().expect("all spans closed, well nested");
+
+    let spans = trace.spans();
+
+    // The Dom0-triggered clone: one platform root, one hypercall under it.
+    // (Earlier hv.cloneop spans exist — the daemon's global-enable at
+    // platform construction — so look specifically under the clone root.)
+    let clone_root = index_of(&spans, "platform.clone_domain");
+    let cloneop = spans
+        .iter()
+        .position(|s| s.name == "hv.cloneop" && s.parent == Some(clone_root))
+        .expect("clone hypercall nested under platform.clone_domain");
+
+    // Two per-child clone spans, each with the four phases of §4.1.
+    let clone_ones: Vec<usize> = spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.name == "hv.clone_one")
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(clone_ones.len(), 2, "one hv.clone_one per child");
+    for &ci in &clone_ones {
+        assert_eq!(spans[ci].parent, Some(cloneop));
+        let phases: Vec<&str> = children_of(&spans, ci).iter().map(|s| s.name).collect();
+        for phase in [
+            "clone.vcpu_copy",
+            "clone.private_pages",
+            "clone.cow_convert",
+            "clone.pt_rebuild",
+        ] {
+            assert!(phases.contains(&phase), "{phase} missing from {phases:?}");
+        }
+    }
+
+    // Two second stages, one per child, each cloning the devices.
+    let stage2s: Vec<usize> = spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.name == "xencloned.stage2")
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(stage2s.len(), 2, "one second stage per child");
+    for &si in &stage2s {
+        let names: Vec<&str> = children_of(&spans, si).iter().map(|s| s.name).collect();
+        assert!(names.contains(&"xs.xs_clone"), "xenstore clone under stage2: {names:?}");
+        assert!(names.contains(&"dev.clone_console"), "console clone under stage2: {names:?}");
+        assert!(names.contains(&"dev.clone_vif"), "vif clone under stage2: {names:?}");
+    }
+}
+
+#[test]
+fn platform_span_durations_match_virtual_time() {
+    let mut p = traced_platform();
+    let parent = p
+        .launch_plain(&cfg("timed"), &KernelImage::minios("timed"))
+        .unwrap();
+
+    let t0 = p.clock.now();
+    p.clone_domain(parent, 2).unwrap();
+    let observed_ns = p.clock.now().since(t0).as_ns();
+
+    let spans = p.trace().spans();
+    let clone_root = &spans[index_of(&spans, "platform.clone_domain")];
+    assert_eq!(
+        clone_root.duration_ns(),
+        observed_ns,
+        "the platform.clone_domain span must cover exactly the observed virtual-time delta"
+    );
+
+    // Children never outlive their parent, and each parent's direct
+    // children account for no more time than the parent charged.
+    for (i, s) in spans.iter().enumerate() {
+        let child_sum: u64 = children_of(&spans, i).iter().map(|c| c.duration_ns()).sum();
+        assert!(
+            child_sum <= s.duration_ns(),
+            "children of {} sum to {child_sum} ns > parent {} ns",
+            s.name,
+            s.duration_ns()
+        );
+    }
+}
+
+#[test]
+fn chrome_trace_export_is_deterministic_across_runs() {
+    let a = run_two_clones();
+    let b = run_two_clones();
+    let json_a = a.trace().chrome_trace_json();
+    let json_b = b.trace().chrome_trace_json();
+    assert!(!json_a.is_empty());
+    assert_eq!(json_a, json_b, "same seed must produce byte-identical chrome traces");
+
+    let csv_a = a.trace().span_aggregates_csv();
+    let csv_b = b.trace().span_aggregates_csv();
+    assert_eq!(csv_a, csv_b, "span aggregates must be deterministic too");
+    assert!(csv_a.starts_with("span,count,total_ms,mean_ms\n"));
+    assert!(csv_a.contains("hv.clone_one,2,"), "aggregate counts both clones:\n{csv_a}");
+}
+
+#[test]
+fn counters_track_clone_mechanics() {
+    let p = run_two_clones();
+    let total = p.trace().counter_total("xencloned.parent_cache.miss")
+        + p.trace().counter_total("xencloned.parent_cache.hit");
+    assert_eq!(total, 2, "both second stages consulted the parent-info cache");
+    assert_eq!(
+        p.trace().counter_total("xencloned.parent_cache.miss"),
+        1,
+        "first stage2 misses, second hits"
+    );
+}
