@@ -173,10 +173,7 @@ impl Hypervisor {
                 return Err(HvError::CloneLimit(parent));
             }
         }
-        let mut children = Vec::with_capacity(nr as usize);
-        for _ in 0..nr {
-            children.push(self.clone_one(parent)?);
-        }
+        let children = self.clone_batch(parent, nr)?;
         // The hypercall returns 0 in the parent's rax, 1 in each child's.
         if let Some(v) = self.domain_mut(parent)?.vcpus.get_mut(0) {
             v.regs.rax = 0;
@@ -184,20 +181,35 @@ impl Hypervisor {
         Ok(children)
     }
 
-    /// Runs the complete first stage for one child of `parent` (§4.1, §5.2):
-    /// `struct domain` copy, vCPU cloning, memory sharing with private-page
-    /// duplication, page-table rebuild, grant-table and event-channel
-    /// cloning, then a notification-ring entry plus `VIRQ_CLONED`.
-    fn clone_one(&mut self, parent_id: DomId) -> Result<DomId> {
-        let span = self.trace().span("hv.clone_one");
+    /// Runs the complete first stage for `nr` children of `parent` in one
+    /// batch (§4.1, §5.2): the parent is snapshotted **once**, every mapped
+    /// pfn is classified in a **single** walk, shared pages get one
+    /// refcount transition covering all children, and each child's p2m is
+    /// stamped from the shared template with only the private slots
+    /// patched. Host complexity drops from O(N·M) for the naive per-child
+    /// loop to O(M + N·P) (M mapped pages, P private pages), while
+    /// virtual-time charges, frame placement, domain ids and names are
+    /// bit-identical to N sequential single clones.
+    ///
+    /// The call is atomic: ring capacity and the frame budget for all
+    /// children are validated before the first mutation, so a failing
+    /// batch leaves the parent, the frame table and the ring untouched.
+    fn clone_batch(&mut self, parent_id: DomId, nr: u32) -> Result<Vec<DomId>> {
+        let span = self.trace().span("clone.batch");
         span.attr("parent", parent_id.0);
+        span.attr("nr", nr);
 
-        // Backpressure: a full ring stalls the first stage (§5).
-        if self.clone_ring().is_full() {
+        // ---- Validation phase: nothing below this comment may mutate
+        // hypervisor state until every check has passed. ----
+
+        // Backpressure: the ring must have room for the whole batch up
+        // front (§5) — a mid-batch full ring would strand earlier children
+        // with the parent paused.
+        if self.clone_ring().free_slots() < nr as usize {
             return Err(HvError::NotificationRingFull);
         }
 
-        // Snapshot the parent state the child is built from.
+        // Snapshot the parent state all children are built from — once.
         let (p2m, private_pfns, idc_pfns, vcpus, grants, evtchn, parent_meta) = {
             let p = self.domain(parent_id)?;
             if p.state == DomainState::Dying {
@@ -223,140 +235,113 @@ impl Hypervisor {
         let (parent_name, clone_seq, start_info_pfn, xenstore_pfn, console_pfn, policy) =
             parent_meta;
 
-        let costs = self.costs().clone();
-        self.clock().advance(costs.clone_stage1_base);
+        /// How a shared (non-private) mapped page joins the batch.
+        enum SharedKind {
+            /// Owned by the parent: one ownership transfer to `dom_cow`
+            /// covering every child (IDC pages stay writable-shared).
+            First { idc: bool },
+            /// Already COW — the parent is itself a clone, or the same
+            /// frame appeared at an earlier pfn of this walk: refcount
+            /// bump only.
+            Bump,
+        }
 
-        // Pre-allocate every frame the child needs so a failure leaves the
-        // parent untouched: one frame per private pfn plus the auxiliary
-        // page-table and p2m-storage frames.
-        let mapped: u64 = p2m.iter().filter(|e| e.is_some()).count() as u64;
-        let private_count = private_pfns
-            .keys()
-            .filter(|pfn| p2m.get(pfn.0 as usize).copied().flatten().is_some())
-            .count() as u64;
+        // Single classification walk over the p2m. `first_shared` tracks
+        // frames this walk will move to dom_cow, so a frame mapped at two
+        // pfns is first-shared once and bumped at its second slot —
+        // exactly what N sequential walks would produce.
+        let mut private_slots: Vec<(usize, PrivatePolicy, Mfn)> = Vec::new();
+        let mut shared_slots: Vec<(Mfn, SharedKind)> = Vec::new();
+        let mut first_shared = std::collections::HashSet::new();
+        for (i, slot) in p2m.iter().enumerate() {
+            let Some(mfn) = *slot else { continue };
+            let pfn = Pfn(i as u64);
+            if let Some(policy) = private_pfns.get(&pfn) {
+                private_slots.push((i, *policy, mfn));
+                continue;
+            }
+            match self.frames().inspect(mfn)?.owner() {
+                FrameOwner::Dom(d) if d == parent_id => {
+                    if first_shared.insert(mfn.0) {
+                        let idc = idc_pfns.contains(&pfn);
+                        shared_slots.push((mfn, SharedKind::First { idc }));
+                    } else {
+                        shared_slots.push((mfn, SharedKind::Bump));
+                    }
+                }
+                FrameOwner::Cow => shared_slots.push((mfn, SharedKind::Bump)),
+                _ => return Err(HvError::BadOwner(mfn)),
+            }
+        }
+
+        let mapped = (private_slots.len() + shared_slots.len()) as u64;
+        let private_count = private_slots.len() as u64;
         let aux_count =
             Domain::pt_frames_needed(p2m.len() as u64) + Domain::p2m_frames_needed(p2m.len() as u64);
+        let per_child = private_count + aux_count;
+        span.attr("mapped", mapped);
+        span.attr("private", private_count);
 
-        let child_id = DomId(self.alloc_domid());
-        let mut fresh = self
-            .frames_mut()
-            .alloc_many(FrameOwner::Dom(child_id), private_count + aux_count)?;
-        let aux_frames: Vec<Mfn> = fresh.split_off(private_count as usize);
-
-        // vCPUs: registers and affinity replicated; rax = 1 in the child.
-        let child_vcpus: Vec<Vcpu> = {
-            let vspan = self.trace().span("clone.vcpu_copy");
-            vspan.attr("vcpus", vcpus.len());
-            self.clock()
-                .advance(costs.vcpu_init.saturating_mul(vcpus.len() as u64));
-            vcpus.iter().map(Vcpu::clone_for_child).collect()
-        };
-
-        // Memory: share everything except private pages. The private and
-        // shared pfn sets are disjoint, so the two passes below touch
-        // disjoint frames and charge the same total as one interleaved
-        // walk — but each pass gets its own span.
-        let mut child_p2m = vec![None; p2m.len()];
-        let mut remaps: Vec<(Mfn, Mfn)> = Vec::new();
-        let mut fresh_iter = fresh.into_iter();
-        let mut child_start_info = Mfn(0);
-
-        // Pass 1: duplicate private pages into the pre-allocated frames.
-        {
-            let pspan = self.trace().span("clone.private_pages");
-            pspan.attr("pages", private_count);
-            for (i, slot) in p2m.iter().enumerate() {
-                let Some(mfn) = *slot else { continue };
-                let pfn = Pfn(i as u64);
-                let Some(policy) = private_pfns.get(&pfn) else {
-                    continue;
-                };
-                let new = fresh_iter.next().expect("allocated one frame per private pfn");
-                match policy {
-                    PrivatePolicy::Copy => {
-                        self.frames_mut().copy_page(mfn, new)?;
-                    }
-                    PrivatePolicy::Fresh => {}
-                    PrivatePolicy::Rewrite => {
-                        self.frames_mut().copy_page(mfn, new)?;
-                        // Rewrite the embedded domain id reference.
-                        self.frames_mut().write(new, 0, &child_id.0.to_le_bytes())?;
-                    }
-                }
-                self.clock().advance(costs.clone_private_page);
-                child_p2m[i] = Some(new);
-                remaps.push((mfn, new));
-                if pfn == start_info_pfn {
-                    child_start_info = new;
-                }
-            }
-            debug_assert!(fresh_iter.next().is_none());
+        // Frame budget for the whole batch, before the first allocation.
+        if self.frames().free_frames() < per_child.saturating_mul(nr as u64) {
+            return Err(HvError::OutOfMemory);
         }
 
-        // Pass 2: convert the remaining mapped pages to COW sharing (or
-        // bump the share count when the parent is itself a clone).
+        // ---- Apply phase: infallible from here on. ----
+
+        let costs = self.costs().clone();
+        self.clock()
+            .advance(costs.clone_stage1_base.saturating_mul(nr as u64));
+
+        // Domain ids in the order the sequential path would allocate them.
+        let child_ids: Vec<DomId> = (0..nr).map(|_| DomId(self.alloc_domid())).collect();
+
+        // One bulk allocation covering every child's private + auxiliary
+        // frames, sliced per child in sequential order so frame placement
+        // is identical to N single clones.
+        let requests: Vec<(FrameOwner, u64)> = child_ids
+            .iter()
+            .map(|c| (FrameOwner::Dom(*c), per_child))
+            .collect();
+        let per_child_frames = self
+            .frames_mut()
+            .alloc_batch(&requests)
+            .expect("frame budget pre-validated");
+
+        // Shared pages: one refcount transition per frame for the whole
+        // batch, charging exactly what N sequential walks would charge.
         {
             let cspan = self.trace().span("clone.cow_convert");
-            cspan.attr("pages", mapped - private_count);
-            for (i, slot) in p2m.iter().enumerate() {
-                let Some(mfn) = *slot else { continue };
-                let pfn = Pfn(i as u64);
-                if private_pfns.contains_key(&pfn) {
-                    continue;
-                }
-                match self.frames().inspect(mfn)?.owner() {
-                    FrameOwner::Dom(d) if d == parent_id => {
-                        // IDC pages stay writable-shared; everything else
-                        // becomes read-only COW.
-                        let idc = idc_pfns.contains(&pfn);
-                        self.frames_mut().share_to_cow(mfn, parent_id, 2, idc)?;
+            cspan.attr("pages", shared_slots.len());
+            cspan.attr("nr", nr);
+            let n = nr as u64;
+            for (mfn, kind) in &shared_slots {
+                match kind {
+                    SharedKind::First { idc } => {
+                        self.frames_mut()
+                            .share_to_cow(*mfn, parent_id, nr.saturating_add(1), *idc)
+                            .expect("classified as parent-owned");
                         self.clock().advance(costs.clone_share_per_page);
+                        self.clock()
+                            .advance(costs.clone_reshare_per_page.saturating_mul(n - 1));
                     }
-                    FrameOwner::Cow => {
-                        self.frames_mut().reshare(mfn, 1)?;
-                        self.clock().advance(costs.clone_reshare_per_page);
+                    SharedKind::Bump => {
+                        self.frames_mut()
+                            .reshare(*mfn, nr)
+                            .expect("classified as COW");
+                        self.clock()
+                            .advance(costs.clone_reshare_per_page.saturating_mul(n));
                     }
-                    _ => return Err(HvError::BadOwner(mfn)),
                 }
-                child_p2m[i] = Some(mfn);
             }
         }
 
-        // Rebuild the child page table from the p2m (§5.2: "p2m ... is used
-        // and updated on cloning when building the child page table").
-        {
-            let tspan = self.trace().span("clone.pt_rebuild");
-            tspan.attr("mapped", mapped);
-            self.clock()
-                .advance(costs.clone_pt_build_per_page.saturating_mul(mapped));
-            self.clock().advance(
-                costs
-                    .clone_private_page
-                    .saturating_mul(Domain::p2m_frames_needed(p2m.len() as u64)),
-            );
-        }
-
-        // Grant table: replicate, re-pointing grants of private frames.
-        let mut child_grants = grants.clone_for_child();
-        for (old, new) in &remaps {
-            child_grants.rewrite_frame(*old, *new);
-        }
-
-        // Event channels: replicate; parent-side DOMID_CHILD channels become
-        // child→parent channels at the same port and are registered in the
-        // fan-out map so the parent reaches all clones.
-        let mut child_evtchn = evtchn.clone_for_child();
+        // Parent-side DOMID_CHILD channels become child→parent channels at
+        // the same port in every child; computed once from the snapshot.
         let mut idc_ports = Vec::new();
         for (port, ch) in evtchn.iter_active() {
             if let Channel::Interdomain { remote_dom, .. } = ch {
                 if *remote_dom == DomId::CHILD {
-                    child_evtchn.replace(
-                        port,
-                        Channel::Interdomain {
-                            remote_dom: parent_id,
-                            remote_port: port,
-                        },
-                    )?;
                     idc_ports.push(port);
                 }
             }
@@ -368,53 +353,148 @@ impl Hypervisor {
             .flatten()
             .unwrap_or(Mfn(0));
 
-        let child = Domain {
-            id: child_id,
-            name: format!("{parent_name}-clone{}", clone_seq + 1),
-            parent: Some(parent_id),
-            state: DomainState::PausedAfterClone,
-            vcpus: child_vcpus,
-            p2m: child_p2m,
-            aux_frames,
-            private_pfns,
-            idc_pfns,
-            start_info_pfn,
-            xenstore_pfn,
-            console_pfn,
-            clone_policy: policy,
-            clones_created: 0,
-            children: Vec::new(),
-            pending_stage2: 0,
-            grants: child_grants,
-            evtchn: child_evtchn,
-            checkpoint: None,
-        };
-        self.insert_domain(child);
-        for port in idc_ports {
-            self.bind_child_channel(parent_id, port, child_id, port);
-        }
-
-        // Parent bookkeeping: paused until the second stage completes.
+        let mut children = Vec::with_capacity(nr as usize);
+        let mut notifications = Vec::with_capacity(nr as usize);
+        for (k, (&child_id, mut fresh)) in
+            child_ids.iter().zip(per_child_frames).enumerate()
         {
-            let p = self.domain_mut(parent_id)?;
-            p.children.push(child_id);
-            p.clones_created += 1;
-            p.pending_stage2 += 1;
-            p.state = DomainState::PausedForClone;
-        }
+            let child_span = self.trace().span("clone.child");
+            child_span.attr("child", child_id.0);
+            let aux_frames: Vec<Mfn> = fresh.split_off(private_count as usize);
 
-        // Notify xencloned (steps 1.2 in Fig. 1).
-        self.clone_ring()
-            .push(CloneNotification {
+            // vCPUs: registers and affinity replicated; rax = 1 in the child.
+            let child_vcpus: Vec<Vcpu> = {
+                let vspan = self.trace().span("clone.vcpu_copy");
+                vspan.attr("vcpus", vcpus.len());
+                self.clock()
+                    .advance(costs.vcpu_init.saturating_mul(vcpus.len() as u64));
+                vcpus.iter().map(Vcpu::clone_for_child).collect()
+            };
+
+            // The child p2m starts as the shared template — every shared
+            // slot already points at the (now COW) parent frame — and only
+            // the P private slots are patched.
+            let mut child_p2m = p2m.clone();
+            let mut remaps: Vec<(Mfn, Mfn)> = Vec::with_capacity(private_slots.len());
+            let mut child_start_info = Mfn(0);
+            {
+                let pspan = self.trace().span("clone.private_pages");
+                pspan.attr("pages", private_count);
+                for (&(i, policy, mfn), &new) in private_slots.iter().zip(&fresh) {
+                    match policy {
+                        PrivatePolicy::Copy => {
+                            self.frames_mut()
+                                .copy_page(mfn, new)
+                                .expect("snapshot frames exist");
+                        }
+                        PrivatePolicy::Fresh => {}
+                        PrivatePolicy::Rewrite => {
+                            self.frames_mut()
+                                .copy_page(mfn, new)
+                                .expect("snapshot frames exist");
+                            // Rewrite the embedded domain id reference.
+                            self.frames_mut()
+                                .write(new, 0, &child_id.0.to_le_bytes())
+                                .expect("freshly allocated frame is writable");
+                        }
+                    }
+                    self.clock().advance(costs.clone_private_page);
+                    child_p2m[i] = Some(new);
+                    remaps.push((mfn, new));
+                    if i as u64 == start_info_pfn.0 {
+                        child_start_info = new;
+                    }
+                }
+            }
+
+            // Rebuild the child page table from the p2m (§5.2: "p2m ... is
+            // used and updated on cloning when building the child page
+            // table").
+            {
+                let tspan = self.trace().span("clone.pt_rebuild");
+                tspan.attr("mapped", mapped);
+                self.clock()
+                    .advance(costs.clone_pt_build_per_page.saturating_mul(mapped));
+                self.clock().advance(
+                    costs
+                        .clone_private_page
+                        .saturating_mul(Domain::p2m_frames_needed(p2m.len() as u64)),
+                );
+            }
+
+            // Grant table: replicate, re-pointing grants of private frames.
+            let mut child_grants = grants.clone_for_child();
+            for (old, new) in &remaps {
+                child_grants.rewrite_frame(*old, *new);
+            }
+
+            // Event channels: replicate, then rewrite the IDC ports so the
+            // fan-out map reaches this child.
+            let mut child_evtchn = evtchn.clone_for_child();
+            for &port in &idc_ports {
+                child_evtchn
+                    .replace(
+                        port,
+                        Channel::Interdomain {
+                            remote_dom: parent_id,
+                            remote_port: port,
+                        },
+                    )
+                    .expect("IDC port exists in the replicated table");
+            }
+
+            let child = Domain {
+                id: child_id,
+                name: format!("{parent_name}-clone{}", clone_seq + 1 + k as u32),
+                parent: Some(parent_id),
+                state: DomainState::PausedAfterClone,
+                vcpus: child_vcpus,
+                p2m: child_p2m,
+                aux_frames,
+                private_pfns: private_pfns.clone(),
+                idc_pfns: idc_pfns.clone(),
+                start_info_pfn,
+                xenstore_pfn,
+                console_pfn,
+                clone_policy: policy,
+                clones_created: 0,
+                children: Vec::new(),
+                pending_stage2: 0,
+                grants: child_grants,
+                evtchn: child_evtchn,
+                checkpoint: None,
+            };
+            self.insert_domain(child);
+            for &port in &idc_ports {
+                self.bind_child_channel(parent_id, port, child_id, port);
+            }
+            notifications.push(CloneNotification {
                 parent: parent_id,
                 child: child_id,
                 parent_start_info,
                 child_start_info,
-            })
-            .expect("ring fullness checked on entry");
-        self.raise_virq(DomId::DOM0, crate::event::Virq::Cloned);
-        span.attr("child", child_id.0);
-        Ok(child_id)
+            });
+            children.push(child_id);
+        }
+
+        // Parent bookkeeping: paused until every second stage completes.
+        {
+            let p = self.domain_mut(parent_id).expect("parent snapshotted above");
+            p.children.extend_from_slice(&children);
+            p.clones_created += nr;
+            p.pending_stage2 += nr;
+            p.state = DomainState::PausedForClone;
+        }
+
+        // Notify xencloned, one entry + VIRQ per child (steps 1.2 in
+        // Fig. 1) — capacity was reserved up front.
+        for n in notifications {
+            self.clone_ring()
+                .push(n)
+                .expect("ring capacity pre-validated");
+            self.raise_virq(DomId::DOM0, crate::event::Virq::Cloned);
+        }
+        Ok(children)
     }
 
     fn clone_completion(&mut self, child: DomId) -> Result<()> {

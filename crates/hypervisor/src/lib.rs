@@ -479,7 +479,9 @@ impl Hypervisor {
         &mut self.frames
     }
 
-    /// Frame-table statistics (Fig. 5's "Hyp free" series).
+    /// Frame-table statistics (Fig. 5's "Hyp free" series). O(1): the
+    /// owner-class counts are maintained incrementally, so experiments may
+    /// sample this per clone without paying a frame-table scan.
     pub fn memory_stats(&self) -> MemoryStats {
         self.frames.stats()
     }

@@ -78,6 +78,18 @@ impl NotificationRing {
     pub fn is_full(&self) -> bool {
         self.entries.len() >= self.capacity
     }
+
+    /// Total capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Slots still available before the ring exerts backpressure. The
+    /// batched clone first stage checks this for all N children up front,
+    /// so a multi-clone call never fails halfway through.
+    pub fn free_slots(&self) -> usize {
+        self.capacity.saturating_sub(self.entries.len())
+    }
 }
 
 impl Default for NotificationRing {
@@ -118,6 +130,20 @@ mod tests {
         assert_eq!(r.push(n(1, 4)), Err(HvError::NotificationRingFull));
         r.pop().unwrap();
         r.push(n(1, 4)).unwrap();
+    }
+
+    #[test]
+    fn free_slots_track_occupancy() {
+        let mut r = NotificationRing::new(3);
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.free_slots(), 3);
+        r.push(n(1, 2)).unwrap();
+        assert_eq!(r.free_slots(), 2);
+        r.push(n(1, 3)).unwrap();
+        r.push(n(1, 4)).unwrap();
+        assert_eq!(r.free_slots(), 0);
+        r.pop().unwrap();
+        assert_eq!(r.free_slots(), 1);
     }
 
     #[test]

@@ -250,6 +250,12 @@ pub struct PlatformSnapshot {
     pub hyp_free_bytes: u64,
     /// Free Dom0 memory in bytes (Fig. 5 "Dom0 free").
     pub dom0_free_bytes: u64,
+    /// Machine frames currently owned by `dom_cow` — i.e. pages shared
+    /// between a parent and its clones, counted once. Maintained
+    /// incrementally by the frame table, so sampling it per clone is O(1).
+    pub cow_shared_frames: u64,
+    /// Machine frames owned by the hypervisor itself.
+    pub xen_frames: u64,
     /// Packets the fabric has routed.
     pub packets_routed: u64,
     /// Number of members in the clone mux.
@@ -847,9 +853,12 @@ impl Platform {
     /// metrics. This is the one-stop replacement for the individual
     /// deprecated getters.
     pub fn snapshot(&self) -> PlatformSnapshot {
+        let mem = self.hv.memory_stats();
         PlatformSnapshot {
-            hyp_free_bytes: self.hv.free_pages() * sim_core::PAGE_SIZE as u64,
+            hyp_free_bytes: mem.free * sim_core::PAGE_SIZE as u64,
             dom0_free_bytes: self.dom0.free_bytes(&self.xs, &self.dm, &self.xl),
+            cow_shared_frames: mem.cow_shared,
+            xen_frames: mem.xen,
             packets_routed: self.packets_routed,
             mux_members: self.mux.as_deref().map(|m| m.member_count()).unwrap_or(0),
             domains: self.hv.domain_count(),
@@ -1122,5 +1131,27 @@ mod tests {
             clone_cost * 2 < boot_cost,
             "clone ({clone_cost}) must use far less memory than boot ({boot_cost})"
         );
+    }
+
+    #[test]
+    fn snapshot_exposes_cow_sharing() {
+        let mut p = plat();
+        let dom = p
+            .launch_plain(
+                &udp_cfg("shared", Ipv4Addr::new(10, 0, 0, 8)),
+                &KernelImage::minios("shared"),
+            )
+            .unwrap();
+        assert_eq!(p.snapshot().cow_shared_frames, 0, "no sharing before any clone");
+        p.clone_domain(dom, 2).unwrap();
+        let snap = p.snapshot();
+        // Most of the 4 MiB guest's pages are shareable; both children
+        // share the same set, counted once.
+        assert!(
+            snap.cow_shared_frames >= 500,
+            "clones must share the parent's pages ({} cow frames)",
+            snap.cow_shared_frames
+        );
+        assert_eq!(snap.xen_frames, 0);
     }
 }

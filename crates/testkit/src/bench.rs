@@ -199,6 +199,54 @@ impl Group<'_> {
 }
 
 impl Timer {
+    /// Like [`Timer::iter`], but each iteration consumes a fresh input
+    /// built by `setup`, and only `routine` is timed: setup runs before
+    /// the clock starts and the routine's outputs are dropped after it
+    /// stops. Use this when the operation under test mutates expensive
+    /// state (say, a whole hypervisor) that must be rebuilt per call —
+    /// with plain `iter` the rebuild and teardown would dominate the
+    /// measurement.
+    pub fn iter_with_setup<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        // Inputs are materialised per sample, so cap the batch: a fast
+        // routine behind an expensive setup must not demand 2^20 live
+        // setup states at once.
+        const MAX_SETUP_BATCH: u64 = 256;
+
+        let mut run_batch = |batch: u64| -> f64 {
+            let inputs: Vec<S> = (0..batch).map(|_| setup()).collect();
+            let mut outputs = Vec::with_capacity(inputs.len());
+            let t = Instant::now();
+            for s in inputs {
+                outputs.push(black_box(routine(s)));
+            }
+            let per_iter = t.elapsed().as_nanos() as f64 / batch as f64;
+            drop(outputs);
+            per_iter
+        };
+
+        let warmup_start = Instant::now();
+        let mut batch = 1u64;
+        let est_ns = loop {
+            let est = run_batch(batch);
+            if warmup_start.elapsed().as_nanos() as u64 >= WARMUP_BUDGET_NS / 2 {
+                break est;
+            }
+            batch = batch.saturating_mul(2).min(MAX_SETUP_BATCH);
+        };
+        self.batch =
+            ((TARGET_SAMPLE_NS as f64 / est_ns.max(1.0)).ceil() as u64).clamp(1, MAX_SETUP_BATCH);
+
+        self.measurements.clear();
+        for _ in 0..self.samples {
+            let per_iter = run_batch(self.batch);
+            self.measurements.push(per_iter);
+        }
+    }
+
     /// Measures `f`: warmup + batch calibration, then `samples` timed
     /// batches. Results are recorded per iteration.
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {

@@ -254,3 +254,42 @@ impl<A: Gen, B: Gen, C: Gen> Gen for (A, B, C) {
         (self.0.generate(src), self.1.generate(src), self.2.generate(src))
     }
 }
+
+impl<A: Gen, B: Gen, C: Gen, D: Gen> Gen for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, src: &mut Source) -> Self::Value {
+        (
+            self.0.generate(src),
+            self.1.generate(src),
+            self.2.generate(src),
+            self.3.generate(src),
+        )
+    }
+}
+
+impl<A: Gen, B: Gen, C: Gen, D: Gen, E: Gen> Gen for (A, B, C, D, E) {
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    fn generate(&self, src: &mut Source) -> Self::Value {
+        (
+            self.0.generate(src),
+            self.1.generate(src),
+            self.2.generate(src),
+            self.3.generate(src),
+            self.4.generate(src),
+        )
+    }
+}
+
+impl<A: Gen, B: Gen, C: Gen, D: Gen, E: Gen, F: Gen> Gen for (A, B, C, D, E, F) {
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value, F::Value);
+    fn generate(&self, src: &mut Source) -> Self::Value {
+        (
+            self.0.generate(src),
+            self.1.generate(src),
+            self.2.generate(src),
+            self.3.generate(src),
+            self.4.generate(src),
+            self.5.generate(src),
+        )
+    }
+}

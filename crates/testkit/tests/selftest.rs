@@ -151,6 +151,41 @@ fn filtered_generators_discard_rather_than_fail() {
 }
 
 #[test]
+fn bench_iter_with_setup_times_only_the_routine() {
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    let mut c = Bench::new("setup_selftest");
+    let setups = Rc::new(Cell::new(0u64));
+    let runs = Rc::new(Cell::new(0u64));
+    let mut g = c.benchmark_group("g");
+    g.sample_size(4);
+    {
+        let (setups, runs) = (Rc::clone(&setups), Rc::clone(&runs));
+        g.bench_function("consume", |b| {
+            b.iter_with_setup(
+                || {
+                    setups.set(setups.get() + 1);
+                    vec![1u64; 256]
+                },
+                |v| {
+                    runs.set(runs.get() + 1);
+                    v.iter().sum::<u64>()
+                },
+            );
+        });
+    }
+    g.finish();
+
+    // Every routine invocation consumed exactly one fresh setup value.
+    assert_eq!(setups.get(), runs.get(), "one setup per routine call");
+    assert!(runs.get() >= 4, "at least one routine call per sample");
+    let r = &c.records()[0];
+    assert_eq!(r.samples, 4);
+    assert!(r.median_ns > 0.0, "a timed loop cannot be free");
+}
+
+#[test]
 fn bench_report_round_trips_through_hand_parsing() {
     let mut c = Bench::new("selftest");
     let mut g = c.benchmark_group("group_a");

@@ -18,8 +18,14 @@ cargo test -q --workspace --offline
 echo "== cargo test -q --offline --test trace_spans (observability layer)"
 cargo test -q --offline --test trace_spans
 
+echo "== cargo test -q -p hypervisor --offline --test prop_clone_batch (batched clone equivalence + atomicity)"
+cargo test -q -p hypervisor --offline --test prop_clone_batch
+
 echo "== cargo bench --no-run --offline"
 cargo bench --no-run --offline
+
+echo "== cargo bench -p bench --bench clone_fanout --offline (batched vs sequential fan-out)"
+cargo bench -p bench --bench clone_fanout --offline
 
 echo "== cargo doc --no-deps --offline (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace --quiet

@@ -74,23 +74,30 @@ fn two_clone_run_emits_expected_span_tree() {
         .position(|s| s.name == "hv.cloneop" && s.parent == Some(clone_root))
         .expect("clone hypercall nested under platform.clone_domain");
 
-    // Two per-child clone spans, each with the four phases of §4.1.
-    let clone_ones: Vec<usize> = spans
+    // One batch span for the whole call, carrying the shared COW
+    // conversion, plus one per-child span with the per-child phases.
+    let batch = spans
+        .iter()
+        .position(|s| s.name == "clone.batch" && s.parent == Some(cloneop))
+        .expect("clone.batch nested under hv.cloneop");
+    let batch_children: Vec<&str> = children_of(&spans, batch).iter().map(|s| s.name).collect();
+    assert_eq!(
+        batch_children.iter().filter(|n| **n == "clone.cow_convert").count(),
+        1,
+        "shared pages are converted once for the whole batch: {batch_children:?}"
+    );
+
+    let clone_children: Vec<usize> = spans
         .iter()
         .enumerate()
-        .filter(|(_, s)| s.name == "hv.clone_one")
+        .filter(|(_, s)| s.name == "clone.child")
         .map(|(i, _)| i)
         .collect();
-    assert_eq!(clone_ones.len(), 2, "one hv.clone_one per child");
-    for &ci in &clone_ones {
-        assert_eq!(spans[ci].parent, Some(cloneop));
+    assert_eq!(clone_children.len(), 2, "one clone.child per child");
+    for &ci in &clone_children {
+        assert_eq!(spans[ci].parent, Some(batch));
         let phases: Vec<&str> = children_of(&spans, ci).iter().map(|s| s.name).collect();
-        for phase in [
-            "clone.vcpu_copy",
-            "clone.private_pages",
-            "clone.cow_convert",
-            "clone.pt_rebuild",
-        ] {
+        for phase in ["clone.vcpu_copy", "clone.private_pages", "clone.pt_rebuild"] {
             assert!(phases.contains(&phase), "{phase} missing from {phases:?}");
         }
     }
@@ -156,7 +163,8 @@ fn chrome_trace_export_is_deterministic_across_runs() {
     let csv_b = b.trace().span_aggregates_csv();
     assert_eq!(csv_a, csv_b, "span aggregates must be deterministic too");
     assert!(csv_a.starts_with("span,count,total_ms,mean_ms\n"));
-    assert!(csv_a.contains("hv.clone_one,2,"), "aggregate counts both clones:\n{csv_a}");
+    assert!(csv_a.contains("clone.child,2,"), "aggregate counts both clones:\n{csv_a}");
+    assert!(csv_a.contains("clone.batch,1,"), "one batch for the two-child call:\n{csv_a}");
 }
 
 #[test]
