@@ -11,6 +11,7 @@ fn main() {
     eprintln!("fig4: measuring boot / restore / clone curves for {n} instances each...");
     let r = bench::fig4::run(n);
     bench::support::print_csv("fig4: instantiation times (ms)", &r.series);
+    bench::support::export_percentiles("fig4", &r.percentiles);
     bench::support::export_trace(&r.trace, "fig4");
 
     let [boot, restore, deep, clone] = r.means;

@@ -9,8 +9,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(30);
     eprintln!("fig7: wrk (400 conns/worker, 5 s, {reps} reps) vs 1..4 workers...");
-    let (series, pts) = bench::fig7::run(reps);
+    let (series, pts, pcts) = bench::fig7::run(reps);
     bench::support::print_csv("fig7: NGINX throughput (req/s)", &series);
+    bench::support::export_percentiles("fig7", &pcts);
     // The queueing model has no platform; trace the real 4-worker clone
     // family so the figure still ships a span breakdown.
     bench::support::export_trace(&bench::fig7::traced_worker_family(), "fig7");

@@ -14,8 +14,9 @@ fn main() {
         .filter(|k| *k <= max)
         .collect();
     eprintln!("fig8: Redis snapshot fork/save times for up to {max} keys...");
-    let (series, pts) = bench::fig8::run(&counts);
+    let (series, pts, trace) = bench::fig8::run(&counts);
     bench::support::print_csv("fig8: Redis save times (ms)", &series);
+    bench::support::export_trace(&trace, "fig8");
 
     eprintln!();
     eprintln!("summary:");

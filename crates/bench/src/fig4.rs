@@ -18,7 +18,7 @@ use apps::UdpEchoApp;
 use nephele::TraceSink;
 use sim_core::stats::Series;
 
-use crate::support::{paper_platform, udp_guest_cfg, udp_image};
+use crate::support::{paper_platform, pct_row, udp_guest_cfg, udp_image, PctRow};
 
 /// Measured instantiation curves.
 #[derive(Debug, Clone)]
@@ -31,6 +31,10 @@ pub struct Fig4Result {
     pub boot_run_rotations: u64,
     /// Mean of each curve (boot, restore, deep-copy clone, clone), ms.
     pub means: [f64; 4],
+    /// Percentile summary per curve (ms). The deep-copy clone's p99 is
+    /// where the Xenstore log-rotation spikes show up — the means hide
+    /// them entirely.
+    pub percentiles: Vec<PctRow>,
     /// The trace recorded during the `xs_clone` run (disabled unless the
     /// experiment was run with tracing on; see `support::export_trace`).
     pub trace: TraceSink,
@@ -112,11 +116,18 @@ pub fn run(n: usize) -> Fig4Result {
             *s += v;
         }
     }
+    let percentiles = vec![
+        pct_row("boot_ms", &boot),
+        pct_row("restore_ms", &restore),
+        pct_row("clone_deepcopy_ms", &deep),
+        pct_row("clone_ms", &clone),
+    ];
     Fig4Result {
         series,
         clone_run_rotations: clone_rot,
         boot_run_rotations: boot_rot,
         means: sums.map(|s| s / n as f64),
+        percentiles,
         trace,
     }
 }
@@ -147,5 +158,27 @@ mod tests {
             - clones[..10].iter().sum::<f64>() / 10.0;
         assert!(boot_growth > 2.0 * clone_growth.max(0.01),
             "boot growth {boot_growth:.2} vs clone growth {clone_growth:.2}");
+
+        // Tail behaviour: the deep-copy curve's Xenstore log-rotation
+        // spikes live in the upper tail, far above both the p90 and the
+        // mean (which dilutes them away); the xs_clone curve's body stays
+        // flat (only a couple of rotations remain, so p99 hugs p50).
+        let pct = |name: &str| r.percentiles.iter().find(|p| p.curve == name).unwrap();
+        let deep_pct = pct("clone_deepcopy_ms");
+        assert!(
+            deep_pct.max > 2.0 * deep_pct.p90,
+            "rotation spike must dominate the deep-copy tail: {deep_pct:?}"
+        );
+        assert!(
+            deep_pct.max > 2.0 * r.means[2],
+            "the mean ({:.1} ms) must hide the spike ({:.1} ms)",
+            r.means[2],
+            deep_pct.max
+        );
+        let clone_pct = pct("clone_ms");
+        assert!(
+            clone_pct.p99 < 1.2 * clone_pct.p50,
+            "xs_clone body must stay flat: {clone_pct:?}"
+        );
     }
 }

@@ -18,6 +18,8 @@ use linux_procs::{jittered_service, WrkConfig};
 use nephele::sim_core::{CostModel, SimDuration, SplitMix64};
 use sim_core::stats::{OnlineStats, Series};
 
+use crate::support::{pct_row, PctRow};
+
 /// Worker flavours.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkerKind {
@@ -71,7 +73,9 @@ fn simulate_run(kind: WorkerKind, workers: u32, cfg: &WrkConfig, rng: &mut Split
 }
 
 /// Runs the experiment for 1..=4 workers with the paper's wrk parameters.
-pub fn run(reps: usize) -> (Series, Vec<(Fig7Point, Fig7Point)>) {
+/// Besides the mean/stddev series, returns per-configuration percentile
+/// rows over the repetition distribution (req/s).
+pub fn run(reps: usize) -> (Series, Vec<(Fig7Point, Fig7Point)>, Vec<PctRow>) {
     let cfg = WrkConfig {
         repetitions: reps,
         ..Default::default()
@@ -86,16 +90,27 @@ pub fn run(reps: usize) -> (Series, Vec<(Fig7Point, Fig7Point)>) {
         ],
     );
     let mut points = Vec::new();
+    let mut pcts = Vec::new();
     let mut rng = SplitMix64::new(0x716);
     for workers in 1..=4u32 {
         let mut proc = OnlineStats::new();
         let mut clone = OnlineStats::new();
+        let mut proc_samples = Vec::with_capacity(cfg.repetitions);
+        let mut clone_samples = Vec::with_capacity(cfg.repetitions);
         for _ in 0..cfg.repetitions {
             let p = simulate_run(WorkerKind::Process, workers, &cfg, &mut rng);
             let c = simulate_run(WorkerKind::Clone, workers, &cfg, &mut rng);
-            proc.push(p as f64 / cfg.duration.as_secs_f64());
-            clone.push(c as f64 / cfg.duration.as_secs_f64());
+            let (p, c) = (
+                p as f64 / cfg.duration.as_secs_f64(),
+                c as f64 / cfg.duration.as_secs_f64(),
+            );
+            proc.push(p);
+            clone.push(c);
+            proc_samples.push(p);
+            clone_samples.push(c);
         }
+        pcts.push(pct_row(format!("processes_{workers}w_rps"), &proc_samples));
+        pcts.push(pct_row(format!("clones_{workers}w_rps"), &clone_samples));
         series.row(
             workers as f64,
             &[proc.mean(), proc.stddev(), clone.mean(), clone.stddev()],
@@ -113,7 +128,7 @@ pub fn run(reps: usize) -> (Series, Vec<(Fig7Point, Fig7Point)>) {
             },
         ));
     }
-    (series, points)
+    (series, points, pcts)
 }
 
 /// The platform-side counterpart of the queueing numbers: boots the
@@ -149,7 +164,7 @@ mod tests {
 
     #[test]
     fn throughput_scales_linearly_and_clones_win() {
-        let (_, pts) = run(10);
+        let (_, pts, _) = run(10);
         for (proc, clone) in &pts {
             assert!(
                 clone.mean_rps > proc.mean_rps,
@@ -170,5 +185,18 @@ mod tests {
         assert!((3.6..=4.4).contains(&r), "process scaling factor {r:.2}");
         // Absolute range sanity (paper peaks around 110-120 k req/s).
         assert!((90_000.0..140_000.0).contains(&pts[3].1.mean_rps));
+    }
+
+    #[test]
+    fn percentile_rows_cover_every_configuration() {
+        let (_, _, pcts) = run(5);
+        assert_eq!(pcts.len(), 8, "2 kinds x 4 worker counts");
+        for r in &pcts {
+            assert_eq!(r.count, 5);
+            assert!(
+                r.p50 <= r.p90 && r.p90 <= r.p99 && r.p99 <= r.max,
+                "percentiles must be monotone: {r:?}"
+            );
+        }
     }
 }

@@ -21,8 +21,10 @@ use linux_procs::ProcessModel;
 use nephele::hypervisor::cloneop::CloneOp;
 use nephele::sim_core::{Clock, CostModel, DomId, PAGE_SIZE};
 use nephele::toolstack::{DomainConfig, KernelImage};
-use nephele::{MuxKind, Platform, PlatformConfig};
+use nephele::{MuxKind, Platform, PlatformConfig, TraceSink};
 use sim_core::stats::Series;
+
+use crate::support::trace_config_from_env;
 
 /// Key counts on the figure's x-axis.
 pub const KEY_COUNTS: &[u64] = &[0, 1, 10, 100, 1000, 10_000, 100_000, 1_000_000];
@@ -81,11 +83,12 @@ fn measure_process(keys: u64) -> (f64, f64) {
 }
 
 /// The Unikraft clone path, end-to-end on the platform.
-fn measure_clone(keys: u64) -> (f64, f64, f64) {
+fn measure_clone(keys: u64) -> (f64, f64, f64, TraceSink) {
     let mut p = Platform::new(
         PlatformConfig::builder()
             .guest_pool_mib(2048)
             .mux(MuxKind::None)
+            .tracing(trace_config_from_env())
             .build(),
     );
     p.daemon.config.clone_network = false; // §7.1 optimization
@@ -140,11 +143,14 @@ fn measure_clone(keys: u64) -> (f64, f64, f64) {
         app.mass_insert(env, keys, VALUE_LEN);
     })
     .unwrap();
-    clone_and_save(&mut p, parent)
+    let (clone_ms, save_ms, userspace_ms) = clone_and_save(&mut p, parent);
+    (clone_ms, save_ms, userspace_ms, p.trace().clone())
 }
 
-/// Runs the experiment over `key_counts`.
-pub fn run(key_counts: &[u64]) -> (Series, Vec<Fig8Point>) {
+/// Runs the experiment over `key_counts`. The returned sink is the trace
+/// of the largest key count's clone run (histograms of `clone.stage1`,
+/// `clone.stage2`, ring transfers, ...), enabled via `NEPHELE_TRACE`.
+pub fn run(key_counts: &[u64]) -> (Series, Vec<Fig8Point>, TraceSink) {
     let mut series = Series::new(
         "keys",
         &[
@@ -156,9 +162,11 @@ pub fn run(key_counts: &[u64]) -> (Series, Vec<Fig8Point>) {
         ],
     );
     let mut points = Vec::new();
+    let mut trace = TraceSink::disabled();
     for &keys in key_counts {
         let (pf, ps) = measure_process(keys);
-        let (c, cs, us) = measure_clone(keys);
+        let (c, cs, us, t) = measure_clone(keys);
+        trace = t;
         series.row(keys as f64, &[pf, ps, c, cs, us]);
         points.push(Fig8Point {
             keys,
@@ -169,7 +177,7 @@ pub fn run(key_counts: &[u64]) -> (Series, Vec<Fig8Point>) {
             userspace_ms: us,
         });
     }
-    (series, points)
+    (series, points, trace)
 }
 
 #[cfg(test)]
@@ -178,7 +186,7 @@ mod tests {
 
     #[test]
     fn io_cloning_cost_amortizes_with_database_size() {
-        let (_, pts) = run(&[0, 20_000]);
+        let (_, pts, _) = run(&[0, 20_000]);
         let small = &pts[0];
         let large = &pts[1];
 
@@ -201,7 +209,7 @@ mod tests {
     #[test]
     fn dump_contains_every_key() {
         // Cross-check of the measured path's functional output.
-        let (_, pts) = run(&[100]);
+        let (_, pts, _) = run(&[100]);
         assert_eq!(pts.len(), 1);
     }
 }

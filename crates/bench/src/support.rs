@@ -36,18 +36,22 @@ pub fn platform_with_pool(pool_mib: u64) -> Platform {
 }
 
 /// Exports a figure run's trace: chrome-trace JSON (loadable in
-/// `about:tracing` / Perfetto) and the span-aggregate CSV under
-/// `results/`, with the aggregates also printed to stdout next to the
-/// figure's series. No-op when the sink is disabled.
+/// `about:tracing` / Perfetto), the span-aggregate CSV and the latency
+/// histogram CSV (per-operation p50/p90/p99/max) under `results/`, with
+/// the aggregates also printed to stdout next to the figure's series.
+/// No-op when the sink is disabled.
 pub fn export_trace(trace: &TraceSink, fig: &str) {
     if !trace.is_enabled() {
         return;
     }
     println!("# {fig}: span aggregates");
     print!("{}", trace.span_aggregates_csv());
+    println!("# {fig}: latency histograms (us)");
+    print!("{}", trace.histograms_csv());
     let dir = Path::new("results");
     let json = dir.join(format!("{fig}_trace.json"));
     let csv = dir.join(format!("{fig}_spans.csv"));
+    let hist = dir.join(format!("{fig}_hist.csv"));
     match trace.write_chrome_trace(&json) {
         Ok(()) => eprintln!("{fig}: wrote {}", json.display()),
         Err(e) => eprintln!("{fig}: chrome-trace export failed: {e}"),
@@ -55,6 +59,72 @@ pub fn export_trace(trace: &TraceSink, fig: &str) {
     match trace.write_span_aggregates(&csv) {
         Ok(()) => eprintln!("{fig}: wrote {}", csv.display()),
         Err(e) => eprintln!("{fig}: span-aggregate export failed: {e}"),
+    }
+    match trace.write_histograms(&hist) {
+        Ok(()) => eprintln!("{fig}: wrote {}", hist.display()),
+        Err(e) => eprintln!("{fig}: histogram export failed: {e}"),
+    }
+}
+
+/// Percentile summary of one measured curve (used for the figure
+/// percentile columns; units are whatever the samples are in).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PctRow {
+    /// Curve name, e.g. `clone_deepcopy_ms`.
+    pub curve: String,
+    /// Number of samples.
+    pub count: usize,
+    /// Nearest-rank percentiles (same convention as
+    /// `sim_core::stats::percentile` and `sim_core::hist::Histogram`).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Builds a [`PctRow`] from raw samples.
+pub fn pct_row(curve: impl Into<String>, samples: &[f64]) -> PctRow {
+    use sim_core::stats::percentile;
+    let mut s = samples.to_vec();
+    PctRow {
+        curve: curve.into(),
+        count: samples.len(),
+        p50: percentile(&mut s, 50.0),
+        p90: percentile(&mut s, 90.0),
+        p99: percentile(&mut s, 99.0),
+        max: percentile(&mut s, 100.0),
+    }
+}
+
+/// Renders percentile rows as CSV (`curve,count,p50,p90,p99,max`), with
+/// three fixed decimals so same-seed runs are byte-identical.
+pub fn pct_csv(rows: &[PctRow]) -> String {
+    let mut out = String::from("curve,count,p50,p90,p99,max\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.3},{:.3},{:.3},{:.3}\n",
+            r.curve, r.count, r.p50, r.p90, r.p99, r.max
+        ));
+    }
+    out
+}
+
+/// Prints the percentile columns for a figure and writes them to
+/// `results/{fig}_percentiles.csv`.
+pub fn export_percentiles(fig: &str, rows: &[PctRow]) {
+    let csv = pct_csv(rows);
+    println!("# {fig}: percentiles");
+    print!("{csv}");
+    let path = Path::new("results").join(format!("{fig}_percentiles.csv"));
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, csv) {
+        Ok(()) => eprintln!("{fig}: wrote {}", path.display()),
+        Err(e) => eprintln!("{fig}: percentile export failed: {e}"),
     }
 }
 

@@ -418,6 +418,7 @@ impl DeviceManager {
 
     /// Guest transmits a packet: pushed onto the TX ring (dropped if full).
     pub fn guest_tx(&mut self, dom: DomId, devid: u32, pkt: Packet) -> Result<bool> {
+        let start = self.clock.now();
         self.clock.advance(
             self.costs
                 .net_per_byte
@@ -430,6 +431,8 @@ impl DeviceManager {
         let pushed = vif.tx.push(pkt);
         self.trace
             .count(if pushed { "dev.ring.tx" } else { "dev.ring.tx_drop" }, 1);
+        self.trace
+            .record_ns("dev.ring.tx", self.clock.now().since(start).as_ns());
         Ok(pushed)
     }
 
@@ -446,6 +449,7 @@ impl DeviceManager {
         let Some((dom, devid)) = self.iface_map.get(&iface).copied() else {
             return false;
         };
+        let start = self.clock.now();
         self.clock.advance(
             self.costs
                 .net_per_byte
@@ -457,6 +461,8 @@ impl DeviceManager {
         };
         self.trace
             .count(if pushed { "dev.ring.rx" } else { "dev.ring.rx_drop" }, 1);
+        self.trace
+            .record_ns("dev.ring.rx", self.clock.now().since(start).as_ns());
         pushed
     }
 

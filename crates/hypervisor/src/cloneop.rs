@@ -96,7 +96,28 @@ fn op_name(op: &CloneOp) -> &'static str {
 
 impl Hypervisor {
     /// Dispatches a `CLONEOP` hypercall issued by `caller`.
+    ///
+    /// On top of the dispatch itself this is the instrumentation boundary
+    /// for the whole first stage: successful [`CloneOp::Clone`] calls feed
+    /// the `clone.stage1` latency histogram, and *any* failed subcommand
+    /// bumps the `clone.fail` counter (previously only successes were
+    /// counted anywhere on the clone path).
     pub fn cloneop(&mut self, caller: DomId, op: CloneOp) -> Result<CloneOpResult> {
+        let is_clone = matches!(op, CloneOp::Clone { .. });
+        let start = self.clock().now();
+        let result = self.cloneop_inner(caller, op);
+        match &result {
+            Ok(_) if is_clone => {
+                let elapsed = self.clock().now().since(start).as_ns();
+                self.trace().record_ns("clone.stage1", elapsed);
+            }
+            Ok(_) => {}
+            Err(_) => self.trace().count("clone.fail", 1),
+        }
+        result
+    }
+
+    fn cloneop_inner(&mut self, caller: DomId, op: CloneOp) -> Result<CloneOpResult> {
         let span = self.trace().span("hv.cloneop");
         span.attr("caller", caller.0);
         span.attr("op", op_name(&op));

@@ -204,6 +204,23 @@ impl EventChannels {
             .map(|(i, c)| (i as Port, c))
     }
 
+    /// Closes every interdomain channel whose remote end is `peer` and
+    /// returns how many were closed. Used when `peer` is destroyed so no
+    /// live table keeps a binding to a dead domain.
+    pub fn close_peer(&mut self, peer: DomId) -> usize {
+        let mut closed = 0;
+        for (i, c) in self.channels.iter_mut().enumerate() {
+            if matches!(c, Channel::Interdomain { remote_dom, .. } if *remote_dom == peer) {
+                *c = Channel::Free;
+                if let Some(p) = self.pending.get_mut(i) {
+                    *p = false;
+                }
+                closed += 1;
+            }
+        }
+        closed
+    }
+
     /// Produces a child's channel table at clone time. Interdomain channels
     /// keep their port numbers (the peers are re-wired by the hypervisor's
     /// cloning logic); pending bits are cleared.

@@ -142,6 +142,21 @@ impl GrantTable {
             .map(|(i, e)| (i as GrantRef, e))
     }
 
+    /// Revokes every entry granting to `grantee`, regardless of active
+    /// mapping counts, and returns how many were dropped. Used when the
+    /// grantee domain is destroyed: its mappings die with it, so the
+    /// entries must not keep naming a dead domain.
+    pub fn revoke_grantee(&mut self, grantee: DomId) -> usize {
+        let mut dropped = 0;
+        for e in &mut self.entries {
+            if matches!(e, GrantEntry::Access { grantee: g, .. } if *g == grantee) {
+                *e = GrantEntry::Unused;
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
     /// Produces the child's grant table at clone time: all entries are
     /// replicated so that established device grants and IDC grants stay
     /// valid in the clone. The caller rewrites frame numbers for private

@@ -352,6 +352,17 @@ impl Hypervisor {
             targets.retain(|(d, _)| *d != id);
         }
         self.child_bindings.retain(|(owner, _), _| *owner != id.0);
+
+        // Sweep the survivors' tables: close interdomain channels whose
+        // remote end just died and revoke grants naming it as grantee, so
+        // no live table keeps a binding to a dead domain (the liveness
+        // invariants the state auditor enforces).
+        for peer in self.domains.values_mut() {
+            peer.evtchn.close_peer(id);
+            peer.grants.revoke_grantee(id);
+        }
+        // Orphaned pending notifications for the dead domain are dropped.
+        self.pending_events.retain(|e| e.dom != id);
         Ok(())
     }
 
@@ -659,6 +670,15 @@ impl Hypervisor {
             .push((child, child_port));
     }
 
+    /// Read-only view of the `DOMID_CHILD` fan-out registry:
+    /// `((parent, parent_port), [(child, child_port)])`. The state auditor
+    /// cross-checks these against live domains and their channel tables.
+    pub fn child_bindings(&self) -> impl Iterator<Item = ((u32, Port), &[(DomId, Port)])> {
+        self.child_bindings
+            .iter()
+            .map(|(k, v)| (*k, v.as_slice()))
+    }
+
     /// The clone notification ring (consumed by `xencloned`).
     pub fn clone_ring_pop(&mut self) -> Option<notify::CloneNotification> {
         self.clone_ring.pop()
@@ -667,6 +687,12 @@ impl Hypervisor {
     /// Number of queued clone notifications.
     pub fn clone_ring_len(&self) -> usize {
         self.clone_ring.len()
+    }
+
+    /// Read-only view of the queued clone notifications, oldest first
+    /// (state-auditor use).
+    pub fn clone_ring_pending(&self) -> impl Iterator<Item = &notify::CloneNotification> {
+        self.clone_ring.pending()
     }
 
     pub(crate) fn clone_ring(&mut self) -> &mut NotificationRing {

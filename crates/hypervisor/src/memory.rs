@@ -250,9 +250,24 @@ impl FrameTable {
         stats
     }
 
+    /// The incremental-counter snapshot *without* the debug cross-check
+    /// scan. The state auditor compares this against [`scan_stats`] itself
+    /// and reports a drift as a structured violation instead of panicking,
+    /// so it must be able to read the raw counters.
+    ///
+    /// [`scan_stats`]: FrameTable::scan_stats
+    pub fn incremental_stats(&self) -> MemoryStats {
+        MemoryStats {
+            total: self.total_frames(),
+            free: self.free_frames(),
+            cow_shared: self.cow_count,
+            xen: self.xen_count,
+        }
+    }
+
     /// The original O(n) accounting scan, kept as the oracle for the
     /// incremental counters behind [`FrameTable::stats`].
-    fn scan_stats(&self) -> MemoryStats {
+    pub fn scan_stats(&self) -> MemoryStats {
         let mut cow = 0;
         let mut xen = 0;
         for f in &self.frames {
@@ -460,6 +475,27 @@ impl FrameTable {
         let f = self.frame_mut(dst)?;
         f.content = content;
         Ok(())
+    }
+
+    /// Iterates over every frame with its number, in frame order. The state
+    /// auditor uses this to cross-check per-frame metadata against the p2m
+    /// back-references; it is O(total frames), so not for hot paths.
+    pub fn iter_frames(&self) -> impl Iterator<Item = (Mfn, &Frame)> {
+        self.frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (Mfn(i as u64), f))
+    }
+
+    /// Test-only fault injection: silently corrupts a frame's refcount by
+    /// `delta` without routing through the accounting. The owner class does
+    /// not change, so the incremental counters stay "consistent" — only the
+    /// per-frame refcount-vs-p2m audit can catch it, which is exactly what
+    /// the auditor's negative tests exercise.
+    #[doc(hidden)]
+    pub fn corrupt_refcount_for_test(&mut self, mfn: Mfn, delta: i64) {
+        let f = &mut self.frames[mfn.0 as usize];
+        f.refcount = (f.refcount as i64 + delta).max(0) as u32;
     }
 
     /// Transfers exclusive ownership of a frame between domains (used when

@@ -84,6 +84,12 @@ impl NotificationRing {
         self.capacity
     }
 
+    /// Iterates over the queued notifications, oldest first (used by the
+    /// state auditor to check pending entries against live domains).
+    pub fn pending(&self) -> impl Iterator<Item = &CloneNotification> {
+        self.entries.iter()
+    }
+
     /// Slots still available before the ring exerts backpressure. The
     /// batched clone first stage checks this for all N children up front,
     /// so a multi-clone call never fails halfway through.

@@ -1,0 +1,348 @@
+//! State invariant auditor — the simulator's equivalent of Xen's debug-key
+//! dumps, but checking instead of printing.
+//!
+//! [`Platform::audit`](crate::Platform::audit) cross-checks the redundant
+//! state the components keep about each other and returns a structured
+//! [`AuditReport`]. The invariants verified:
+//!
+//! 1. **Frame refcounts vs p2m back-references.** Every machine frame's
+//!    metadata must agree with the set of p2m slots (and aux-frame lists)
+//!    that reference it: free and Xen-owned frames are referenced by
+//!    nobody, a domain-owned frame is referenced exactly once and only by
+//!    its owner, and a COW frame's refcount equals the number of p2m slots
+//!    pointing at it across all domains.
+//! 2. **Incremental counters vs full scan.** The frame table maintains
+//!    free/COW/Xen counts incrementally on every ownership transition;
+//!    they must match a fresh O(frames) recount.
+//! 3. **Grant entries vs frame ownership.** Active grants must name a
+//!    live grantee (or the `DOMID_CHILD` wildcard) and a frame that is
+//!    still allocated.
+//! 4. **Event channels vs live domains.** Every connected interdomain
+//!    channel must point at a live peer (or `DOMID_CHILD`).
+//! 5. **Clone-ring entries vs live domains.** Queued clone notifications
+//!    must reference parents and children that still exist.
+//! 6. **Wildcard child bindings vs live domains.** The hypervisor's
+//!    `DOMID_CHILD` binding fan-out tables must only list live clones.
+//! 7. **Toolstack records vs hypervisor domains.** Every `xl` record must
+//!    have a backing domain, and every running domain an `xl` record.
+//! 8. **Xenstore tree vs registered devices.** Every running domain has
+//!    its `/local/domain/<id>` home, and every vif the device manager
+//!    knows about has both its frontend and backend directories.
+//!
+//! The checks are read-only and O(total frames + domains + devices); they
+//! run on demand, after every clone/destroy in debug builds, and after
+//! every lifecycle operation under `NEPHELE_AUDIT=every-op`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hypervisor::domain::DomainState;
+use hypervisor::event::Channel;
+use hypervisor::grant::GrantEntry;
+use hypervisor::memory::FrameOwner;
+use sim_core::DomId;
+
+use crate::platform::Platform;
+
+/// One invariant violation found by [`Platform::audit`](crate::Platform::audit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// Which invariant failed (stable kebab-case tag, e.g.
+    /// `frame-refcount`).
+    pub invariant: &'static str,
+    /// Human-readable description naming the offending frame/domain/port.
+    pub detail: String,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// The outcome of a full state audit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Number of individual cross-checks performed (a progress/coverage
+    /// indicator; grows with platform size).
+    pub checks: u64,
+    /// Every violation found, in deterministic (frame/domain) order.
+    pub violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// `true` when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "audit clean ({} checks)", self.checks);
+        }
+        writeln!(
+            f,
+            "audit FAILED: {} violation(s) in {} checks",
+            self.violations.len(),
+            self.checks
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Back-references to one machine frame gathered from domain state.
+#[derive(Default, Clone, Copy)]
+struct BackRefs {
+    /// p2m slots pointing at the frame, across all domains.
+    p2m: u32,
+    /// Aux-frame list entries pointing at the frame.
+    aux: u32,
+    /// The first domain seen referencing the frame.
+    first_dom: u32,
+}
+
+/// Whether a domain is past construction and expected to have toolstack
+/// and Xenstore state (freshly cloned children get theirs during the
+/// second stage; `Created`/`Dying` domains are mid-transition).
+fn fully_set_up(state: DomainState) -> bool {
+    matches!(state, DomainState::Running | DomainState::Paused | DomainState::PausedForClone)
+}
+
+pub(crate) fn run(p: &Platform) -> AuditReport {
+    let mut report = AuditReport::default();
+    let hv = &p.hv;
+
+    // Gather p2m/aux back-references for every frame in one pass.
+    let mut refs: HashMap<u64, BackRefs> = HashMap::new();
+    for d in hv.domains() {
+        for mfn in d.p2m.iter().flatten() {
+            let r = refs.entry(mfn.0).or_default();
+            if r.p2m == 0 && r.aux == 0 {
+                r.first_dom = d.id.0;
+            }
+            r.p2m += 1;
+        }
+        for mfn in &d.aux_frames {
+            let r = refs.entry(mfn.0).or_default();
+            if r.p2m == 0 && r.aux == 0 {
+                r.first_dom = d.id.0;
+            }
+            r.aux += 1;
+        }
+    }
+
+    // 1. Per-frame metadata vs back-references.
+    for (mfn, frame) in hv.frames().iter_frames() {
+        report.checks += 1;
+        let r = refs.get(&mfn.0).copied().unwrap_or_default();
+        let total = r.p2m + r.aux;
+        match frame.owner() {
+            FrameOwner::Free => {
+                if total != 0 || frame.refcount() != 0 {
+                    report.violations.push(AuditViolation {
+                        invariant: "frame-refcount",
+                        detail: format!(
+                            "free {mfn} still referenced ({} p2m, {} aux refs, refcount {})",
+                            r.p2m,
+                            r.aux,
+                            frame.refcount()
+                        ),
+                    });
+                }
+            }
+            FrameOwner::Xen => {
+                if total != 0 {
+                    report.violations.push(AuditViolation {
+                        invariant: "frame-refcount",
+                        detail: format!(
+                            "xen-owned {mfn} referenced by guest state ({} p2m, {} aux refs)",
+                            r.p2m, r.aux
+                        ),
+                    });
+                }
+            }
+            FrameOwner::Dom(d) => {
+                if !hv.domain_exists(d) {
+                    report.violations.push(AuditViolation {
+                        invariant: "frame-refcount",
+                        detail: format!("{mfn} owned by dead {d}"),
+                    });
+                } else if total != 1 || r.first_dom != d.0 {
+                    report.violations.push(AuditViolation {
+                        invariant: "frame-refcount",
+                        detail: format!(
+                            "{mfn} owned by {d} must have exactly one back-reference from \
+                             its owner, found {} p2m + {} aux (first from domain {})",
+                            r.p2m, r.aux, r.first_dom
+                        ),
+                    });
+                } else if frame.refcount() != 0 {
+                    report.violations.push(AuditViolation {
+                        invariant: "frame-refcount",
+                        detail: format!(
+                            "exclusive {mfn} (owner {d}) has nonzero refcount {}",
+                            frame.refcount()
+                        ),
+                    });
+                }
+            }
+            FrameOwner::Cow => {
+                if r.aux != 0 {
+                    report.violations.push(AuditViolation {
+                        invariant: "frame-refcount",
+                        detail: format!("cow {mfn} referenced by {} aux-frame entries", r.aux),
+                    });
+                }
+                if frame.refcount() != r.p2m {
+                    report.violations.push(AuditViolation {
+                        invariant: "frame-refcount",
+                        detail: format!(
+                            "cow {mfn} refcount {} but {} p2m references",
+                            frame.refcount(),
+                            r.p2m
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // 2. Incremental owner counters vs full scan.
+    report.checks += 1;
+    let incremental = hv.frames().incremental_stats();
+    let scanned = hv.frames().scan_stats();
+    if incremental != scanned {
+        report.violations.push(AuditViolation {
+            invariant: "counter-drift",
+            detail: format!("incremental stats {incremental:?} != scanned {scanned:?}"),
+        });
+    }
+
+    let total_frames = hv.frames().total_frames();
+    let live = |d: DomId| d == DomId::CHILD || hv.domain_exists(d);
+
+    for d in hv.domains() {
+        // 3. Grant entries vs frame ownership and grantee liveness.
+        for (gref, entry) in d.grants.iter_active() {
+            report.checks += 1;
+            let GrantEntry::Access { grantee, mfn, .. } = entry else {
+                continue;
+            };
+            if !live(*grantee) {
+                report.violations.push(AuditViolation {
+                    invariant: "grant-liveness",
+                    detail: format!("{} grant {gref} names dead grantee {grantee}", d.id),
+                });
+            }
+            if mfn.0 >= total_frames
+                || matches!(hv.frames().inspect(*mfn).map(|f| f.owner()), Ok(FrameOwner::Free))
+            {
+                report.violations.push(AuditViolation {
+                    invariant: "grant-frame",
+                    detail: format!("{} grant {gref} names unallocated {mfn}", d.id),
+                });
+            }
+        }
+
+        // 4. Interdomain channels vs live peers.
+        for (port, ch) in d.evtchn.iter_active() {
+            report.checks += 1;
+            if let Channel::Interdomain { remote_dom, .. } = ch {
+                if !live(*remote_dom) {
+                    report.violations.push(AuditViolation {
+                        invariant: "channel-liveness",
+                        detail: format!("{} port {port} connected to dead {remote_dom}", d.id),
+                    });
+                }
+            }
+        }
+
+        // 7. Running domains must have a toolstack record (clones gain
+        // theirs during the second stage).
+        if !d.id.is_dom0() && fully_set_up(d.state) {
+            report.checks += 1;
+            if p.xl.record(d.id).is_none() {
+                report.violations.push(AuditViolation {
+                    invariant: "toolstack-record",
+                    detail: format!("{} ({:?}) has no xl record", d.id, d.state),
+                });
+            }
+            // 8a. ... and a Xenstore home.
+            report.checks += 1;
+            if !p.xs.exists(&format!("/local/domain/{}", d.id.0)) {
+                report.violations.push(AuditViolation {
+                    invariant: "xenstore-tree",
+                    detail: format!("{} ({:?}) has no /local/domain entry", d.id, d.state),
+                });
+            }
+        }
+    }
+
+    // 5. Clone-ring entries vs live domains.
+    for n in hv.clone_ring_pending() {
+        report.checks += 1;
+        if !hv.domain_exists(n.parent) || !hv.domain_exists(n.child) {
+            report.violations.push(AuditViolation {
+                invariant: "clone-ring",
+                detail: format!(
+                    "queued notification references dead domain (parent {}, child {})",
+                    n.parent, n.child
+                ),
+            });
+        }
+    }
+
+    // 6. DOMID_CHILD fan-out bindings vs live domains.
+    for ((parent, port), bindings) in hv.child_bindings() {
+        for (child, child_port) in bindings {
+            report.checks += 1;
+            if !hv.domain_exists(DomId(parent)) || !hv.domain_exists(*child) {
+                report.violations.push(AuditViolation {
+                    invariant: "child-binding",
+                    detail: format!(
+                        "wildcard binding domain {parent} port {port} -> {child} port \
+                         {child_port} references a dead domain"
+                    ),
+                });
+            }
+        }
+    }
+
+    // 7b. Toolstack records vs hypervisor domains.
+    for (name, dom) in p.xl.list() {
+        report.checks += 1;
+        if !hv.domain_exists(dom) {
+            report.violations.push(AuditViolation {
+                invariant: "toolstack-record",
+                detail: format!("xl record \"{name}\" names dead {dom}"),
+            });
+        }
+    }
+
+    // 8b. Registered vifs vs the Xenstore tree.
+    for (dom, devid) in p.dm.all_vif_keys() {
+        report.checks += 1;
+        if !hv.domain_exists(dom) {
+            report.violations.push(AuditViolation {
+                invariant: "device-liveness",
+                detail: format!("vif {devid} registered for dead {dom}"),
+            });
+            continue;
+        }
+        let frontend = format!("/local/domain/{}/device/vif/{devid}", dom.0);
+        let backend = format!("/local/domain/0/backend/vif/{}/{devid}", dom.0);
+        if !p.xs.exists(&frontend) || !p.xs.exists(&backend) {
+            report.violations.push(AuditViolation {
+                invariant: "xenstore-tree",
+                detail: format!("vif {}/{devid} missing frontend or backend entry", dom.0),
+            });
+        }
+    }
+
+    report
+}

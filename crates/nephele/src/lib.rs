@@ -34,9 +34,12 @@ pub use toolstack;
 pub use xencloned;
 pub use xenstore;
 
+pub mod audit;
 mod platform;
 
+pub use audit::{AuditReport, AuditViolation};
 pub use platform::{
+    AuditMode,
     MuxKind,
     Platform,
     PlatformConfig,

@@ -1,8 +1,10 @@
 //! The assembled virtualization platform and its event loop.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
+use std::path::PathBuf;
 use std::rc::Rc;
 
 use devices::udev::UdevBus;
@@ -24,10 +26,24 @@ use netmux::{
     SockEvent,
     XmitHashPolicy, //
 };
-use sim_core::{Clock, CostModel, DomId, EventQueue, SimDuration, SplitMix64, TraceConfig, TraceSink};
+use sim_core::{
+    Clock,
+    CostModel,
+    DomId,
+    EventQueue,
+    FlightEvent,
+    FlightRecorder,
+    SimDuration,
+    SplitMix64,
+    TraceConfig,
+    TraceSink,
+    DEFAULT_FLIGHTREC_CAPACITY, //
+};
 use toolstack::{CreatedDomain, Dom0Model, DomainConfig, KernelImage, Xl, XlError};
 use xencloned::{CloneDaemonError, Xencloned};
 use xenstore::{XsError, Xenstore};
+
+use crate::audit::{self, AuditReport};
 
 /// The host endpoint's IP (Dom0 side of the bridge).
 pub const HOST_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
@@ -44,6 +60,38 @@ pub enum MuxKind {
     Bond,
     /// Open vSwitch select group (hash-based).
     Ovs,
+}
+
+/// When the platform runs the state invariant auditor on its own (see
+/// [`Platform::audit`] for the on-demand entry point).
+///
+/// The default is resolved at [`Platform::new`] from the `NEPHELE_AUDIT`
+/// environment variable (`off`, `lifecycle`, `every-op`); an explicit
+/// [`PlatformConfigBuilder::audit`] choice wins over the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AuditMode {
+    /// Never audit automatically.
+    Off,
+    /// Audit after clone/destroy lifecycle transitions, in debug builds
+    /// only (release builds skip the hook entirely). This is the default.
+    #[default]
+    Lifecycle,
+    /// Audit after every platform operation and at the end of every
+    /// [`Platform::run_for`], in all build profiles.
+    EveryOp,
+}
+
+impl AuditMode {
+    /// Parses the `NEPHELE_AUDIT` environment variable; unknown values are
+    /// ignored (returns `None`).
+    fn from_env() -> Option<AuditMode> {
+        match std::env::var("NEPHELE_AUDIT").ok()?.as_str() {
+            "off" | "0" => Some(AuditMode::Off),
+            "lifecycle" | "debug" => Some(AuditMode::Lifecycle),
+            "every-op" | "every_op" | "all" => Some(AuditMode::EveryOp),
+            _ => None,
+        }
+    }
 }
 
 /// Platform-level errors.
@@ -136,6 +184,18 @@ pub struct PlatformConfig {
     /// Observability knobs (tracing is off by default; when off, the
     /// instrumentation throughout the platform does near-zero work).
     pub tracing: TraceConfig,
+    /// Capacity of the always-on flight recorder ring (events kept).
+    /// Overridable at runtime with a numeric `NEPHELE_FLIGHTREC` value.
+    pub flightrec_capacity: usize,
+    /// Directory flight-recorder dumps are written to on the first error
+    /// or audit failure.
+    pub flightrec_dir: PathBuf,
+    /// Whether error/audit-failure dumps are written at all. Setting
+    /// `NEPHELE_FLIGHTREC=0` (or `off`) disables them at runtime.
+    pub flightrec_dumps: bool,
+    /// Automatic-audit policy. `None` defers to `NEPHELE_AUDIT` (falling
+    /// back to [`AuditMode::Lifecycle`]); `Some` pins it.
+    pub audit: Option<AuditMode>,
 }
 
 impl Default for PlatformConfig {
@@ -146,6 +206,10 @@ impl Default for PlatformConfig {
             mux: MuxKind::Bond,
             seed: 0x6e65_7068_656c_65, // "nephele"
             tracing: TraceConfig::default(),
+            flightrec_capacity: DEFAULT_FLIGHTREC_CAPACITY,
+            flightrec_dir: PathBuf::from("results"),
+            flightrec_dumps: true,
+            audit: None,
         }
     }
 }
@@ -236,6 +300,30 @@ impl PlatformConfigBuilder {
         self
     }
 
+    /// Sets the flight recorder ring capacity (number of events kept).
+    pub fn flightrec_capacity(mut self, capacity: usize) -> Self {
+        self.config.flightrec_capacity = capacity;
+        self
+    }
+
+    /// Sets the directory flight-recorder dumps are written to.
+    pub fn flightrec_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.flightrec_dir = dir.into();
+        self
+    }
+
+    /// Enables or disables flight-recorder dump files.
+    pub fn flightrec_dumps(mut self, dumps: bool) -> Self {
+        self.config.flightrec_dumps = dumps;
+        self
+    }
+
+    /// Pins the automatic-audit policy (overrides `NEPHELE_AUDIT`).
+    pub fn audit(mut self, mode: AuditMode) -> Self {
+        self.config.audit = Some(mode);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> PlatformConfig {
         self.config
@@ -304,6 +392,11 @@ pub struct Platform {
     timers: EventQueue<(u32, u64)>,
     packets_routed: u64,
     trace: TraceSink,
+    flightrec: FlightRecorder,
+    flightrec_dir: PathBuf,
+    flightrec_dumps: bool,
+    flightrec_dumped: Cell<bool>,
+    audit_mode: AuditMode,
 }
 
 impl Platform {
@@ -331,6 +424,25 @@ impl Platform {
             MuxKind::Ovs => Some(Box::new(SelectGroup::hashed())),
         };
 
+        // `NEPHELE_FLIGHTREC=0`/`off` disables dump files; a numeric value
+        // overrides the ring capacity. The ring itself is always on.
+        let mut flightrec_capacity = config.flightrec_capacity;
+        let mut flightrec_dumps = config.flightrec_dumps;
+        if let Ok(v) = std::env::var("NEPHELE_FLIGHTREC") {
+            match v.as_str() {
+                "0" | "off" => flightrec_dumps = false,
+                other => {
+                    if let Ok(n) = other.parse::<usize>() {
+                        flightrec_capacity = n;
+                    }
+                }
+            }
+        }
+        let audit_mode = config
+            .audit
+            .or_else(AuditMode::from_env)
+            .unwrap_or_default();
+
         Platform {
             clock,
             costs,
@@ -351,6 +463,11 @@ impl Platform {
             timers: EventQueue::new(),
             packets_routed: 0,
             trace,
+            flightrec: FlightRecorder::with_capacity(flightrec_capacity),
+            flightrec_dir: config.flightrec_dir,
+            flightrec_dumps,
+            flightrec_dumped: Cell::new(false),
+            audit_mode,
         }
     }
 
@@ -360,6 +477,87 @@ impl Platform {
     /// and daemon all land in the same buffer.
     pub fn trace(&self) -> &TraceSink {
         &self.trace
+    }
+
+    /// Borrows the always-on flight recorder: the last-N platform
+    /// operations (op, domain, virtual timestamp, outcome), recorded at
+    /// O(1) cost per event even with tracing off.
+    pub fn flightrec(&self) -> &FlightRecorder {
+        &self.flightrec
+    }
+
+    /// Runs the state invariant auditor over the whole platform (frame
+    /// table vs p2m back-references, incremental counters vs full scan,
+    /// grants/channels/ring vs live domains, toolstack and Xenstore vs
+    /// hypervisor state). Read-only; safe to call at any point.
+    ///
+    /// A dirty report also dumps the flight recorder (first failure only),
+    /// so the black box ships alongside the violation list.
+    pub fn audit(&self) -> AuditReport {
+        let report = audit::run(self);
+        if !report.is_clean() {
+            self.flightrec.record(FlightEvent {
+                op: "platform.audit",
+                dom: 0,
+                at_ns: self.clock.now().as_ns(),
+                outcome: "fail",
+                arg: report.violations.len() as u64,
+            });
+            self.dump_flightrec("audit-fail");
+        }
+        report
+    }
+
+    /// Flight-records the outcome of a platform operation; on error, dumps
+    /// the recorder; on success, runs the automatic audit hook.
+    fn note_op<T>(&mut self, op: &'static str, dom: DomId, arg: u64, r: Result<T>) -> Result<T> {
+        self.flightrec.record(FlightEvent {
+            op,
+            dom: dom.0,
+            at_ns: self.clock.now().as_ns(),
+            outcome: if r.is_ok() { "ok" } else { "err" },
+            arg,
+        });
+        match &r {
+            Ok(_) => self.audit_after(op),
+            Err(_) => self.dump_flightrec(op),
+        }
+        r
+    }
+
+    /// The automatic audit hook: runs per [`AuditMode`] and panics (after
+    /// dumping the flight recorder, via [`Platform::audit`]) on the first
+    /// violation, so a corrupted platform can't silently keep running.
+    fn audit_after(&self, op: &'static str) {
+        let lifecycle = matches!(
+            op,
+            "platform.clone" | "platform.fork" | "platform.stage2" | "platform.destroy"
+        );
+        let run = match self.audit_mode {
+            AuditMode::Off => false,
+            AuditMode::Lifecycle => cfg!(debug_assertions) && lifecycle,
+            AuditMode::EveryOp => true,
+        };
+        if !run {
+            return;
+        }
+        let report = self.audit();
+        assert!(report.is_clean(), "nephele state audit failed after {op}:\n{report}");
+    }
+
+    /// Writes `flightrec-<context>.json` into the configured dump
+    /// directory. Only the first dump per platform is written, so the
+    /// black box reflects the original failure, not the fallout.
+    fn dump_flightrec(&self, context: &str) {
+        if !self.flightrec_dumps || self.flightrec_dumped.get() {
+            return;
+        }
+        self.flightrec_dumped.set(true);
+        let file = format!("flightrec-{}.json", context.replace('.', "-"));
+        let path = self.flightrec_dir.join(file);
+        if self.flightrec.dump(&path, context).is_ok() {
+            eprintln!("nephele: flight recorder dumped to {}", path.display());
+        }
     }
 
     /// Records the memory gauges (free hypervisor pool and Dom0 memory)
@@ -381,6 +579,12 @@ impl Platform {
     /// Boots a domain with no application attached (pure instantiation, as
     /// in the Fig. 4 baseline measurements).
     pub fn launch_plain(&mut self, cfg: &DomainConfig, image: &KernelImage) -> Result<DomId> {
+        let r = self.launch_plain_impl(cfg, image);
+        let dom = DomId(r.as_ref().map(|d| d.0).unwrap_or(0));
+        self.note_op("platform.launch", dom, 0, r)
+    }
+
+    fn launch_plain_impl(&mut self, cfg: &DomainConfig, image: &KernelImage) -> Result<DomId> {
         let span = self.trace.span("platform.launch");
         span.attr("name", cfg.name.as_str());
         let created = self.create_and_register(cfg, image, None)?;
@@ -393,6 +597,17 @@ impl Platform {
     /// Boots a domain running `app`; `on_boot` fires before this returns
     /// and the network is pumped to quiescence.
     pub fn launch(
+        &mut self,
+        cfg: &DomainConfig,
+        image: &KernelImage,
+        app: Box<dyn GuestApp>,
+    ) -> Result<DomId> {
+        let r = self.launch_impl(cfg, image, app);
+        let dom = DomId(r.as_ref().map(|d| d.0).unwrap_or(0));
+        self.note_op("platform.launch", dom, 0, r)
+    }
+
+    fn launch_impl(
         &mut self,
         cfg: &DomainConfig,
         image: &KernelImage,
@@ -441,6 +656,11 @@ impl Platform {
 
     /// Destroys a domain (guest slot included).
     pub fn destroy(&mut self, dom: DomId) -> Result<()> {
+        let r = self.destroy_impl(dom);
+        self.note_op("platform.destroy", dom, 0, r)
+    }
+
+    fn destroy_impl(&mut self, dom: DomId) -> Result<()> {
         self.guests.remove(&dom.0);
         self.xl
             .destroy(&mut self.hv, &mut self.xs, &mut self.dm, &mut self.udev, dom)?;
@@ -450,6 +670,11 @@ impl Platform {
     /// Clones `dom` from the outside (Dom0-triggered, as for VM fuzzing):
     /// runs both stages and returns the children.
     pub fn clone_domain(&mut self, dom: DomId, nr: u32) -> Result<Vec<DomId>> {
+        let r = self.clone_domain_impl(dom, nr);
+        self.note_op("platform.clone", dom, nr as u64, r)
+    }
+
+    fn clone_domain_impl(&mut self, dom: DomId, nr: u32) -> Result<Vec<DomId>> {
         let span = self.trace.span("platform.clone_domain");
         span.attr("parent", dom.0 as u64);
         span.attr("nr", nr as u64);
@@ -485,7 +710,9 @@ impl Platform {
     /// experiments can time the two stages separately (the hypercall via
     /// [`Platform::hv`], then this).
     pub fn finish_pending_clones(&mut self, parent: DomId) -> Result<Vec<DomId>> {
-        self.finish_clones(parent)
+        let r = self.finish_clones(parent);
+        let nr = r.as_ref().map(|c| c.len() as u64).unwrap_or(0);
+        self.note_op("platform.stage2", parent, nr, r)
     }
 
     /// Runs the second stage for all queued clone notifications and
@@ -611,6 +838,11 @@ impl Platform {
     /// stage, guest-slot duplication and the `on_fork` callbacks in parent
     /// and children.
     pub fn guest_fork(&mut self, dom: DomId, nr: u32) -> Result<Vec<DomId>> {
+        let r = self.guest_fork_impl(dom, nr);
+        self.note_op("platform.fork", dom, nr as u64, r)
+    }
+
+    fn guest_fork_impl(&mut self, dom: DomId, nr: u32) -> Result<Vec<DomId>> {
         let span = self.trace.span("platform.guest_fork");
         span.attr("parent", dom.0 as u64);
         span.attr("nr", nr as u64);
@@ -772,6 +1004,11 @@ impl Platform {
         }
         self.clock.advance_to(horizon);
         self.pump();
+        // Periodic audit from the sim loop (under `every-op` only; the
+        // lifecycle hooks already cover clone/destroy in debug builds).
+        if self.audit_mode == AuditMode::EveryOp {
+            self.audit_after("platform.run_for");
+        }
     }
 
     // ------------------------------------------------------------------

@@ -14,8 +14,13 @@
 //! * [`rng`] — a small deterministic PRNG ([`SplitMix64`]) so the lower
 //!   layers do not need external crates.
 //! * [`stats`] — streaming statistics and series recording for experiments.
-//! * [`trace`] — deterministic observability: virtual-time spans, counters
-//!   and gauges with chrome-trace / CSV exporters.
+//! * [`trace`] — deterministic observability: virtual-time spans, counters,
+//!   gauges and log-bucketed latency [`hist`]ograms with chrome-trace / CSV
+//!   exporters.
+//! * [`hist`] — HDR-style log-bucketed histograms with exact-rank
+//!   percentiles.
+//! * [`flightrec`] — an always-on fixed-size ring of compact events, dumped
+//!   as JSON when something goes wrong.
 //! * [`ids`] — strongly typed identifiers (domain ids, frame numbers) and
 //!   page-size constants.
 //!
@@ -28,6 +33,8 @@
 pub mod clock;
 pub mod costs;
 pub mod events;
+pub mod flightrec;
+pub mod hist;
 pub mod ids;
 pub mod rng;
 pub mod stats;
@@ -37,6 +44,8 @@ pub mod trace;
 pub use clock::Clock;
 pub use costs::CostModel;
 pub use events::EventQueue;
+pub use flightrec::{FlightEvent, FlightRecorder, DEFAULT_FLIGHTREC_CAPACITY};
+pub use hist::Histogram;
 pub use ids::{DomId, Mfn, Pfn, PAGE_SIZE};
 pub use rng::SplitMix64;
 pub use time::{SimDuration, SimTime};

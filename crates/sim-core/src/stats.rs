@@ -88,22 +88,20 @@ impl OnlineStats {
     }
 }
 
-/// Computes the `p`-th percentile (0–100) of a sample set by linear
-/// interpolation; returns 0 for an empty slice.
+/// Computes the `p`-th percentile (0–100) of a sample set by the
+/// nearest-rank method — the sample of 1-based rank `ceil(p/100 · n)` —
+/// the same convention as [`crate::hist::Histogram::percentile`], so a
+/// float sample set and a histogram fed the same values agree. Sorting
+/// uses `f64::total_cmp`, a deterministic total order (NaNs sort last
+/// instead of poisoning the comparison). Returns 0 for an empty slice.
 pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let rank = (p.clamp(0.0, 100.0) / 100.0) * (samples.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    if lo == hi {
-        samples[lo]
-    } else {
-        let frac = rank - lo as f64;
-        samples[lo] * (1.0 - frac) + samples[hi] * frac
-    }
+    samples.sort_unstable_by(f64::total_cmp);
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0 * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
 }
 
 /// A labelled multi-column series of samples, rendered as CSV.
@@ -227,12 +225,45 @@ mod tests {
     }
 
     #[test]
-    fn percentile_interpolates() {
-        let mut xs = vec![1.0, 2.0, 3.0, 4.0];
+    fn percentile_uses_nearest_rank() {
+        let mut xs = vec![4.0, 2.0, 1.0, 3.0];
         assert_eq!(percentile(&mut xs, 0.0), 1.0);
         assert_eq!(percentile(&mut xs, 100.0), 4.0);
-        assert!((percentile(&mut xs, 50.0) - 2.5).abs() < 1e-9);
+        // rank(50) = ceil(0.5*4) = 2 -> second-smallest sample.
+        assert_eq!(percentile(&mut xs, 50.0), 2.0);
+        // rank(90) = ceil(3.6) = 4 -> the maximum.
+        assert_eq!(percentile(&mut xs, 90.0), 4.0);
         assert_eq!(percentile(&mut [], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_agrees_with_histogram_on_exact_buckets() {
+        use crate::hist::Histogram;
+        // Values below 64 land in exact unit buckets, so both sides are
+        // exact and must agree under the shared nearest-rank convention.
+        let vals: Vec<u64> = vec![3, 9, 14, 27, 33, 41, 55, 60];
+        let mut h = Histogram::new();
+        let mut f: Vec<f64> = Vec::new();
+        for &v in &vals {
+            h.record(v);
+            f.push(v as f64);
+        }
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            assert_eq!(
+                percentile(&mut f.clone(), p) as u64,
+                h.percentile(p),
+                "p{p} disagrees"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_sort_is_total_even_with_nan() {
+        let mut xs = vec![2.0, f64::NAN, 1.0];
+        // NaN sorts last under total_cmp; the p50 of three samples is the
+        // second-smallest finite value.
+        assert_eq!(percentile(&mut xs, 50.0), 2.0);
+        assert_eq!(percentile(&mut xs, 0.0), 1.0);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::path::Path;
 use std::rc::Rc;
 
 use crate::clock::Clock;
+use crate::hist::Histogram;
 use crate::ids::DomId;
 use crate::time::SimTime;
 
@@ -183,6 +184,7 @@ struct TraceBuf {
     counters: BTreeMap<&'static str, u64>,
     counter_samples: Vec<CounterSample>,
     gauges: Vec<GaugeSample>,
+    hists: BTreeMap<&'static str, Histogram>,
 }
 
 /// A shareable handle onto a trace buffer; see the [module docs](self).
@@ -243,6 +245,7 @@ impl TraceSink {
                 counters: BTreeMap::new(),
                 counter_samples: Vec::new(),
                 gauges: Vec::new(),
+                hists: BTreeMap::new(),
             }))),
         }
     }
@@ -300,6 +303,56 @@ impl TraceSink {
         b.gauges.push(GaugeSample { name, dom, at, value });
     }
 
+    /// Records a virtual-nanosecond latency sample into the named
+    /// log-bucketed [`Histogram`] (see [`crate::hist`]). O(1); a no-op on a
+    /// disabled sink.
+    pub fn record_ns(&self, name: &'static str, ns: u64) {
+        let Some(buf) = &self.inner else { return };
+        buf.borrow_mut().hists.entry(name).or_default().record(ns);
+    }
+
+    /// Snapshot of the named latency histogram (`None` when unknown or
+    /// disabled).
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner
+            .as_ref()
+            .and_then(|b| b.borrow().hists.get(name).cloned())
+    }
+
+    /// Snapshot of all latency histograms, keyed by operation name.
+    pub fn histograms(&self) -> BTreeMap<&'static str, Histogram> {
+        self.inner
+            .as_ref()
+            .map(|b| b.borrow().hists.clone())
+            .unwrap_or_default()
+    }
+
+    /// The latency histograms as
+    /// `op,count,p50_us,p90_us,p99_us,max_us` CSV (header included, rows
+    /// sorted by operation name, fixed-point microseconds). Byte-identical
+    /// across runs that record the same values.
+    pub fn histograms_csv(&self) -> String {
+        let mut out = String::from("op,count,p50_us,p90_us,p99_us,max_us\n");
+        for (name, h) in self.histograms() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                name,
+                h.count(),
+                fmt_us(h.percentile(50.0)),
+                fmt_us(h.percentile(90.0)),
+                fmt_us(h.percentile(99.0)),
+                fmt_us(h.max())
+            ));
+        }
+        out
+    }
+
+    /// Writes [`histograms_csv`](Self::histograms_csv) to `path`, creating
+    /// parent directories as needed.
+    pub fn write_histograms(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        write_creating_dirs(path.as_ref(), &self.histograms_csv())
+    }
+
     /// Current total of a counter (0 when unknown or disabled).
     pub fn counter_total(&self, name: &str) -> u64 {
         self.inner
@@ -342,6 +395,7 @@ impl TraceSink {
             b.counters.clear();
             b.counter_samples.clear();
             b.gauges.clear();
+            b.hists.clear();
         }
     }
 
@@ -487,7 +541,7 @@ fn fmt_ms(ns: u64) -> String {
 }
 
 /// JSON string literal with the characters the taxonomy can contain escaped.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -536,10 +590,13 @@ mod tests {
             g.attr("k", 1u64);
             sink.count("c", 5);
             sink.gauge("g", DomId::DOM0, 7);
+            sink.record_ns("h", 123);
         }
         assert!(sink.spans().is_empty());
         assert_eq!(sink.counter_total("c"), 0);
         assert!(sink.gauges().is_empty());
+        assert!(sink.histogram("h").is_none());
+        assert_eq!(sink.histograms_csv(), "op,count,p50_us,p90_us,p99_us,max_us\n");
         assert_eq!(sink.chrome_trace_json(), "{\"traceEvents\":[]}\n");
     }
 
@@ -667,10 +724,35 @@ mod tests {
             clock.advance(SimDuration::from_ns(1));
         }
         sink.count("c", 1);
+        sink.record_ns("h", 5);
         sink.clear();
         assert!(sink.is_enabled());
         assert!(sink.spans().is_empty());
         assert_eq!(sink.counter_total("c"), 0);
+        assert!(sink.histogram("h").is_none());
+    }
+
+    #[test]
+    fn histograms_export_fixed_point_csv() {
+        let (_clock, sink) = enabled_sink();
+        // Small values land in exact unit buckets, so the CSV is exact.
+        for ns in [10u64, 20, 30, 40, 50] {
+            sink.record_ns("b.op", ns);
+        }
+        sink.record_ns("a.op", 1_500);
+        let h = sink.histogram("b.op").unwrap();
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.percentile(50.0), 30);
+        let csv = sink.histograms_csv();
+        assert_eq!(
+            csv,
+            "op,count,p50_us,p90_us,p99_us,max_us\n\
+             a.op,1,1.500,1.500,1.500,1.500\n\
+             b.op,5,0.030,0.050,0.050,0.050\n"
+        );
+        let all = sink.histograms();
+        assert_eq!(all.len(), 2);
+        assert!(all.contains_key("a.op"));
     }
 
     #[test]

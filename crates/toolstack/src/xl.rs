@@ -289,8 +289,27 @@ impl Xl {
         Ok(())
     }
 
-    /// `xl create`: boots a new domain from a config and image.
+    /// `xl create`: boots a new domain from a config and image. Successful
+    /// creations feed the `xl.create` latency histogram.
     pub fn create(
+        &mut self,
+        hv: &mut Hypervisor,
+        xs: &mut Xenstore,
+        dm: &mut DeviceManager,
+        udev: &mut UdevBus,
+        cfg: &DomainConfig,
+        image: &KernelImage,
+    ) -> Result<CreatedDomain> {
+        let start = self.clock.now();
+        let r = self.create_impl(hv, xs, dm, udev, cfg, image);
+        if r.is_ok() {
+            self.trace
+                .record_ns("xl.create", self.clock.now().since(start).as_ns());
+        }
+        r
+    }
+
+    fn create_impl(
         &mut self,
         hv: &mut Hypervisor,
         xs: &mut Xenstore,

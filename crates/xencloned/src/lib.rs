@@ -201,8 +201,18 @@ impl Xencloned {
         let mut done = Vec::new();
         let mut mux = mux;
         while let Some(n) = hv.clone_ring_pop() {
-            let c = self.handle_one(hv, xs, dm, udev, xl, &mut mux, n)?;
-            done.push(c);
+            let start = self.clock.now();
+            match self.handle_one(hv, xs, dm, udev, xl, &mut mux, n) {
+                Ok(c) => {
+                    self.trace
+                        .record_ns("clone.stage2", self.clock.now().since(start).as_ns());
+                    done.push(c);
+                }
+                Err(e) => {
+                    self.trace.count("clone.fail", 1);
+                    return Err(e);
+                }
+            }
         }
         Ok(done)
     }

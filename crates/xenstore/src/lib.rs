@@ -184,11 +184,23 @@ impl Xenstore {
         self.clock.advance(self.costs.xs_access_log_append);
         if rotated {
             // Rotation stalls the daemon: the latency spikes of Fig. 4.
+            let start = self.clock.now();
             let span = self.trace.span("xs.log_rotate");
             self.clock.advance(self.costs.xs_access_log_rotate);
             self.trace.count("xs.log_rotations", 1);
             drop(span);
+            self.trace
+                .record_ns("xs.log_rotate", self.clock.now().since(start).as_ns());
         }
+    }
+
+    /// Bumps the `xs.fail` counter for any error before returning it, so
+    /// error outcomes show up in the trace next to the success counters.
+    fn note_fail<T>(&self, r: Result<T>) -> Result<T> {
+        if r.is_err() {
+            self.trace.count("xs.fail", 1);
+        }
+        r
     }
 
     fn fire_watches(&mut self, path: &str) {
@@ -232,6 +244,11 @@ impl Xenstore {
 
     /// Reads the value at `path`.
     pub fn read(&mut self, who: DomId, path: &str) -> Result<String> {
+        let r = self.read_impl(who, path);
+        self.note_fail(r)
+    }
+
+    fn read_impl(&mut self, who: DomId, path: &str) -> Result<String> {
         validate(path)?;
         self.charge_request("read", path);
         let _ = who;
@@ -249,6 +266,11 @@ impl Xenstore {
     /// Writes `value` at `path`, creating intermediate directories, firing
     /// watches and charging the per-request costs.
     pub fn write(&mut self, who: DomId, path: &str, value: &str) -> Result<()> {
+        let r = self.write_impl(who, path, value);
+        self.note_fail(r)
+    }
+
+    fn write_impl(&mut self, who: DomId, path: &str, value: &str) -> Result<()> {
         validate(path)?;
         if !self.may_write(who, path) {
             return Err(XsError::Denied(path.to_string()));
@@ -273,6 +295,11 @@ impl Xenstore {
 
     /// Creates a directory node.
     pub fn mkdir(&mut self, who: DomId, path: &str) -> Result<()> {
+        let r = self.mkdir_impl(who, path);
+        self.note_fail(r)
+    }
+
+    fn mkdir_impl(&mut self, who: DomId, path: &str) -> Result<()> {
         validate(path)?;
         if !self.may_write(who, path) {
             return Err(XsError::Denied(path.to_string()));
@@ -285,6 +312,11 @@ impl Xenstore {
 
     /// Removes `path` and everything beneath it.
     pub fn rm(&mut self, who: DomId, path: &str) -> Result<()> {
+        let r = self.rm_impl(who, path);
+        self.note_fail(r)
+    }
+
+    fn rm_impl(&mut self, who: DomId, path: &str) -> Result<()> {
         validate(path)?;
         if !self.may_write(who, path) {
             return Err(XsError::Denied(path.to_string()));
@@ -301,6 +333,11 @@ impl Xenstore {
 
     /// Lists the child names of a directory.
     pub fn directory(&mut self, who: DomId, path: &str) -> Result<Vec<String>> {
+        let r = self.directory_impl(who, path);
+        self.note_fail(r)
+    }
+
+    fn directory_impl(&mut self, who: DomId, path: &str) -> Result<Vec<String>> {
         validate(path)?;
         let _ = who;
         self.charge_request("directory", path);
@@ -360,6 +397,11 @@ impl Xenstore {
 
     /// Buffers a write inside a transaction.
     pub fn txn_write(&mut self, who: DomId, txn: u32, path: &str, value: &str) -> Result<()> {
+        let r = self.txn_write_impl(who, txn, path, value);
+        self.note_fail(r)
+    }
+
+    fn txn_write_impl(&mut self, who: DomId, txn: u32, path: &str, value: &str) -> Result<()> {
         validate(path)?;
         if !self.may_write(who, path) {
             return Err(XsError::Denied(path.to_string()));
@@ -374,6 +416,11 @@ impl Xenstore {
 
     /// Buffers a removal inside a transaction.
     pub fn txn_rm(&mut self, who: DomId, txn: u32, path: &str) -> Result<()> {
+        let r = self.txn_rm_impl(who, txn, path);
+        self.note_fail(r)
+    }
+
+    fn txn_rm_impl(&mut self, who: DomId, txn: u32, path: &str) -> Result<()> {
         validate(path)?;
         if !self.may_write(who, path) {
             return Err(XsError::Denied(path.to_string()));
@@ -386,8 +433,19 @@ impl Xenstore {
     }
 
     /// Commits a transaction: all buffered operations apply atomically,
-    /// each charged as a request, with watches fired afterwards.
+    /// each charged as a request, with watches fired afterwards. Commit
+    /// latency feeds the `xs.txn_commit` histogram.
     pub fn txn_commit(&mut self, who: DomId, txn: u32) -> Result<()> {
+        let start = self.clock.now();
+        let r = self.txn_commit_impl(who, txn);
+        if r.is_ok() {
+            self.trace
+                .record_ns("xs.txn_commit", self.clock.now().since(start).as_ns());
+        }
+        self.note_fail(r)
+    }
+
+    fn txn_commit_impl(&mut self, who: DomId, txn: u32) -> Result<()> {
         let t = self.txns.remove(&txn).ok_or(XsError::BadTxn(txn))?;
         let span = self.trace.span("xs.txn_commit");
         span.attr("ops", t.ops.len());
@@ -417,7 +475,8 @@ impl Xenstore {
 
     /// Aborts a transaction, discarding buffered operations.
     pub fn txn_abort(&mut self, txn: u32) -> Result<()> {
-        self.txns.remove(&txn).map(|_| ()).ok_or(XsError::BadTxn(txn))
+        let r = self.txns.remove(&txn).map(|_| ()).ok_or(XsError::BadTxn(txn));
+        self.note_fail(r)
     }
 
     // ------------------------------------------------------------------
@@ -428,6 +487,11 @@ impl Xenstore {
     /// clones, `parent` carries the parent domain id (the augmented
     /// introduction request of §5.2.1).
     pub fn introduce_domain(&mut self, domid: DomId, parent: Option<DomId>) -> Result<()> {
+        let r = self.introduce_domain_impl(domid, parent);
+        self.note_fail(r)
+    }
+
+    fn introduce_domain_impl(&mut self, domid: DomId, parent: Option<DomId>) -> Result<()> {
         self.clock.advance(self.costs.xs_introduce);
         self.charge_request("introduce", &format!("/local/domain/{}", domid.0));
         let home = format!("/local/domain/{}", domid.0);
@@ -457,6 +521,24 @@ impl Xenstore {
     /// parent domain are rewritten to reference the child. Watches fire
     /// once for the cloned directory root rather than per entry.
     pub fn xs_clone(
+        &mut self,
+        who: DomId,
+        op: XsCloneOp,
+        parent_domid: DomId,
+        child_domid: DomId,
+        parent_path: &str,
+        child_path: &str,
+    ) -> Result<()> {
+        let start = self.clock.now();
+        let r = self.xs_clone_impl(who, op, parent_domid, child_domid, parent_path, child_path);
+        if r.is_ok() {
+            self.trace
+                .record_ns("xs.xs_clone", self.clock.now().since(start).as_ns());
+        }
+        self.note_fail(r)
+    }
+
+    fn xs_clone_impl(
         &mut self,
         who: DomId,
         op: XsCloneOp,

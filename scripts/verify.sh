@@ -12,6 +12,9 @@ cargo build --release --offline
 echo "== cargo test -q --offline (tier-1: root package)"
 cargo test -q --offline
 
+echo "== NEPHELE_AUDIT=every-op cargo test -q --offline (tier-1 under the state invariant auditor)"
+NEPHELE_AUDIT=every-op cargo test -q --offline
+
 echo "== cargo test -q --workspace --offline (all member crates)"
 cargo test -q --workspace --offline
 
@@ -26,6 +29,18 @@ cargo bench --no-run --offline
 
 echo "== cargo bench -p bench --bench clone_fanout --offline (batched vs sequential fan-out)"
 cargo bench -p bench --bench clone_fanout --offline
+
+echo "== cargo check with deprecated APIs denied (no internal callers of deprecated getters)"
+RUSTFLAGS="-D deprecated" cargo check -q --workspace --offline
+
+echo "== scripts/bench_gate.sh (medians vs checked-in baselines)"
+scripts/bench_gate.sh
+
+echo "== scripts/bench_gate.sh scripts/fixtures/regressed (doctored fixture must fail the gate)"
+if scripts/bench_gate.sh scripts/fixtures/regressed >/dev/null 2>&1; then
+    echo "verify.sh: bench gate accepted the doctored regression fixture"
+    exit 1
+fi
 
 echo "== cargo doc --no-deps --offline (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace --quiet

@@ -1,0 +1,218 @@
+//! The state invariant auditor end-to-end: clean after arbitrary
+//! clone/destroy/save/restore sequences, and able to detect (and name)
+//! deliberately injected frame-table corruption, dumping the flight
+//! recorder alongside.
+
+use std::net::Ipv4Addr;
+use std::path::Path;
+
+use nephele::hypervisor::memory::FrameOwner;
+use nephele::sim_core::Pfn;
+use nephele::toolstack::{DomainConfig, KernelImage};
+use nephele::{AuditMode, Platform, PlatformConfig};
+use testkit::prop::{check, ranges, vecs, Gen};
+
+fn guest_cfg(name: &str) -> DomainConfig {
+    DomainConfig::builder(name)
+        .memory_mib(4)
+        .vif(Ipv4Addr::new(10, 0, 0, 2))
+        .max_clones(64)
+        .build()
+}
+
+fn audited_platform(flightrec_dir: &str) -> Platform {
+    Platform::new(
+        PlatformConfig::builder()
+            .guest_pool_mib(256)
+            .audit(AuditMode::EveryOp)
+            .flightrec_dir(flightrec_dir)
+            .build(),
+    )
+}
+
+/// One step of a random platform lifecycle sequence. Indices select from
+/// the currently live domains (modulo the list length at execution time).
+#[derive(Debug, Clone)]
+enum Op {
+    /// Clone domain `idx` into `nr` children.
+    Clone { idx: u64, nr: u64 },
+    /// Destroy domain `idx`.
+    Destroy { idx: u64 },
+    /// Dirty a page of domain `idx` (forces a COW break on shared frames).
+    Write { idx: u64, pfn: u64, val: u64 },
+    /// `xl save` domain `idx` to a slot, then restore it.
+    SaveRestore { idx: u64 },
+}
+
+fn ops_gen() -> impl Gen<Value = Vec<Op>> {
+    vecs(
+        (ranges(0u64..4), ranges(0u64..64), ranges(0u64..1024), ranges(0u64..256)).map(
+            |(kind, idx, pfn, val)| match kind {
+                0 => Op::Clone { idx, nr: 1 + val % 3 },
+                1 => Op::Destroy { idx },
+                2 => Op::Write { idx, pfn, val },
+                _ => Op::SaveRestore { idx },
+            },
+        ),
+        1..14,
+    )
+}
+
+/// After any random sequence of clone/destroy/write/save/restore ops the
+/// auditor must report zero violations. The platform runs with
+/// `AuditMode::EveryOp`, so every intermediate state is audited too (a
+/// violation mid-sequence panics inside the lifecycle hook).
+#[test]
+fn audit_is_clean_after_random_lifecycle_sequences() {
+    let img = KernelImage::minios("audited");
+    check(25, |g| {
+        let ops = g.draw(&ops_gen());
+        let mut p = audited_platform("target/test-flightrec");
+        let root = p.launch_plain(&guest_cfg("root"), &img).expect("root boot");
+        let mut live = vec![root];
+        let mut slot = 0u32;
+        for op in &ops {
+            match op {
+                Op::Clone { idx, nr } => {
+                    let parent = live[(*idx as usize) % live.len()];
+                    if let Ok(kids) = p.clone_domain(parent, *nr as u32) {
+                        live.extend(kids);
+                    }
+                }
+                Op::Destroy { idx } => {
+                    if live.len() > 1 {
+                        let dom = live.remove((*idx as usize) % live.len());
+                        p.destroy(dom).expect("destroy live domain");
+                    }
+                }
+                Op::Write { idx, pfn, val } => {
+                    let dom = live[(*idx as usize) % live.len()];
+                    let _ = p.hv.write_page(dom, Pfn(pfn % 1024), 0, &[*val as u8]);
+                }
+                Op::SaveRestore { idx } => {
+                    let dom = live.remove((*idx as usize) % live.len());
+                    let name = format!("slot-{slot}");
+                    slot += 1;
+                    p.xl
+                        .save(&mut p.hv, &mut p.xs, &mut p.dm, &mut p.udev, dom, &name, &img)
+                        .expect("save");
+                    let restored = p
+                        .xl
+                        .restore(&mut p.hv, &mut p.xs, &mut p.dm, &mut p.udev, &name, None)
+                        .expect("restore");
+                    live.push(restored.id);
+                }
+            }
+        }
+        let report = p.audit();
+        assert!(report.is_clean(), "after {ops:?}:\n{report}");
+        assert!(report.checks > 0, "the audit must actually check something");
+    });
+}
+
+/// A deliberately corrupted COW refcount is invisible to the incremental
+/// owner counters (the owner class does not change), so only the
+/// refcount-vs-p2m cross-check can catch it — and the report must name
+/// the corrupted frame. The failed audit must also dump the flight
+/// recorder black box.
+#[test]
+fn corrupted_refcount_is_detected_and_named() {
+    let dir = "target/test-audit-dump";
+    let dump = Path::new(dir).join("flightrec-audit-fail.json");
+    let _ = std::fs::remove_file(&dump);
+
+    let mut p = Platform::new(
+        PlatformConfig::builder()
+            .guest_pool_mib(256)
+            .audit(AuditMode::Off)
+            .flightrec_dir(dir)
+            .build(),
+    );
+    let img = KernelImage::minios("victim");
+    let parent = p.launch_plain(&guest_cfg("victim"), &img).expect("boot");
+    p.clone_domain(parent, 2).expect("clone");
+    assert!(p.audit().is_clean(), "pre-corruption state must be clean");
+
+    // Pick a COW frame (parent/clone shared) and bump its refcount.
+    let victim = p
+        .hv
+        .frames()
+        .iter_frames()
+        .find(|(_, f)| f.owner() == FrameOwner::Cow)
+        .map(|(mfn, _)| mfn)
+        .expect("a clone leaves COW frames behind");
+    p.hv.frames_mut().corrupt_refcount_for_test(victim, 1);
+
+    let report = p.audit();
+    assert!(!report.is_clean(), "corruption must fail the audit");
+    let v = &report.violations[0];
+    assert_eq!(v.invariant, "frame-refcount");
+    assert!(
+        v.detail.contains(&victim.to_string()),
+        "violation must name the corrupted frame {victim}: {}",
+        v.detail
+    );
+
+    // The failed audit shipped its black box.
+    assert!(dump.exists(), "audit failure must dump the flight recorder");
+    let body = std::fs::read_to_string(&dump).unwrap();
+    assert!(body.contains("\"context\":\"audit-fail\""), "dump context: {body}");
+    assert!(body.contains("platform.launch"), "dump must hold lifecycle events: {body}");
+
+    // Undoing the corruption brings the audit back to clean, proving the
+    // detection was not incidental to the clone run itself.
+    p.hv.frames_mut().corrupt_refcount_for_test(victim, -1);
+    assert!(p.audit().is_clean());
+}
+
+/// The audit hook (AuditMode::EveryOp) panics on a corrupted platform at
+/// the next lifecycle operation instead of letting it keep running.
+#[test]
+fn audit_hook_panics_on_corruption_at_next_op() {
+    let result = std::panic::catch_unwind(|| {
+        let mut p = Platform::new(
+            PlatformConfig::builder()
+                .guest_pool_mib(256)
+                .audit(AuditMode::EveryOp)
+                .flightrec_dir("target/test-audit-hook")
+                .build(),
+        );
+        let img = KernelImage::minios("hooked");
+        let parent = p.launch_plain(&guest_cfg("hooked"), &img).expect("boot");
+        p.clone_domain(parent, 1).expect("clone");
+        let victim = p
+            .hv
+            .frames()
+            .iter_frames()
+            .find(|(_, f)| f.owner() == FrameOwner::Cow)
+            .map(|(mfn, _)| mfn)
+            .expect("cow frame");
+        p.hv.frames_mut().corrupt_refcount_for_test(victim, 1);
+        // The next lifecycle op runs the hook, which must panic.
+        p.clone_domain(parent, 1).expect("clone after corruption");
+    });
+    let err = result.expect_err("the audit hook must panic on corruption");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "non-string panic".into());
+    assert!(msg.contains("audit failed"), "panic message: {msg}");
+    assert!(msg.contains("frame-refcount"), "panic names the invariant: {msg}");
+}
+
+/// Dom0 alone (a freshly booted platform) audits clean, and the report's
+/// check count grows with platform size.
+#[test]
+fn audit_scales_its_coverage_with_the_platform()
+{
+    let mut p = audited_platform("target/test-flightrec");
+    let empty_checks = p.audit().checks;
+    let img = KernelImage::minios("cov");
+    let parent = p.launch_plain(&guest_cfg("cov"), &img).unwrap();
+    p.clone_domain(parent, 4).unwrap();
+    let full_checks = p.audit().checks;
+    assert!(
+        full_checks > empty_checks,
+        "more domains must mean more checks ({empty_checks} -> {full_checks})"
+    );
+}

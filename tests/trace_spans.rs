@@ -168,6 +168,68 @@ fn chrome_trace_export_is_deterministic_across_runs() {
 }
 
 #[test]
+fn forced_clone_failure_increments_failure_counters() {
+    let mut p = Platform::new(
+        PlatformConfig::builder()
+            .guest_pool_mib(256)
+            .tracing(TraceConfig::enabled())
+            .flightrec_dir("target/test-flightrec")
+            .build(),
+    );
+    let limited = DomainConfig::builder("limited")
+        .memory_mib(4)
+        .vif(Ipv4Addr::new(10, 0, 0, 2))
+        .max_clones(1)
+        .build();
+    let parent = p
+        .launch_plain(&limited, &KernelImage::minios("limited"))
+        .unwrap();
+    assert_eq!(p.trace().counter_total("clone.fail"), 0);
+
+    // Two children exceed the policy's one-clone limit: the hypercall is
+    // rejected and the error-outcome counter must tick.
+    let err = p.clone_domain(parent, 2).expect_err("clone limit");
+    assert!(matches!(err, nephele::PlatformError::Hv(_)));
+    assert_eq!(p.trace().counter_total("clone.fail"), 1);
+
+    // A failing Xenstore request ticks xs.fail the same way.
+    assert_eq!(p.trace().counter_total("xs.fail"), 0);
+    use nephele::sim_core::DomId;
+    p.xs.read(DomId::DOM0, "/no/such/path").expect_err("missing path");
+    assert_eq!(p.trace().counter_total("xs.fail"), 1);
+
+    // The failed platform op left its trail in the flight recorder too.
+    let events = p.flightrec().events();
+    assert!(
+        events.iter().any(|e| e.op == "platform.clone" && e.outcome == "err"),
+        "flight recorder must hold the failed clone: {events:?}"
+    );
+}
+
+#[test]
+fn latency_histograms_are_recorded_and_deterministic() {
+    let a = run_two_clones();
+    let b = run_two_clones();
+
+    let csv_a = a.trace().histograms_csv();
+    let csv_b = b.trace().histograms_csv();
+    assert_eq!(csv_a, csv_b, "same-seed histogram CSVs must be byte-identical");
+    assert!(csv_a.starts_with("op,count,p50_us,p90_us,p99_us,max_us\n"));
+    for op in ["clone.stage1", "clone.stage2", "xs.xs_clone", "xl.create"] {
+        assert!(csv_a.contains(op), "{op} missing from histogram CSV:\n{csv_a}");
+    }
+
+    // The batched hypercall records once; each child's second stage once.
+    let stage1 = a.trace().histogram("clone.stage1").expect("stage1 histogram");
+    assert_eq!(stage1.count(), 1);
+    let stage2 = a.trace().histogram("clone.stage2").expect("stage2 histogram");
+    assert_eq!(stage2.count(), 2);
+    // Histogram percentiles stay within the recorded extremes.
+    assert!(stage2.percentile(50.0) >= stage2.min());
+    assert!(stage2.percentile(99.0) <= stage2.max());
+}
+
+#[test]
 fn counters_track_clone_mechanics() {
     let p = run_two_clones();
     let total = p.trace().counter_total("xencloned.parent_cache.miss")
