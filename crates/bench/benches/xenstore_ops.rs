@@ -55,8 +55,54 @@ fn bench_requests(c: &mut Bench) {
     g.finish();
 }
 
+/// Populates `/local/domain/3/device/vif/{0..dirs}` with `fanout` entries
+/// each, so the store holds roughly `dirs * fanout` entries.
+fn populate_big_store(xs: &mut Xenstore, dirs: u32, fanout: u32) {
+    for d in 0..dirs {
+        for k in 0..fanout {
+            xs.write(
+                DomId::DOM0,
+                &format!("/local/domain/3/device/vif/{d}/e{k}"),
+                "/local/domain/3/x",
+            )
+            .unwrap();
+        }
+    }
+}
+
 fn bench_xs_clone(c: &mut Bench) {
     let mut g = c.benchmark_group("xs_clone");
+    g.bench_function("xs_clone_big_store", |b| {
+        // ~10k entries, source directory with fanout 64. Cloning onto the
+        // same destination every iteration keeps the store size stable.
+        let mut xs = fresh_store();
+        populate_big_store(&mut xs, 156, 64);
+        b.iter(|| {
+            xs.xs_clone(
+                DomId::DOM0,
+                XsCloneOp::DevVif,
+                DomId(3),
+                DomId(9),
+                "/local/domain/3/device/vif/0",
+                "/local/domain/9/device/vif/0",
+            )
+            .unwrap();
+        });
+    });
+    g.bench_function("txn_snapshot_big_store", |b| {
+        // A transaction snapshot over the ~10k-entry store is an O(1)
+        // handle clone; a repeatable read then resolves through it.
+        let mut xs = fresh_store();
+        populate_big_store(&mut xs, 156, 64);
+        b.iter(|| {
+            let t = xs.txn_start(DomId::DOM0);
+            let v = xs
+                .txn_read(DomId::DOM0, t, "/local/domain/3/device/vif/7/e3")
+                .unwrap();
+            xs.txn_abort(t).unwrap();
+            v
+        });
+    });
     g.bench_function("xs_clone_device_dir", |b| {
         let mut xs = fresh_store();
         populate_device_dir(&mut xs, 3);

@@ -344,5 +344,16 @@ pub(crate) fn run(p: &Platform) -> AuditReport {
         }
     }
 
+    // 8c. The persistent Xenstore tree's internal accounting: cached
+    // per-node entry counts, the store-level entry count, and the
+    // sharing walk's logical total must all agree.
+    report.checks += 1;
+    if let Err(e) = p.xs.audit_tree() {
+        report.violations.push(AuditViolation {
+            invariant: "xenstore-count",
+            detail: e,
+        });
+    }
+
     report
 }

@@ -352,6 +352,14 @@ pub struct PlatformSnapshot {
     pub domains: usize,
     /// Clones whose second stage completed.
     pub clones_completed: u64,
+    /// Xenstore resident bytes attributable to entries structurally
+    /// shared between clones (counted at every point of use). Falls as
+    /// clones diverge and shared nodes are materialized.
+    pub xs_shared_entry_bytes: u64,
+    /// Xenstore resident bytes backed by unshared nodes. The two fields
+    /// always sum to [`Xenstore::resident_bytes`], which stays the
+    /// logical (sharing-agnostic) figure Fig. 5 plots.
+    pub xs_unique_entry_bytes: u64,
 }
 
 struct GuestSlot {
@@ -1091,6 +1099,7 @@ impl Platform {
     /// deprecated getters.
     pub fn snapshot(&self) -> PlatformSnapshot {
         let mem = self.hv.memory_stats();
+        let xs_sharing = self.xs.sharing();
         PlatformSnapshot {
             hyp_free_bytes: mem.free * sim_core::PAGE_SIZE as u64,
             dom0_free_bytes: self.dom0.free_bytes(&self.xs, &self.dm, &self.xl),
@@ -1100,6 +1109,8 @@ impl Platform {
             mux_members: self.mux.as_deref().map(|m| m.member_count()).unwrap_or(0),
             domains: self.hv.domain_count(),
             clones_completed: self.daemon.clones_completed(),
+            xs_shared_entry_bytes: xs_sharing.shared_entry_bytes,
+            xs_unique_entry_bytes: xs_sharing.unique_entry_bytes,
         }
     }
 
@@ -1390,5 +1401,57 @@ mod tests {
             snap.cow_shared_frames
         );
         assert_eq!(snap.xen_frames, 0);
+    }
+
+    #[test]
+    fn snapshot_tracks_xenstore_sharing_through_divergence() {
+        let mut p = plat();
+        let dom = p
+            .launch_plain(
+                &udp_cfg("xsshare", Ipv4Addr::new(10, 0, 0, 9)),
+                &KernelImage::minios("xsshare"),
+            )
+            .unwrap();
+        let before = p.snapshot();
+        assert_eq!(
+            before.xs_shared_entry_bytes, 0,
+            "nothing is structurally shared before any clone"
+        );
+        let kids = p.clone_domain(dom, 2).unwrap();
+        let cloned = p.snapshot();
+        assert!(
+            cloned.xs_shared_entry_bytes > 0,
+            "cloning must leave device subtrees structurally shared"
+        );
+        // The split is additive over the logical resident figure.
+        assert_eq!(
+            cloned.xs_shared_entry_bytes + cloned.xs_unique_entry_bytes,
+            p.xs.resident_bytes()
+        );
+        // Diverge one clone: writing through its cloned vif frontend
+        // materializes the write spine's shared nodes, moving bytes from
+        // the shared column to the unique one.
+        p.xs
+            .write(
+                sim_core::DomId::DOM0,
+                &format!("/local/domain/{}/device/vif/0/state", kids[0].0),
+                "5",
+            )
+            .unwrap();
+        let diverged = p.snapshot();
+        assert!(
+            diverged.xs_shared_entry_bytes < cloned.xs_shared_entry_bytes
+                && diverged.xs_unique_entry_bytes > cloned.xs_unique_entry_bytes,
+            "divergence must move bytes shared -> unique (shared {} -> {}, unique {} -> {})",
+            cloned.xs_shared_entry_bytes,
+            diverged.xs_shared_entry_bytes,
+            cloned.xs_unique_entry_bytes,
+            diverged.xs_unique_entry_bytes
+        );
+        assert_eq!(
+            diverged.xs_shared_entry_bytes + diverged.xs_unique_entry_bytes,
+            p.xs.resident_bytes()
+        );
+        p.xs.audit_tree().unwrap();
     }
 }

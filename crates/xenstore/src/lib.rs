@@ -20,6 +20,8 @@
 
 pub mod log;
 pub mod tree;
+mod txn;
+mod watches;
 
 use std::collections::HashMap;
 use std::fmt;
@@ -28,7 +30,9 @@ use std::rc::Rc;
 use sim_core::{Clock, CostModel, DomId, TraceSink};
 
 use crate::log::AccessLog;
-use crate::tree::Node;
+use crate::tree::{DomidRewrite, Node};
+use crate::txn::{Txn, TxnOp};
+use crate::watches::Watches;
 
 /// Errors returned by Xenstore requests.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,23 +85,17 @@ pub struct WatchEvent {
     pub path: String,
 }
 
-#[derive(Debug, Clone)]
-struct Watch {
-    owner: DomId,
-    token: String,
-    prefix: String,
-}
-
-/// A pending transaction: buffered writes applied atomically at commit.
-#[derive(Debug, Default)]
-struct Txn {
-    ops: Vec<TxnOp>,
-}
-
-#[derive(Debug, Clone)]
-enum TxnOp {
-    Write { path: String, value: String },
-    Rm { path: String },
+/// The split of the modelled resident memory into structurally shared and
+/// unique entry bytes (see [`Xenstore::sharing`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct XsSharing {
+    /// Bytes attributed to entries backed by a node the persistent tree
+    /// shares between several paths (parent + clones).
+    pub shared_entry_bytes: u64,
+    /// Bytes attributed to entries with their own private node.
+    pub unique_entry_bytes: u64,
+    /// Distinct tree-node allocations actually resident.
+    pub distinct_nodes: u64,
 }
 
 /// The Xenstore daemon.
@@ -106,7 +104,7 @@ pub struct Xenstore {
     clock: Clock,
     costs: Rc<CostModel>,
     root: Node,
-    watches: Vec<Watch>,
+    watches: Watches,
     fired: Vec<WatchEvent>,
     txns: HashMap<u32, Txn>,
     next_txn: u32,
@@ -133,6 +131,11 @@ fn validate(path: &str) -> Result<()> {
     if !path.starts_with('/') || path.contains("//") || path.len() > 1024 {
         return Err(XsError::BadPath(path.to_string()));
     }
+    // A trailing slash (except the root itself) would produce an empty
+    // final segment that every tree lookup silently drops.
+    if path.len() > 1 && path.ends_with('/') {
+        return Err(XsError::BadPath(path.to_string()));
+    }
     Ok(())
 }
 
@@ -143,7 +146,7 @@ impl Xenstore {
             clock,
             costs,
             root: Node::dir(DomId::DOM0),
-            watches: Vec::new(),
+            watches: Watches::default(),
             fired: Vec::new(),
             txns: HashMap::new(),
             next_txn: 1,
@@ -204,24 +207,21 @@ impl Xenstore {
     }
 
     fn fire_watches(&mut self, path: &str) {
-        // Every registered watch is matched against the written path.
+        // The modelled daemon matches every registered watch against the
+        // written path, so the virtual-time charge scales with the total
+        // watch count exactly as before. The *host-side* lookup uses the
+        // prefix index and touches only the covering watches.
         self.clock.advance(
             self.costs
                 .xs_watch_match
-                .saturating_mul(self.watches.len() as u64),
+                .saturating_mul(self.watches.count() as u64),
         );
-        let mut hits = Vec::new();
-        for w in &self.watches {
-            if path == w.prefix || path.starts_with(&format!("{}/", w.prefix)) {
-                hits.push(WatchEvent {
-                    token: w.token.clone(),
-                    path: path.to_string(),
-                });
-            }
-        }
-        for h in hits {
+        for token in self.watches.matching(path) {
             self.clock.advance(self.costs.xs_watch_fire);
-            self.fired.push(h);
+            self.fired.push(WatchEvent {
+                token,
+                path: path.to_string(),
+            });
         }
     }
 
@@ -252,15 +252,15 @@ impl Xenstore {
         validate(path)?;
         self.charge_request("read", path);
         let _ = who;
-        match self.root.get(path) {
-            Some(node) => Ok(node.value.clone().unwrap_or_default()),
+        match self.root.lookup(path) {
+            Some(node) => Ok(node.value().unwrap_or_default()),
             None => Err(XsError::NoEnt(path.to_string())),
         }
     }
 
     /// Whether a path exists (no logging; used internally and by tests).
     pub fn exists(&self, path: &str) -> bool {
-        self.root.get(path).is_some()
+        self.root.lookup(path).is_some()
     }
 
     /// Writes `value` at `path`, creating intermediate directories, firing
@@ -341,8 +341,8 @@ impl Xenstore {
         validate(path)?;
         let _ = who;
         self.charge_request("directory", path);
-        match self.root.get(path) {
-            Some(node) => Ok(node.children.keys().cloned().collect()),
+        match self.root.lookup(path) {
+            Some(node) => Ok(node.child_names().map(str::to_string).collect()),
             None => Err(XsError::NoEnt(path.to_string())),
         }
     }
@@ -356,19 +356,15 @@ impl Xenstore {
     pub fn watch(&mut self, who: DomId, token: &str, prefix: &str) -> Result<()> {
         validate(prefix)?;
         self.charge_request("watch", prefix);
-        self.watches.push(Watch {
-            owner: who,
-            token: token.to_string(),
-            prefix: prefix.trim_end_matches('/').to_string(),
-        });
+        self.watches
+            .register(who, token, prefix.trim_end_matches('/'));
         Ok(())
     }
 
     /// Removes a watch by owner and token.
     pub fn unwatch(&mut self, who: DomId, token: &str) {
         self.charge_request("unwatch", token);
-        self.watches
-            .retain(|w| !(w.owner == who && w.token == token));
+        self.watches.unregister(who, token);
     }
 
     /// Drains queued watch events for platform dispatch.
@@ -378,21 +374,51 @@ impl Xenstore {
 
     /// Number of registered watches.
     pub fn watch_count(&self) -> usize {
-        self.watches.len()
+        self.watches.count()
     }
 
     // ------------------------------------------------------------------
     // Transactions
     // ------------------------------------------------------------------
 
-    /// Starts a transaction, returning its id.
+    /// Starts a transaction, returning its id. The transaction captures a
+    /// snapshot of the store — an O(1) `Rc` clone of the persistent root,
+    /// however many entries the store holds — which serves
+    /// [`Xenstore::txn_read`] for the transaction's lifetime.
     pub fn txn_start(&mut self, who: DomId) -> u32 {
         let _ = who;
         self.clock.advance(self.costs.xs_transaction);
         let id = self.next_txn;
         self.next_txn += 1;
-        self.txns.insert(id, Txn::default());
+        self.txns.insert(id, Txn::new(self.root.clone()));
         id
+    }
+
+    /// Reads `path` inside a transaction: buffered writes and removals of
+    /// this transaction win, otherwise the `txn_start` snapshot answers —
+    /// a repeatable-read view isolated from later non-transactional
+    /// writes. Charged like a plain read.
+    pub fn txn_read(&mut self, who: DomId, txn: u32, path: &str) -> Result<String> {
+        let r = self.txn_read_impl(who, txn, path);
+        self.note_fail(r)
+    }
+
+    fn txn_read_impl(&mut self, who: DomId, txn: u32, path: &str) -> Result<String> {
+        validate(path)?;
+        let _ = who;
+        if !self.txns.contains_key(&txn) {
+            return Err(XsError::BadTxn(txn));
+        }
+        self.charge_request("txn_read", path);
+        let t = &self.txns[&txn];
+        match t.resolve(path) {
+            Some(Some(value)) => Ok(value),
+            Some(None) => Err(XsError::NoEnt(path.to_string())),
+            None => match t.snapshot.lookup(path) {
+                Some(node) => Ok(node.value().unwrap_or_default()),
+                None => Err(XsError::NoEnt(path.to_string())),
+            },
+        }
     }
 
     /// Buffers a write inside a transaction.
@@ -509,7 +535,7 @@ impl Xenstore {
         if self.exists(&home) {
             let _ = self.rm(DomId::DOM0, &home);
         }
-        self.watches.retain(|w| w.owner != domid);
+        self.watches.forget_owner(domid);
     }
 
     // ------------------------------------------------------------------
@@ -557,26 +583,34 @@ impl Xenstore {
         // One request round-trip for the entire directory.
         self.charge_request("xs_clone", parent_path);
 
+        // O(path-depth) on the host: detach a structurally-shared handle to
+        // the source subtree instead of deep-copying it. The *modelled*
+        // daemon still walks every entry, so the virtual-time charge keeps
+        // its per-entry term and the figure CSVs stay byte-identical.
         let src = self
             .root
-            .get(parent_path)
+            .lookup(parent_path)
             .ok_or_else(|| XsError::NoEnt(parent_path.to_string()))?
-            .clone();
+            .detach();
         let entries = src.count_entries();
         span.attr("entries", entries);
         self.clock
             .advance(self.costs.xs_clone_per_entry.saturating_mul(entries));
 
+        // The domid rewrite is a lazy overlay: values are rewritten when
+        // read through the clone, and a shared node is materialized only
+        // when first written through.
         let rewritten = match op {
             XsCloneOp::Basic => src,
             XsCloneOp::DevConsole | XsCloneOp::DevVif | XsCloneOp::Dev9pfs => {
-                let mut n = src;
-                n.rewrite_domid(parent_domid.0, child_domid.0);
-                n
+                src.with_rewrite(DomidRewrite {
+                    old: parent_domid.0,
+                    new: child_domid.0,
+                })
             }
         };
-        let created = self.root.graft(child_path, rewritten, DomId::DOM0);
-        self.entry_count += created;
+        let delta = self.root.graft(child_path, rewritten, DomId::DOM0);
+        self.entry_count = (self.entry_count as i64 + delta).max(0) as u64;
         self.fire_watches(child_path);
         Ok(())
     }
@@ -591,8 +625,53 @@ impl Xenstore {
     }
 
     /// Modelled resident memory of the daemon in bytes (Fig. 5 Dom0 side).
+    /// This is the *logical* accounting — one slot per entry — and is
+    /// deliberately unchanged by structural sharing, so the Fig. 5 curves
+    /// keep reproducing oxenstored's growth. See [`Xenstore::sharing`] for
+    /// the shared/unique split.
     pub fn resident_bytes(&self) -> u64 {
         self.entry_count * self.resident_per_entry
+    }
+
+    /// Splits [`Xenstore::resident_bytes`] into structurally-shared and
+    /// unique entry bytes. An entry is *shared* when the persistent tree
+    /// backs it with a node reachable through more than one path — e.g.
+    /// the subtree a clone still has in common with its parent; it moves
+    /// to *unique* once either side diverges (writes through it). The two
+    /// always sum to `resident_bytes()`. O(distinct nodes) on the host.
+    pub fn sharing(&self) -> XsSharing {
+        let stats = self.root.sharing();
+        // The root node itself is not an "entry" (entry_count excludes
+        // it), and it is always unique.
+        let unique = stats.unique_logical.saturating_sub(1);
+        XsSharing {
+            shared_entry_bytes: stats.shared_logical * self.resident_per_entry,
+            unique_entry_bytes: unique * self.resident_per_entry,
+            distinct_nodes: stats.distinct_nodes,
+        }
+    }
+
+    /// Cross-checks the persistent tree against its cached accounting:
+    /// every per-node cached entry count, the daemon's cached
+    /// `entry_count`, and the sharing walk's logical total must all
+    /// agree. Used by the platform auditor.
+    pub fn audit_tree(&self) -> std::result::Result<(), String> {
+        self.root.verify_counts()?;
+        let total = self.root.count_entries();
+        if total != self.entry_count + 1 {
+            return Err(format!(
+                "cached entry_count {} != tree total {} - root",
+                self.entry_count, total
+            ));
+        }
+        let stats = self.root.sharing();
+        if stats.logical_entries != total {
+            return Err(format!(
+                "sharing walk saw {} logical entries, tree counts {}",
+                stats.logical_entries, total
+            ));
+        }
+        Ok(())
     }
 
     /// Enables or disables access logging (the paper notes disabling it
@@ -647,6 +726,24 @@ mod tests {
             xs.write(DomId::DOM0, "/a//b", "x"),
             Err(XsError::BadPath(_))
         ));
+        // Trailing slashes would leave an empty final segment that tree
+        // lookups silently drop: reject them (except the root itself).
+        assert!(matches!(
+            xs.write(DomId::DOM0, "/local/domain/1/", "x"),
+            Err(XsError::BadPath(_))
+        ));
+        assert!(matches!(
+            xs.rm(DomId::DOM0, "/tool/"),
+            Err(XsError::BadPath(_))
+        ));
+        assert!(matches!(
+            xs.watch(DomId::DOM0, "t", "/tool/"),
+            Err(XsError::BadPath(_))
+        ));
+        // The root path "/" is still fine (e.g. a watch on everything).
+        xs.watch(DomId::DOM0, "all", "/").unwrap();
+        xs.write(DomId::DOM0, "/tool/x", "1").unwrap();
+        assert_eq!(xs.drain_watch_events().len(), 1);
     }
 
     #[test]
@@ -891,5 +988,112 @@ mod tests {
         let before = xs.resident_bytes();
         xs.write(DomId::DOM0, "/tool/a", "1").unwrap();
         assert!(xs.resident_bytes() > before);
+    }
+
+    #[test]
+    fn txn_read_sees_snapshot_plus_own_writes() {
+        let mut xs = xs();
+        xs.write(DomId::DOM0, "/local/domain/2/a", "old").unwrap();
+        xs.write(DomId::DOM0, "/local/domain/2/b", "keep").unwrap();
+        let t = xs.txn_start(DomId::DOM0);
+        // A non-transactional write after txn_start is invisible inside.
+        xs.write(DomId::DOM0, "/local/domain/2/a", "racing").unwrap();
+        assert_eq!(xs.txn_read(DomId::DOM0, t, "/local/domain/2/a").unwrap(), "old");
+        // The transaction's own buffered ops win over the snapshot.
+        xs.txn_write(DomId::DOM0, t, "/local/domain/2/a", "mine").unwrap();
+        assert_eq!(xs.txn_read(DomId::DOM0, t, "/local/domain/2/a").unwrap(), "mine");
+        xs.txn_rm(DomId::DOM0, t, "/local/domain/2/b").unwrap();
+        assert!(matches!(
+            xs.txn_read(DomId::DOM0, t, "/local/domain/2/b"),
+            Err(XsError::NoEnt(_))
+        ));
+        xs.txn_abort(t).unwrap();
+        assert!(matches!(
+            xs.txn_read(DomId::DOM0, t, "/local/domain/2/a"),
+            Err(XsError::BadTxn(_))
+        ));
+        // Outside the transaction the racing write was preserved.
+        assert_eq!(xs.read(DomId::DOM0, "/local/domain/2/a").unwrap(), "racing");
+    }
+
+    #[test]
+    fn sharing_splits_resident_bytes() {
+        let mut xs = xs();
+        for i in 0..16 {
+            xs.write(DomId::DOM0, &format!("/local/domain/3/data/k{i}"), "v")
+                .unwrap();
+        }
+        let before = xs.sharing();
+        assert_eq!(before.shared_entry_bytes, 0, "nothing cloned yet");
+        assert_eq!(
+            before.shared_entry_bytes + before.unique_entry_bytes,
+            xs.resident_bytes()
+        );
+
+        xs.xs_clone(
+            DomId::DOM0,
+            XsCloneOp::Basic,
+            DomId(3),
+            DomId(9),
+            "/local/domain/3/data",
+            "/local/domain/9/data",
+        )
+        .unwrap();
+        let cloned = xs.sharing();
+        assert!(cloned.shared_entry_bytes > 0, "clone shares its subtree");
+        assert_eq!(
+            cloned.shared_entry_bytes + cloned.unique_entry_bytes,
+            xs.resident_bytes()
+        );
+
+        // Diverging the clone moves bytes from shared to unique.
+        xs.write(DomId::DOM0, "/local/domain/9/data/k0", "w").unwrap();
+        let diverged = xs.sharing();
+        assert!(diverged.shared_entry_bytes < cloned.shared_entry_bytes);
+        assert!(diverged.unique_entry_bytes > cloned.unique_entry_bytes);
+        assert_eq!(
+            diverged.shared_entry_bytes + diverged.unique_entry_bytes,
+            xs.resident_bytes()
+        );
+        xs.audit_tree().unwrap();
+    }
+
+    #[test]
+    fn clone_of_clone_stacks_lazy_rewrites() {
+        let mut xs = xs();
+        xs.write(
+            DomId::DOM0,
+            "/local/domain/3/device/vif/0/frontend",
+            "/local/domain/3/device/vif/0",
+        )
+        .unwrap();
+        xs.xs_clone(
+            DomId::DOM0,
+            XsCloneOp::DevVif,
+            DomId(3),
+            DomId(8),
+            "/local/domain/3/device/vif/0",
+            "/local/domain/8/device/vif/0",
+        )
+        .unwrap();
+        // Clone the (still lazily-rewritten) clone.
+        xs.xs_clone(
+            DomId::DOM0,
+            XsCloneOp::DevVif,
+            DomId(8),
+            DomId(12),
+            "/local/domain/8/device/vif/0",
+            "/local/domain/12/device/vif/0",
+        )
+        .unwrap();
+        assert_eq!(
+            xs.read(DomId::DOM0, "/local/domain/12/device/vif/0/frontend").unwrap(),
+            "/local/domain/12/device/vif/0"
+        );
+        assert_eq!(
+            xs.read(DomId::DOM0, "/local/domain/8/device/vif/0/frontend").unwrap(),
+            "/local/domain/8/device/vif/0"
+        );
+        xs.audit_tree().unwrap();
     }
 }

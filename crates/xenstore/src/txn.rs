@@ -1,0 +1,71 @@
+//! Transactions: buffered operations plus an O(1) snapshot.
+//!
+//! A transaction buffers its writes/removals and applies them atomically
+//! at commit against the *live* tree (so non-transactional writes that
+//! interleave are preserved — the semantics the platform has always had).
+//! Since the tree became persistent, `txn_start` additionally captures a
+//! snapshot of the root: a single `Rc` clone, O(1) regardless of store
+//! size, instead of the eager deep copy a mutable tree would force.
+//! `txn_read` serves reads from that snapshot overlaid with the
+//! transaction's own buffered operations, giving a consistent
+//! repeatable-read view for free.
+
+use crate::tree::Node;
+
+/// A pending transaction.
+#[derive(Debug)]
+pub(crate) struct Txn {
+    /// The root as of `txn_start` — an O(1) structurally-shared handle.
+    pub snapshot: Node,
+    /// Buffered operations, applied atomically at commit.
+    pub ops: Vec<TxnOp>,
+}
+
+/// One buffered transaction operation.
+#[derive(Debug, Clone)]
+pub(crate) enum TxnOp {
+    /// Write `value` at `path`.
+    Write { path: String, value: String },
+    /// Remove the subtree at `path`.
+    Rm { path: String },
+}
+
+impl Txn {
+    /// Opens a transaction over the given root snapshot.
+    pub fn new(snapshot: Node) -> Self {
+        Txn {
+            snapshot,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Resolves a read inside the transaction: the latest buffered write
+    /// or removal affecting `path` wins; otherwise the snapshot answers.
+    /// Returns `Some(Some(value))` for a hit, `Some(None)` for a buffered
+    /// removal (path gone), `None` when the snapshot should be consulted.
+    pub fn resolve(&self, path: &str) -> Option<Option<String>> {
+        for op in self.ops.iter().rev() {
+            match op {
+                TxnOp::Write { path: p, value } => {
+                    if p == path {
+                        return Some(Some(value.clone()));
+                    }
+                    // A deeper buffered write implies `path` exists as a
+                    // directory (intermediate nodes have no value).
+                    if p.starts_with(path) && p.as_bytes().get(path.len()) == Some(&b'/') {
+                        return Some(Some(String::new()));
+                    }
+                }
+                TxnOp::Rm { path: p } => {
+                    if path == p
+                        || (path.starts_with(p.as_str())
+                            && path.as_bytes().get(p.len()) == Some(&b'/'))
+                    {
+                        return Some(None);
+                    }
+                }
+            }
+        }
+        None
+    }
+}

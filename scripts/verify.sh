@@ -42,6 +42,32 @@ if scripts/bench_gate.sh scripts/fixtures/regressed >/dev/null 2>&1; then
     exit 1
 fi
 
+echo "== figure determinism gate (fig4/fig5/fig7 CSVs must be byte-identical)"
+# The COW Xenstore must not perturb any virtual-time figure: re-run the
+# key figures with the committed seeds and diff stdout against the
+# checked-in CSVs. fig4/fig7 embed span aggregates, so they reproduce
+# only with tracing enabled; fig5 runs without it.
+detgate() {
+    local fig="$1" trace="$2" out
+    out="$(mktemp)"
+    if [[ "$trace" == trace ]]; then
+        NEPHELE_TRACE=1 cargo run -q -p bench --release --offline --bin "$fig" > "$out"
+    else
+        cargo run -q -p bench --release --offline --bin "$fig" > "$out"
+    fi
+    if ! diff -q "results/$fig.csv" "$out" >/dev/null; then
+        echo "verify.sh: $fig.csv drifted from the committed results:"
+        diff "results/$fig.csv" "$out" | head -20
+        rm -f "$out"
+        exit 1
+    fi
+    rm -f "$out"
+    echo "   $fig.csv reproduced byte-identical"
+}
+detgate fig4 trace
+detgate fig5 notrace
+detgate fig7 trace
+
 echo "== cargo doc --no-deps --offline (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace --quiet
 
