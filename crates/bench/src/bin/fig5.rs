@@ -31,4 +31,11 @@ fn main() {
         "  density gain = {:.1}x (paper: ~3x, 2800 vs 8900)",
         r.cloning.max_instances as f64 / r.booting.max_instances as f64
     );
+    eprintln!(
+        "  host p2m while cloning = {} KiB shared templates + {} KiB private \
+         (booting keeps {} KiB, all private)",
+        r.cloning.p2m_shared_bytes / 1024,
+        r.cloning.p2m_unique_bytes / 1024,
+        r.booting.p2m_unique_bytes / 1024
+    );
 }

@@ -21,4 +21,8 @@ fn main() {
         );
     }
     eprintln!("  (paper: boot-each ~2, cloning ~470, process ~590, module ~320 exec/s)");
+    eprintln!(
+        "  (host-side clone_reset walks only the dirty journals — the \"dirty\" column \
+         above — instead of the full p2m; guest-visible virtual time is unchanged)"
+    );
 }

@@ -21,6 +21,11 @@ pub struct PackingRun {
     pub max_instances: u64,
     /// Mean memory per instance, bytes.
     pub bytes_per_instance: u64,
+    /// Host-side p2m bytes shared between family members at the end of
+    /// the run (zero when booting: every boot builds its own template).
+    pub p2m_shared_bytes: u64,
+    /// Host-side p2m bytes private to one domain at the end of the run.
+    pub p2m_unique_bytes: u64,
 }
 
 /// Combined experiment result.
@@ -57,10 +62,13 @@ fn run_boot(pool_mib: u64, limit: u64) -> PackingRun {
             );
         }
     }
+    let end = p.snapshot();
     PackingRun {
         series,
         max_instances: count,
-        bytes_per_instance: (free0 - p.snapshot().hyp_free_bytes) / count.max(1),
+        bytes_per_instance: (free0 - end.hyp_free_bytes) / count.max(1),
+        p2m_shared_bytes: end.p2m_shared_bytes,
+        p2m_unique_bytes: end.p2m_unique_bytes,
     }
 }
 
@@ -91,10 +99,13 @@ fn run_clone(pool_mib: u64, limit: u64) -> PackingRun {
             );
         }
     }
+    let end = p.snapshot();
     PackingRun {
         series,
         max_instances: count,
-        bytes_per_instance: (free_after_parent - p.snapshot().hyp_free_bytes) / (count - 1).max(1),
+        bytes_per_instance: (free_after_parent - end.hyp_free_bytes) / (count - 1).max(1),
+        p2m_shared_bytes: end.p2m_shared_bytes,
+        p2m_unique_bytes: end.p2m_unique_bytes,
     }
 }
 

@@ -275,7 +275,7 @@ impl Hypervisor {
         let mut shared_slots: Vec<(Mfn, SharedKind)> = Vec::new();
         let mut first_shared = std::collections::HashSet::new();
         for (i, slot) in p2m.iter().enumerate() {
-            let Some(mfn) = *slot else { continue };
+            let Some(mfn) = slot else { continue };
             let pfn = Pfn(i as u64);
             if let Some(policy) = private_pfns.get(&pfn) {
                 private_slots.push((i, *policy, mfn));
@@ -313,6 +313,18 @@ impl Hypervisor {
         let costs = self.costs().clone();
         self.clock()
             .advance(costs.clone_stage1_base.saturating_mul(nr as u64));
+
+        // Cloning invalidates an armed KFX checkpoint: the private pages
+        // its journals describe (and the post-fault copies the dirty_cow
+        // entries would free) are about to become COW-shared with the
+        // children, so the checkpoint no longer names restorable private
+        // state. Disarm it, releasing the journal's keep-alive
+        // references.
+        if let Some(cp) = self.domain_mut(parent_id).expect("validated above").checkpoint.take()
+        {
+            self.release_checkpoint_refs(&cp)
+                .expect("journal references are live by construction");
+        }
 
         // Domain ids in the order the sequential path would allocate them.
         let child_ids: Vec<DomId> = (0..nr).map(|_| DomId(self.alloc_domid())).collect();
@@ -368,11 +380,7 @@ impl Hypervisor {
             }
         }
 
-        let parent_start_info = p2m
-            .get(start_info_pfn.0 as usize)
-            .copied()
-            .flatten()
-            .unwrap_or(Mfn(0));
+        let parent_start_info = p2m.get(start_info_pfn.0 as usize).unwrap_or(Mfn(0));
 
         let mut children = Vec::with_capacity(nr as usize);
         let mut notifications = Vec::with_capacity(nr as usize);
@@ -392,10 +400,11 @@ impl Hypervisor {
                 vcpus.iter().map(Vcpu::clone_for_child).collect()
             };
 
-            // The child p2m starts as the shared template — every shared
-            // slot already points at the (now COW) parent frame — and only
-            // the P private slots are patched.
-            let mut child_p2m = p2m.clone();
+            // The child p2m is an `Rc` handle on the family template —
+            // every shared slot already points at the (now COW) parent
+            // frame through the shared base — plus a thin overlay
+            // patching only the P private slots.
+            let mut patches: Vec<(u64, Option<Mfn>)> = Vec::with_capacity(private_slots.len());
             let mut remaps: Vec<(Mfn, Mfn)> = Vec::with_capacity(private_slots.len());
             let mut child_start_info = Mfn(0);
             {
@@ -420,13 +429,14 @@ impl Hypervisor {
                         }
                     }
                     self.clock().advance(costs.clone_private_page);
-                    child_p2m[i] = Some(new);
+                    patches.push((i as u64, Some(new)));
                     remaps.push((mfn, new));
                     if i as u64 == start_info_pfn.0 {
                         child_start_info = new;
                     }
                 }
             }
+            let child_p2m = p2m.child_with_patches(patches);
 
             // Rebuild the child page table from the p2m (§5.2: "p2m ... is
             // used and updated on cloning when building the child page
@@ -552,13 +562,22 @@ impl Hypervisor {
                 .lookup(*pfn)
                 .ok_or(HvError::NotMapped(dom, *pfn))?;
             if self.frames().inspect(mfn)?.owner() == FrameOwner::Cow {
+                // Privatization dirties the page exactly like a write
+                // fault, so an armed checkpoint must journal it too —
+                // otherwise reset would leak the divergence. The
+                // pre-fault writability matters for the transfer
+                // journal: `clone_cow` may privatize writable-shared
+                // (IDC) pages, which the write-fault path never sees.
+                let was_writable = self.frames().inspect(mfn)?.writable();
                 match self.frames_mut().cow_fault(mfn, dom)? {
                     CowResolution::Copied(copy) => {
                         self.clock().advance(self.costs().cow_fault_copy);
-                        self.domain_mut(dom)?.p2m[pfn.0 as usize] = Some(copy);
+                        self.domain_mut(dom)?.p2m.set(pfn.0 as usize, Some(copy));
+                        self.journal_cow_copy(dom, *pfn, mfn)?;
                     }
                     CowResolution::Transferred => {
                         self.clock().advance(self.costs().cow_fault_transfer);
+                        self.journal_transfer_fault(dom, *pfn, mfn, was_writable)?;
                     }
                 }
             }
@@ -567,19 +586,23 @@ impl Hypervisor {
     }
 
     fn clone_checkpoint(&mut self, dom: DomId) -> Result<()> {
-        let d = self.domain(dom)?;
-        let mut saved = std::collections::BTreeMap::new();
-        for (i, slot) in d.p2m.iter().enumerate() {
-            if let Some(mfn) = slot {
-                if self.frames().inspect(*mfn)?.owner() == FrameOwner::Dom(dom) {
-                    saved.insert(Pfn(i as u64), self.frames().inspect(*mfn)?.content().clone());
-                }
-            }
+        // Re-checkpointing drops the previous checkpoint and the
+        // keep-alive references its journal held.
+        if let Some(old) = self.domain_mut(dom)?.checkpoint.take() {
+            self.release_checkpoint_refs(&old)?;
         }
+        // O(1) in the domain's memory: the p2m layout is captured as a
+        // structural overlay snapshot and page contents are journaled
+        // lazily on first dirty (see `Checkpoint`) — no walk over the
+        // private pages, no content clones.
+        let d = self.domain_mut(dom)?;
+        let overlay = d.p2m.overlay_snapshot();
         let vcpus = d.vcpus.clone();
-        self.domain_mut(dom)?.checkpoint = Some(Checkpoint {
+        d.checkpoint = Some(Checkpoint {
             dirty_cow: Default::default(),
-            saved_private: saved,
+            dirty_private: Default::default(),
+            dirty_transfer: Default::default(),
+            overlay,
             vcpus,
         });
         Ok(())
@@ -595,7 +618,9 @@ impl Hypervisor {
             .ok_or(HvError::InvalidArg("no checkpoint"))?;
 
         let mut dirty = 0u64;
-        // Re-point COW-faulted pages back at their shared originals.
+        // Re-point COW-faulted pages back at their shared originals. The
+        // journal's keep-alive reference becomes the p2m's reference, so
+        // no reshare is needed on the re-point.
         let dirty_cow = std::mem::take(&mut cp.dirty_cow);
         for (pfn, orig) in dirty_cow {
             let cur = self
@@ -604,31 +629,62 @@ impl Hypervisor {
                 .ok_or(HvError::NotMapped(dom, pfn))?;
             if cur != orig {
                 self.frames_mut().free(cur, FrameOwner::Dom(dom))?;
-                self.frames_mut().reshare(orig, 1)?;
-                self.domain_mut(dom)?.p2m[pfn.0 as usize] = Some(orig);
+                self.domain_mut(dom)?.p2m.set(pfn.0 as usize, Some(orig));
+                self.clock().advance(costs.kfx_reset_per_page);
+                dirty += 1;
+            } else {
+                // The slot already points at the shared frame: no
+                // restore work is done, so no time is charged and the
+                // page is not counted dirty — only the journal's
+                // reference is returned.
+                self.frames_mut().unshare_drop(orig)?;
             }
+        }
+        // Un-do last-sharer transfers: restore the pre-fault content and
+        // hand the frame back to dom_cow as its original single-sharer
+        // page.
+        let dirty_transfer = std::mem::take(&mut cp.dirty_transfer);
+        for (pfn, (content, writable)) in dirty_transfer {
+            let mfn = self
+                .domain(dom)?
+                .lookup(pfn)
+                .ok_or(HvError::NotMapped(dom, pfn))?;
+            self.frames_mut().set_content(mfn, content)?;
+            self.frames_mut().share_to_cow(mfn, dom, 1, writable)?;
             self.clock().advance(costs.kfx_reset_per_page);
             dirty += 1;
         }
-        // Restore modified private pages from the snapshot.
-        for (pfn, saved) in &cp.saved_private {
+        // Restore dirtied private pages from their journaled pre-images
+        // (O(dirty): only pages the write path actually touched).
+        let dirty_private = std::mem::take(&mut cp.dirty_private);
+        for (pfn, saved) in dirty_private {
             let mfn = self
                 .domain(dom)?
-                .lookup(*pfn)
-                .ok_or(HvError::NotMapped(dom, *pfn))?;
-            if self.frames().inspect(mfn)?.content() != saved {
-                self.frames_mut().set_content(mfn, saved.clone())?;
+                .lookup(pfn)
+                .ok_or(HvError::NotMapped(dom, pfn))?;
+            if self.frames().inspect(mfn)?.content() != &saved {
+                self.frames_mut().set_content(mfn, saved)?;
                 self.clock().advance(costs.kfx_reset_per_page);
                 dirty += 1;
             }
         }
-        // Restore vCPU state.
-        self.domain_mut(dom)?.vcpus = cp.vcpus.clone();
-        // Re-arm the checkpoint for the next iteration.
-        self.domain_mut(dom)?.checkpoint = Some(cp);
+
+        let d = self.domain_mut(dom)?;
+        // With every divergence undone the overlay has shrunk back to
+        // its checkpoint form; swap in the snapshot `Rc` so the storage
+        // is shared again, not just equal. Non-journaled p2m changes
+        // (e.g. a grant mapped mid-iteration) survive the reset, in
+        // which case the re-armed checkpoint adopts the current layout.
+        if *d.p2m.overlay_snapshot() == *cp.overlay {
+            d.p2m.restore_overlay(cp.overlay.clone());
+        } else {
+            cp.overlay = d.p2m.overlay_snapshot();
+        }
+        // Restore vCPU state and re-arm for the next iteration.
+        d.vcpus = cp.vcpus.clone();
+        d.checkpoint = Some(cp);
         Ok(dirty)
     }
-
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ use sim_core::{DomId, Mfn, Pfn};
 use crate::event::EventChannels;
 use crate::grant::GrantTable;
 use crate::memory::PageContent;
+use crate::p2m::{P2m, P2mOverlay};
 use crate::vcpu::Vcpu;
 
 /// Lifecycle state of a domain.
@@ -68,13 +69,31 @@ impl Default for ClonePolicy {
 }
 
 /// KFX-style checkpoint used by `clone_cow` / `clone_reset` (§7.2).
+///
+/// Arming a checkpoint is O(1) in the domain's memory: the p2m layout
+/// is captured as a structural [`P2mOverlay`] snapshot, and page
+/// contents are journaled lazily by the write paths — `resolve_write`
+/// and `clone_cow` record a pre-image the *first* time they touch a
+/// page after the checkpoint, so `clone_reset` restores exactly the
+/// pages that were actually dirtied (O(dirty), not O(private)).
 #[derive(Debug, Clone, Default)]
 pub struct Checkpoint {
-    /// COW faults taken since the checkpoint: pfn → the shared frame the
-    /// p2m pointed at before the fault.
+    /// COW-copy faults taken since the checkpoint: pfn → the shared
+    /// frame the p2m pointed at before the fault. The journal holds one
+    /// `dom_cow` reference on each recorded frame so the reset target
+    /// cannot be freed while the checkpoint is armed; the reference
+    /// transfers back to the p2m on reset.
     pub dirty_cow: BTreeMap<Pfn, Mfn>,
-    /// Content snapshots of the domain's private pages at checkpoint time.
-    pub saved_private: BTreeMap<Pfn, PageContent>,
+    /// Copy-on-first-write pre-images of private pages dirtied since
+    /// the checkpoint (replaces the old eager snapshot of *every*
+    /// private page).
+    pub dirty_private: BTreeMap<Pfn, PageContent>,
+    /// Last-sharer COW faults resolved by ownership transfer since the
+    /// checkpoint: pfn → the frame's pre-fault content and writability.
+    /// Reset restores the content and re-shares the frame to `dom_cow`.
+    pub dirty_transfer: BTreeMap<Pfn, (PageContent, bool)>,
+    /// Structural snapshot of the p2m overlay at checkpoint time.
+    pub overlay: P2mOverlay,
     /// vCPU state snapshot.
     pub vcpus: Vec<Vcpu>,
 }
@@ -93,8 +112,9 @@ pub struct Domain {
     pub state: DomainState,
     /// Virtual CPUs.
     pub vcpus: Vec<Vcpu>,
-    /// Pseudo-physical → machine mapping. `None` entries are holes.
-    pub p2m: Vec<Option<Mfn>>,
+    /// Pseudo-physical → machine mapping: a shared family template plus
+    /// this domain's private overlay (see [`crate::p2m`]).
+    pub p2m: P2m,
     /// Exclusively owned frames not visible in the p2m: page-table frames
     /// and the frames storing the p2m itself. Always private.
     pub aux_frames: Vec<Mfn>,
@@ -128,12 +148,12 @@ pub struct Domain {
 impl Domain {
     /// Number of populated p2m entries.
     pub fn mapped_pages(&self) -> u64 {
-        self.p2m.iter().filter(|e| e.is_some()).count() as u64
+        self.p2m.mapped_pages()
     }
 
     /// Looks up the machine frame behind a pfn.
     pub fn lookup(&self, pfn: Pfn) -> Option<Mfn> {
-        self.p2m.get(pfn.0 as usize).copied().flatten()
+        self.p2m.get(pfn.0 as usize)
     }
 
     /// Returns `true` once the domain may run (not paused/dying).

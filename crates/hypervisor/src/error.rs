@@ -18,6 +18,16 @@ pub enum HvError {
     NotMapped(DomId, Pfn),
     /// A machine frame is not owned by the expected domain.
     BadOwner(Mfn),
+    /// A frame access crosses the page boundary: `offset + len` exceeds
+    /// the page size.
+    PageBounds {
+        /// The frame being accessed.
+        mfn: Mfn,
+        /// Byte offset of the access within the page.
+        offset: usize,
+        /// Length of the access in bytes.
+        len: usize,
+    },
     /// The grant reference is invalid or not active.
     BadGrant(u32),
     /// The grantee is not allowed to use this grant entry.
@@ -44,6 +54,9 @@ impl fmt::Display for HvError {
             HvError::OutOfMemory => write!(f, "out of machine memory"),
             HvError::NotMapped(d, p) => write!(f, "{p} is not mapped in {d}"),
             HvError::BadOwner(m) => write!(f, "{m} has an unexpected owner"),
+            HvError::PageBounds { mfn, offset, len } => {
+                write!(f, "access of {len} bytes at offset {offset} crosses the page boundary of {mfn}")
+            }
             HvError::BadGrant(g) => write!(f, "bad grant reference {g}"),
             HvError::GrantDenied(g) => write!(f, "grant {g} denied for this domain"),
             HvError::BadPort(p) => write!(f, "bad event-channel port {p}"),

@@ -20,6 +20,7 @@ pub mod event;
 pub mod grant;
 pub mod memory;
 pub mod notify;
+pub mod p2m;
 pub mod scheduler;
 pub mod vcpu;
 
@@ -42,6 +43,7 @@ use crate::event::{Channel, Port, Virq};
 use crate::grant::GrantRef;
 use crate::memory::{CowResolution, FrameOwner, FrameTable, MemoryStats, PageContent};
 use crate::notify::NotificationRing;
+use crate::p2m::P2m;
 use crate::scheduler::CpuPool;
 use crate::vcpu::Vcpu;
 
@@ -177,7 +179,7 @@ impl Hypervisor {
         self.clock
             .advance(self.costs.mem_alloc_per_page.saturating_mul(p2m_size));
 
-        let p2m: Vec<Option<Mfn>> = self
+        let p2m_slots: Vec<Option<Mfn>> = self
             .frames
             .alloc_many(FrameOwner::Dom(id), p2m_size)?
             .into_iter()
@@ -196,7 +198,7 @@ impl Hypervisor {
             Err(e) => {
                 // Roll back the p2m allocation so a failed creation does
                 // not leak frames.
-                for mfn in p2m.into_iter().flatten() {
+                for mfn in p2m_slots.into_iter().flatten() {
                     let _ = self.frames.free(mfn, FrameOwner::Dom(id));
                 }
                 return Err(e);
@@ -221,7 +223,7 @@ impl Hypervisor {
             parent: None,
             state: DomainState::Created,
             vcpus: (0..vcpus).map(Vcpu::new).collect(),
-            p2m,
+            p2m: P2m::from_vec(p2m_slots),
             aux_frames,
             private_pfns,
             idc_pfns: Default::default(),
@@ -320,14 +322,20 @@ impl Hypervisor {
             .remove(&id.0)
             .ok_or(HvError::NoSuchDomain(id))?;
         let mut freed = 0u64;
+        // An armed checkpoint's dirty_cow journal holds one dom_cow
+        // reference per recorded pre-fault frame (so the reset target
+        // survives until reset); those references die with the domain.
+        if let Some(cp) = &dom.checkpoint {
+            self.release_checkpoint_refs(cp)?;
+        }
         for mfn in dom.p2m.iter().flatten() {
-            match self.frames.inspect(*mfn)?.owner() {
+            match self.frames.inspect(mfn)?.owner() {
                 FrameOwner::Dom(d) if d == id => {
-                    self.frames.free(*mfn, FrameOwner::Dom(id))?;
+                    self.frames.free(mfn, FrameOwner::Dom(id))?;
                     freed += 1;
                 }
                 FrameOwner::Cow => {
-                    self.frames.unshare_drop(*mfn)?;
+                    self.frames.unshare_drop(mfn)?;
                     freed += 1;
                 }
                 // A frame in our p2m owned by someone else is a mapped
@@ -408,28 +416,117 @@ impl Hypervisor {
             .lookup(pfn)
             .ok_or(HvError::NotMapped(dom, pfn))?;
         match self.frames.inspect(mfn)?.owner() {
-            FrameOwner::Dom(d) if d == dom => Ok(mfn),
+            FrameOwner::Dom(d) if d == dom => {
+                self.journal_private_write(dom, pfn, mfn)?;
+                Ok(mfn)
+            }
             // Writable-shared (IDC) pages never fault.
             FrameOwner::Cow if self.frames.inspect(mfn)?.writable() => Ok(mfn),
             FrameOwner::Cow => match self.frames.cow_fault(mfn, dom)? {
                 CowResolution::Copied(copy) => {
                     self.clock.advance(self.costs.cow_fault_copy);
                     self.trace.count("hv.cow_fault.copy", 1);
-                    let d = self.domain_mut(dom)?;
-                    d.p2m[pfn.0 as usize] = Some(copy);
-                    if let Some(cp) = d.checkpoint.as_mut() {
-                        cp.dirty_cow.entry(pfn).or_insert(mfn);
-                    }
+                    self.domain_mut(dom)?.p2m.set(pfn.0 as usize, Some(copy));
+                    self.journal_cow_copy(dom, pfn, mfn)?;
                     Ok(copy)
                 }
                 CowResolution::Transferred => {
                     self.clock.advance(self.costs.cow_fault_transfer);
                     self.trace.count("hv.cow_fault.transfer", 1);
+                    // Only read-only shared pages reach the write-fault
+                    // path (the IDC arm above catches writable ones).
+                    self.journal_transfer_fault(dom, pfn, mfn, false)?;
                     Ok(mfn)
                 }
             },
             _ => Err(HvError::BadOwner(mfn)),
         }
+    }
+
+    /// Journals a COW-copy fault while a checkpoint is armed: records
+    /// the pre-fault shared frame and takes one `dom_cow` reference on
+    /// it so the reset target stays alive even if every other sharer
+    /// vanishes; `clone_reset` hands the reference back to the p2m on
+    /// the re-point.
+    fn journal_cow_copy(&mut self, dom: DomId, pfn: Pfn, orig: Mfn) -> Result<()> {
+        let fresh_entry = match self.domain_mut(dom)?.checkpoint.as_mut() {
+            Some(cp) if !cp.dirty_cow.contains_key(&pfn) => {
+                cp.dirty_cow.insert(pfn, orig);
+                true
+            }
+            _ => false,
+        };
+        if fresh_entry {
+            self.frames.reshare(orig, 1)?;
+        }
+        Ok(())
+    }
+
+    /// Releases the keep-alive references held by a checkpoint's
+    /// dirty_cow journal (on disarm paths that will never reset:
+    /// re-checkpoint, clone of a checkpointed parent, destroy). Pure
+    /// bookkeeping — no virtual time is charged.
+    fn release_checkpoint_refs(&mut self, cp: &domain::Checkpoint) -> Result<()> {
+        for orig in cp.dirty_cow.values() {
+            self.frames.unshare_drop(*orig)?;
+        }
+        Ok(())
+    }
+
+    /// Journals the pre-image of a private page on its first write while
+    /// a checkpoint is armed: this is what keeps `clone_reset` O(dirty)
+    /// instead of snapshotting (and later scanning) every private page.
+    /// Pages already covered by the COW journals are skipped — their
+    /// reset action (re-point or re-share) discards the current frame
+    /// content anyway.
+    fn journal_private_write(&mut self, dom: DomId, pfn: Pfn, mfn: Mfn) -> Result<()> {
+        let needs = match &self.domain(dom)?.checkpoint {
+            Some(cp) => {
+                !cp.dirty_private.contains_key(&pfn)
+                    && !cp.dirty_cow.contains_key(&pfn)
+                    && !cp.dirty_transfer.contains_key(&pfn)
+            }
+            None => false,
+        };
+        if needs {
+            let content = self.frames.inspect(mfn)?.content().clone();
+            let cp = self
+                .domain_mut(dom)?
+                .checkpoint
+                .as_mut()
+                .expect("checkpoint checked above");
+            cp.dirty_private.insert(pfn, content);
+        }
+        Ok(())
+    }
+
+    /// Journals a last-sharer COW fault (ownership transfer) while a
+    /// checkpoint is armed. The transfer leaves the frame's content
+    /// untouched, so capturing it right after the fault still records
+    /// the checkpoint-time image; reset restores the content and shares
+    /// the frame back to `dom_cow` as the single-sharer page it was,
+    /// with its pre-fault writability.
+    fn journal_transfer_fault(
+        &mut self,
+        dom: DomId,
+        pfn: Pfn,
+        mfn: Mfn,
+        was_writable: bool,
+    ) -> Result<()> {
+        let needs = match &self.domain(dom)?.checkpoint {
+            Some(cp) => !cp.dirty_transfer.contains_key(&pfn),
+            None => false,
+        };
+        if needs {
+            let content = self.frames.inspect(mfn)?.content().clone();
+            let cp = self
+                .domain_mut(dom)?
+                .checkpoint
+                .as_mut()
+                .expect("checkpoint checked above");
+            cp.dirty_transfer.insert(pfn, (content, was_writable));
+        }
+        Ok(())
     }
 
     /// Writes guest memory, resolving COW faults like the real fault path.
@@ -495,6 +592,30 @@ impl Hypervisor {
     /// sample this per clone without paying a frame-table scan.
     pub fn memory_stats(&self) -> MemoryStats {
         self.frames.stats()
+    }
+
+    /// Splits the resident cost of every domain's p2m between the
+    /// family templates shared behind `Rc` handles and the private
+    /// storage (sole-owner templates and overlay entries). Pointer
+    /// identity decides sharing, exactly like `Xenstore::sharing`; the
+    /// two fields sum to what per-domain stamped p2m arrays would cost
+    /// in template bytes plus the overlay overhead.
+    pub fn p2m_sharing(&self) -> p2m::P2mSharing {
+        let mut base_uses: HashMap<usize, u32> = HashMap::new();
+        for d in self.domains.values() {
+            *base_uses.entry(d.p2m.base_addr()).or_default() += 1;
+        }
+        let mut s = p2m::P2mSharing::default();
+        for d in self.domains.values() {
+            let base_bytes = d.p2m.base_len() as u64 * p2m::BASE_SLOT_BYTES;
+            if base_uses[&d.p2m.base_addr()] > 1 {
+                s.shared_bytes += base_bytes;
+            } else {
+                s.unique_bytes += base_bytes;
+            }
+            s.unique_bytes += d.p2m.overlay_len() as u64 * p2m::OVERLAY_ENTRY_BYTES;
+        }
+        s
     }
 
     /// Free guest-pool pages.
@@ -707,10 +828,8 @@ impl Hypervisor {
     pub fn snapshot_memory(&self, dom: DomId) -> Result<MemoryImage> {
         let d = self.domain(dom)?;
         let mut pages = Vec::with_capacity(d.p2m.len());
-        for (i, slot) in d.p2m.iter().enumerate() {
-            if let Some(mfn) = slot {
-                pages.push((Pfn(i as u64), self.frames.inspect(*mfn)?.content().clone()));
-            }
+        for (pfn, mfn) in d.p2m.iter_mapped() {
+            pages.push((pfn, self.frames.inspect(mfn)?.content().clone()));
         }
         Ok(MemoryImage {
             pages,

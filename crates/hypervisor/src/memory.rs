@@ -299,7 +299,9 @@ impl FrameTable {
         Ok(mfn)
     }
 
-    /// Allocates `n` frames for `owner`, rolling back on exhaustion.
+    /// Allocates `n` frames for `owner`. All-or-nothing: the free count
+    /// is checked up front, so a failing call allocates nothing (there
+    /// is no partial allocation to roll back).
     pub fn alloc_many(&mut self, owner: FrameOwner, n: u64) -> Result<Vec<Mfn>> {
         if (self.free_list.len() as u64) < n {
             return Err(HvError::OutOfMemory);
@@ -399,14 +401,16 @@ impl FrameTable {
     /// place ([`CowResolution::Transferred`], the path §5.2 describes where
     /// the new owner "may be different from the original owner domain").
     pub fn cow_fault(&mut self, mfn: Mfn, faulter: DomId) -> Result<CowResolution> {
-        let (refcount, content) = {
+        let refcount = {
             let f = self.frame(mfn)?;
             if f.owner != FrameOwner::Cow {
                 return Err(HvError::BadOwner(mfn));
             }
-            (f.refcount, f.content.clone())
+            f.refcount
         };
         if refcount <= 1 {
+            // Last sharer: transfer in place — no content clone; the
+            // frame keeps its bytes and only the metadata changes.
             let f = self.frame_mut(mfn)?;
             f.owner = FrameOwner::Dom(faulter);
             f.refcount = 0;
@@ -414,6 +418,7 @@ impl FrameTable {
             self.account_transition(FrameOwner::Cow, FrameOwner::Dom(faulter));
             Ok(CowResolution::Transferred)
         } else {
+            let content = self.frame(mfn)?.content.clone();
             let copy = self.alloc(FrameOwner::Dom(faulter))?;
             self.frames[copy.0 as usize].content = content;
             let f = self.frame_mut(mfn)?;
@@ -422,8 +427,20 @@ impl FrameTable {
         }
     }
 
-    /// Reads bytes from a frame into `buf`.
+    /// Returns [`HvError::PageBounds`] when an access of `len` bytes at
+    /// `offset` would cross the page boundary.
+    fn check_bounds(mfn: Mfn, offset: usize, len: usize) -> Result<()> {
+        if offset.checked_add(len).map_or(true, |end| end > PAGE_SIZE) {
+            return Err(HvError::PageBounds { mfn, offset, len });
+        }
+        Ok(())
+    }
+
+    /// Reads bytes from a frame into `buf`. Bounds-checked: an access
+    /// crossing the page boundary fails with [`HvError::PageBounds`]
+    /// regardless of the content representation.
     pub fn read(&self, mfn: Mfn, offset: usize, buf: &mut [u8]) -> Result<()> {
+        Self::check_bounds(mfn, offset, buf.len())?;
         let f = self.frame(mfn)?;
         match &f.content {
             PageContent::Zero => buf.fill(0),
@@ -440,13 +457,15 @@ impl FrameTable {
         Ok(())
     }
 
-    /// Writes bytes into a frame. The caller is responsible for COW
-    /// resolution; writing a read-only frame is a logic error.
+    /// Writes bytes into a frame. Bounds-checked like [`FrameTable::read`].
+    /// The caller is responsible for COW resolution; writing a read-only
+    /// frame is a logic error.
     ///
     /// # Panics
     ///
     /// Panics (debug assertion) if the frame is not writable.
     pub fn write(&mut self, mfn: Mfn, offset: usize, data: &[u8]) -> Result<()> {
+        Self::check_bounds(mfn, offset, data.len())?;
         let f = self.frame_mut(mfn)?;
         debug_assert!(f.writable, "write to read-only {mfn}");
         f.content.write(offset, data);
@@ -454,6 +473,8 @@ impl FrameTable {
     }
 
     /// Fills a frame with an 8-byte pattern (cheap whole-page dirty).
+    /// Always a whole-page access, so unlike [`FrameTable::read`] and
+    /// [`FrameTable::write`] there is no offset to bounds-check.
     pub fn fill(&mut self, mfn: Mfn, pattern: u64) -> Result<()> {
         let f = self.frame_mut(mfn)?;
         debug_assert!(f.writable, "fill of read-only {mfn}");
@@ -575,6 +596,57 @@ mod tests {
         assert_eq!(ft.cow_fault(m, D2).unwrap(), CowResolution::Transferred);
         assert_eq!(ft.inspect(m).unwrap().owner(), FrameOwner::Dom(D2));
         assert!(ft.inspect(m).unwrap().writable());
+    }
+
+    #[test]
+    fn cow_transfer_preserves_materialized_bytes() {
+        // Regression: the transfer fast path must not clone (or worse,
+        // rebuild) the page content — a materialized `Bytes` frame keeps
+        // its exact buffer across the ownership flip.
+        let mut ft = FrameTable::new(4);
+        let m = ft.alloc(FrameOwner::Dom(D1)).unwrap();
+        let payload: Vec<u8> = (0..PAGE_SIZE).map(|i| i as u8).collect();
+        ft.write(m, 0, &payload).unwrap();
+        assert!(matches!(ft.inspect(m).unwrap().content(), PageContent::Bytes(_)));
+        ft.share_to_cow(m, D1, 1, false).unwrap();
+
+        assert_eq!(ft.cow_fault(m, D2).unwrap(), CowResolution::Transferred);
+        assert_eq!(ft.inspect(m).unwrap().owner(), FrameOwner::Dom(D2));
+        let mut buf = vec![0u8; PAGE_SIZE];
+        ft.read(m, 0, &mut buf).unwrap();
+        assert_eq!(buf, payload);
+    }
+
+    #[test]
+    fn reads_and_writes_are_bounds_checked_uniformly() {
+        // Every content representation must reject a boundary-crossing
+        // access the same way: Zero and Fill used to silently wrap while
+        // Bytes panicked on the slice.
+        let mut ft = FrameTable::new(4);
+        let m = ft.alloc(FrameOwner::Dom(D1)).unwrap();
+        let bounds = |offset, len| HvError::PageBounds { mfn: m, offset, len };
+        let mut buf = [0u8; 16];
+
+        for make in [
+            |ft: &mut FrameTable, m| ft.set_content(m, PageContent::Zero).unwrap(),
+            |ft: &mut FrameTable, m| ft.fill(m, 0xAB).unwrap(),
+            |ft: &mut FrameTable, m| ft.write(m, 0, &[1]).unwrap(),
+        ] {
+            make(&mut ft, m);
+            assert_eq!(ft.read(m, PAGE_SIZE - 8, &mut buf), Err(bounds(PAGE_SIZE - 8, 16)));
+            assert_eq!(ft.read(m, PAGE_SIZE, &mut buf[..1]), Err(bounds(PAGE_SIZE, 1)));
+            assert_eq!(ft.write(m, PAGE_SIZE - 1, &[9, 9]), Err(bounds(PAGE_SIZE - 1, 2)));
+            // The last in-bounds slice still works.
+            ft.write(m, PAGE_SIZE - 2, &[3, 4]).unwrap();
+            ft.read(m, PAGE_SIZE - 2, &mut buf[..2]).unwrap();
+            assert_eq!(&buf[..2], &[3, 4]);
+        }
+
+        // Offsets so large that `offset + len` overflows must not wrap.
+        assert_eq!(
+            ft.read(m, usize::MAX, &mut buf[..1]),
+            Err(bounds(usize::MAX, 1))
+        );
     }
 
     #[test]

@@ -175,7 +175,7 @@ fn refcounts_and_no_leaks() {
         let mut mappers: HashMap<u64, u32> = HashMap::new();
         for d in &doms {
             for mfn in hv.domain(*d).unwrap().p2m.iter().flatten() {
-                if hv.frames().inspect(*mfn).unwrap().owner() == FrameOwner::Cow {
+                if hv.frames().inspect(mfn).unwrap().owner() == FrameOwner::Cow {
                     *mappers.entry(mfn.0).or_default() += 1;
                 }
             }

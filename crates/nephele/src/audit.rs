@@ -28,19 +28,28 @@
 //! 8. **Xenstore tree vs registered devices.** Every running domain has
 //!    its `/local/domain/<id>` home, and every vif the device manager
 //!    knows about has both its frontend and backend directories.
+//! 9. **P2m overlays vs the family template.** Each domain's overlay must
+//!    be canonical (no entry storing the same value as the shared base
+//!    slot), in-range, and every mapped overlay slot must point at a
+//!    frame the domain can legitimately reference (its own or `dom_cow`).
+//! 10. **Checkpoint journals vs the p2m.** An armed KFX checkpoint's
+//!     dirty_cow journal must name live COW frames matching the
+//!     checkpoint-time layout, and every slot where the current overlay
+//!     diverges from the checkpoint snapshot must be journaled — a
+//!     divergence the journal misses is state `clone_reset` would leak.
 //!
 //! The checks are read-only and O(total frames + domains + devices); they
 //! run on demand, after every clone/destroy in debug builds, and after
 //! every lifecycle operation under `NEPHELE_AUDIT=every-op`.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use hypervisor::domain::DomainState;
 use hypervisor::event::Channel;
 use hypervisor::grant::GrantEntry;
 use hypervisor::memory::FrameOwner;
-use sim_core::DomId;
+use sim_core::{DomId, Mfn, Pfn};
 
 use crate::platform::Platform;
 
@@ -102,6 +111,8 @@ struct BackRefs {
     p2m: u32,
     /// Aux-frame list entries pointing at the frame.
     aux: u32,
+    /// Keep-alive references held by checkpoint dirty_cow journals.
+    journal: u32,
     /// The first domain seen referencing the frame.
     first_dom: u32,
 }
@@ -111,6 +122,14 @@ struct BackRefs {
 /// second stage; `Created`/`Dying` domains are mid-transition).
 fn fully_set_up(state: DomainState) -> bool {
     matches!(state, DomainState::Running | DomainState::Paused | DomainState::PausedForClone)
+}
+
+/// Render a p2m slot value for violation messages.
+fn slot(v: Option<Mfn>) -> String {
+    match v {
+        Some(m) => m.to_string(),
+        None => "unmapped".to_string(),
+    }
 }
 
 pub(crate) fn run(p: &Platform) -> AuditReport {
@@ -134,6 +153,15 @@ pub(crate) fn run(p: &Platform) -> AuditReport {
             }
             r.aux += 1;
         }
+        // An armed checkpoint's dirty_cow journal holds one keep-alive
+        // reference per journaled original (released on reset, re-
+        // checkpoint, clone and destroy), so those count toward the COW
+        // refcount like p2m slots do.
+        if let Some(cp) = &d.checkpoint {
+            for orig in cp.dirty_cow.values() {
+                refs.entry(orig.0).or_default().journal += 1;
+            }
+        }
     }
 
     // 1. Per-frame metadata vs back-references.
@@ -143,13 +171,15 @@ pub(crate) fn run(p: &Platform) -> AuditReport {
         let total = r.p2m + r.aux;
         match frame.owner() {
             FrameOwner::Free => {
-                if total != 0 || frame.refcount() != 0 {
+                if total != 0 || r.journal != 0 || frame.refcount() != 0 {
                     report.violations.push(AuditViolation {
                         invariant: "frame-refcount",
                         detail: format!(
-                            "free {mfn} still referenced ({} p2m, {} aux refs, refcount {})",
+                            "free {mfn} still referenced ({} p2m, {} aux, {} journal refs, \
+                             refcount {})",
                             r.p2m,
                             r.aux,
+                            r.journal,
                             frame.refcount()
                         ),
                     });
@@ -198,13 +228,14 @@ pub(crate) fn run(p: &Platform) -> AuditReport {
                         detail: format!("cow {mfn} referenced by {} aux-frame entries", r.aux),
                     });
                 }
-                if frame.refcount() != r.p2m {
+                if frame.refcount() != r.p2m + r.journal {
                     report.violations.push(AuditViolation {
                         invariant: "frame-refcount",
                         detail: format!(
-                            "cow {mfn} refcount {} but {} p2m references",
+                            "cow {mfn} refcount {} but {} p2m + {} journal references",
                             frame.refcount(),
-                            r.p2m
+                            r.p2m,
+                            r.journal
                         ),
                     });
                 }
@@ -257,6 +288,141 @@ pub(crate) fn run(p: &Platform) -> AuditReport {
                     report.violations.push(AuditViolation {
                         invariant: "channel-liveness",
                         detail: format!("{} port {port} connected to dead {remote_dom}", d.id),
+                    });
+                }
+            }
+        }
+
+        // 9. P2m overlay vs the family template: canonical, in-range,
+        // and every mapped divergence names a frame this domain can
+        // legitimately reference.
+        for (idx, val) in d.p2m.overlay_entries() {
+            report.checks += 1;
+            if idx >= d.p2m.len() as u64 {
+                report.violations.push(AuditViolation {
+                    invariant: "p2m-overlay",
+                    detail: format!(
+                        "{} overlay slot {idx} is past the p2m length {}",
+                        d.id,
+                        d.p2m.len()
+                    ),
+                });
+                continue;
+            }
+            if val == d.p2m.base_get(idx as usize) {
+                report.violations.push(AuditViolation {
+                    invariant: "p2m-overlay",
+                    detail: format!(
+                        "{} overlay slot {idx} redundantly stores the template value {} \
+                         (non-canonical overlay)",
+                        d.id,
+                        slot(val)
+                    ),
+                });
+            }
+            if let Some(mfn) = val {
+                let owner = if mfn.0 < total_frames {
+                    hv.frames().inspect(mfn).ok().map(|f| f.owner())
+                } else {
+                    None
+                };
+                let legitimate = matches!(owner, Some(FrameOwner::Cow))
+                    || owner == Some(FrameOwner::Dom(d.id));
+                if !legitimate {
+                    report.violations.push(AuditViolation {
+                        invariant: "p2m-overlay",
+                        detail: format!(
+                            "{} overlay slot {idx} maps {mfn}, which is not a cow frame \
+                             or one of the domain's own ({owner:?})",
+                            d.id
+                        ),
+                    });
+                }
+            }
+        }
+
+        // 10. Armed checkpoint journals vs the live p2m.
+        if let Some(cp) = &d.checkpoint {
+            for (pfn, orig) in &cp.dirty_cow {
+                report.checks += 1;
+                // The journaled original must still be a live COW frame
+                // (its keep-alive reference guarantees it) and must be
+                // what the checkpoint-time layout mapped at this slot.
+                let still_cow = orig.0 < total_frames
+                    && matches!(
+                        hv.frames().inspect(*orig).map(|f| f.owner()),
+                        Ok(FrameOwner::Cow)
+                    );
+                if !still_cow {
+                    report.violations.push(AuditViolation {
+                        invariant: "checkpoint",
+                        detail: format!(
+                            "{} dirty_cow journal for {pfn} names {orig}, which is no \
+                             longer a live cow frame",
+                            d.id
+                        ),
+                    });
+                }
+                let cp_view = cp
+                    .overlay
+                    .get(&pfn.0)
+                    .copied()
+                    .unwrap_or_else(|| d.p2m.base_get(pfn.0 as usize));
+                if cp_view != Some(*orig) {
+                    report.violations.push(AuditViolation {
+                        invariant: "checkpoint",
+                        detail: format!(
+                            "{} dirty_cow journal for {pfn} names {orig} but the \
+                             checkpoint layout mapped {}",
+                            d.id,
+                            slot(cp_view)
+                        ),
+                    });
+                }
+            }
+            // Journaled pre-images only make sense for pages the domain
+            // owns outright: private writes and last-sharer transfers
+            // both leave the slot dom-owned until reset or release.
+            for pfn in cp.dirty_transfer.keys().chain(cp.dirty_private.keys()) {
+                report.checks += 1;
+                let owner = d
+                    .lookup(*pfn)
+                    .and_then(|m| hv.frames().inspect(m).ok().map(|f| f.owner()));
+                if owner != Some(FrameOwner::Dom(d.id)) {
+                    report.violations.push(AuditViolation {
+                        invariant: "checkpoint",
+                        detail: format!(
+                            "{} journaled a pre-image for {pfn} but the slot is not \
+                             backed by a domain-owned frame ({owner:?})",
+                            d.id
+                        ),
+                    });
+                }
+            }
+            // Journal completeness: every slot where the live overlay
+            // diverges from the checkpoint snapshot must be a journaled
+            // COW fault — a divergence the journal misses is state a
+            // reset would leak.
+            let mut idxs: BTreeSet<u64> = d.p2m.overlay_entries().map(|(i, _)| i).collect();
+            idxs.extend(cp.overlay.keys().copied());
+            for idx in idxs {
+                report.checks += 1;
+                let now = d.p2m.get(idx as usize);
+                let then = cp
+                    .overlay
+                    .get(&idx)
+                    .copied()
+                    .unwrap_or_else(|| d.p2m.base_get(idx as usize));
+                if now != then && !cp.dirty_cow.contains_key(&Pfn(idx)) {
+                    report.violations.push(AuditViolation {
+                        invariant: "checkpoint",
+                        detail: format!(
+                            "{} p2m slot {idx} diverged from its checkpoint ({} -> {}) \
+                             without a dirty_cow journal entry",
+                            d.id,
+                            slot(then),
+                            slot(now)
+                        ),
                     });
                 }
             }

@@ -360,6 +360,15 @@ pub struct PlatformSnapshot {
     /// always sum to [`Xenstore::resident_bytes`], which stays the
     /// logical (sharing-agnostic) figure Fig. 5 plots.
     pub xs_unique_entry_bytes: u64,
+    /// P2m resident bytes attributable to family base templates shared
+    /// between clones (counted at every point of use, like the Xenstore
+    /// split). Grows with fan-out: N clones of one parent reference one
+    /// template N+1 times.
+    pub p2m_shared_bytes: u64,
+    /// P2m resident bytes private to a single domain: sole-owner
+    /// templates plus every overlay entry. Grows as clones diverge
+    /// through COW faults.
+    pub p2m_unique_bytes: u64,
 }
 
 struct GuestSlot {
@@ -1100,6 +1109,7 @@ impl Platform {
     pub fn snapshot(&self) -> PlatformSnapshot {
         let mem = self.hv.memory_stats();
         let xs_sharing = self.xs.sharing();
+        let p2m_sharing = self.hv.p2m_sharing();
         PlatformSnapshot {
             hyp_free_bytes: mem.free * sim_core::PAGE_SIZE as u64,
             dom0_free_bytes: self.dom0.free_bytes(&self.xs, &self.dm, &self.xl),
@@ -1111,6 +1121,8 @@ impl Platform {
             clones_completed: self.daemon.clones_completed(),
             xs_shared_entry_bytes: xs_sharing.shared_entry_bytes,
             xs_unique_entry_bytes: xs_sharing.unique_entry_bytes,
+            p2m_shared_bytes: p2m_sharing.shared_bytes,
+            p2m_unique_bytes: p2m_sharing.unique_bytes,
         }
     }
 
@@ -1453,5 +1465,51 @@ mod tests {
             p.xs.resident_bytes()
         );
         p.xs.audit_tree().unwrap();
+    }
+
+    #[test]
+    fn snapshot_tracks_p2m_template_sharing_through_divergence() {
+        use hypervisor::p2m::{BASE_SLOT_BYTES, OVERLAY_ENTRY_BYTES};
+
+        let mut p = plat();
+        let dom = p
+            .launch_plain(
+                &udp_cfg("p2mshare", Ipv4Addr::new(10, 0, 0, 11)),
+                &KernelImage::minios("p2mshare"),
+            )
+            .unwrap();
+        let before = p.snapshot();
+        assert_eq!(
+            before.p2m_shared_bytes, 0,
+            "every template has a sole owner before cloning"
+        );
+        assert!(before.p2m_unique_bytes > 0, "templates always cost something");
+
+        let kids = p.clone_domain(dom, 2).unwrap();
+        let tmpl_bytes = p.hv.domain(dom).unwrap().p2m.base_len() as u64 * BASE_SLOT_BYTES;
+        let cloned = p.snapshot();
+        // The parent and both clones reference one template; the shared
+        // column counts it at every point of use.
+        assert_eq!(
+            cloned.p2m_shared_bytes,
+            3 * tmpl_bytes,
+            "one family template, three referencing domains"
+        );
+        // Diverge one clone: a COW fault re-points a slot through the
+        // overlay, growing the private column by exactly one entry while
+        // the template stays shared.
+        p.hv.write_page(kids[0], sim_core::Pfn(3), 0, &[7]).unwrap();
+        let diverged = p.snapshot();
+        assert_eq!(diverged.p2m_shared_bytes, cloned.p2m_shared_bytes);
+        assert_eq!(
+            diverged.p2m_unique_bytes,
+            cloned.p2m_unique_bytes + OVERLAY_ENTRY_BYTES,
+            "a fault costs one overlay entry"
+        );
+        // When the family dies the template has a sole owner again.
+        for k in kids {
+            p.destroy(k).unwrap();
+        }
+        assert_eq!(p.snapshot().p2m_shared_bytes, 0, "sole ownership after the family dies");
     }
 }

@@ -30,6 +30,30 @@ cargo bench --no-run --offline
 echo "== cargo bench -p bench --bench clone_fanout --offline (batched vs sequential fan-out)"
 cargo bench -p bench --bench clone_fanout --offline
 
+echo "== cargo bench -p bench --bench clone_reset --offline (O(dirty) checkpoint restore)"
+cargo bench -p bench --bench clone_reset --offline
+
+echo "== clone_reset speedup gate (>= 5x vs the seeded pre-overlay baseline)"
+# The general bench gate only catches regressions; this one asserts the
+# tentpole win itself: restoring 16 dirty pages in a 4096-page clone
+# must beat the stamped-p2m baseline (which walked all of them) by 5x.
+reset_median() {
+    sed -n 's/.*"group": "clone_reset", "name": "dirty16_reset_4k".*"median_ns": \([0-9.eE+-]*\),.*/\1/p' "$1"
+}
+awk -v base="$(reset_median scripts/bench_baselines/BENCH_clone_reset.json)" \
+    -v cur="$(reset_median results/BENCH_clone_reset.json)" 'BEGIN {
+    if (base + 0 <= 0 || cur + 0 <= 0) {
+        print "verify.sh: missing clone_reset medians (base=" base ", cur=" cur ")"
+        exit 1
+    }
+    ratio = base / cur
+    printf "   clone_reset median %.0f ns vs baseline %.0f ns (%.1fx)\n", cur, base, ratio
+    if (ratio < 5.0) {
+        print "verify.sh: clone_reset speedup " ratio "x is below the 5x gate"
+        exit 1
+    }
+}'
+
 echo "== cargo check with deprecated APIs denied (no internal callers of deprecated getters)"
 RUSTFLAGS="-D deprecated" cargo check -q --workspace --offline
 
@@ -42,11 +66,12 @@ if scripts/bench_gate.sh scripts/fixtures/regressed >/dev/null 2>&1; then
     exit 1
 fi
 
-echo "== figure determinism gate (fig4/fig5/fig7 CSVs must be byte-identical)"
-# The COW Xenstore must not perturb any virtual-time figure: re-run the
-# key figures with the committed seeds and diff stdout against the
-# checked-in CSVs. fig4/fig7 embed span aggregates, so they reproduce
-# only with tracing enabled; fig5 runs without it.
+echo "== figure determinism gate (fig4/fig5/fig7/fig9 CSVs must be byte-identical)"
+# Neither the COW Xenstore nor the p2m overlay rework may perturb any
+# virtual-time figure: re-run the key figures with the committed seeds
+# and diff stdout against the checked-in CSVs. fig4/fig7 embed span
+# aggregates, so they reproduce only with tracing enabled; fig5/fig9
+# run without it.
 detgate() {
     local fig="$1" trace="$2" out
     out="$(mktemp)"
@@ -67,6 +92,7 @@ detgate() {
 detgate fig4 trace
 detgate fig5 notrace
 detgate fig7 trace
+detgate fig9 notrace
 
 echo "== cargo doc --no-deps --offline (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace --quiet

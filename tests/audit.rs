@@ -6,8 +6,9 @@
 use std::net::Ipv4Addr;
 use std::path::Path;
 
+use nephele::hypervisor::cloneop::CloneOp;
 use nephele::hypervisor::memory::FrameOwner;
-use nephele::sim_core::Pfn;
+use nephele::sim_core::{DomId, Pfn};
 use nephele::toolstack::{DomainConfig, KernelImage};
 use nephele::{AuditMode, Platform, PlatformConfig};
 use testkit::prop::{check, ranges, vecs, Gen};
@@ -198,6 +199,79 @@ fn audit_hook_panics_on_corruption_at_next_op() {
         .unwrap_or_else(|| "non-string panic".into());
     assert!(msg.contains("audit failed"), "panic message: {msg}");
     assert!(msg.contains("frame-refcount"), "panic names the invariant: {msg}");
+}
+
+/// An armed KFX checkpoint with live COW-fault journals must audit
+/// clean at every stage: the journal holds one keep-alive reference per
+/// journaled original, and the refcount cross-check has to account for
+/// it (a pure p2m back-reference count would flag every checkpointed
+/// domain that faulted a page).
+#[test]
+fn armed_checkpoints_with_faults_audit_clean() {
+    let mut p = audited_platform("target/test-flightrec");
+    let img = KernelImage::minios("kfx");
+    let parent = p.launch_plain(&guest_cfg("kfx"), &img).expect("boot");
+    let child = p.clone_domain(parent, 1).expect("clone")[0];
+
+    p.hv.cloneop(DomId::DOM0, CloneOp::Checkpoint { dom: child })
+        .expect("checkpoint");
+    assert!(p.audit().is_clean(), "armed, no faults yet");
+
+    // COW-fault a few shared pages inside the window: each fault moves a
+    // p2m reference off the original and journals a keep-alive one.
+    for pfn in [3u64, 17, 42] {
+        p.hv.write_page(child, Pfn(pfn), 0, &[0xAB]).expect("dirty write");
+    }
+    let mid = p.audit();
+    assert!(mid.is_clean(), "mid-window with journaled faults:\n{mid}");
+
+    // Reset drains the journal and turns its references back into p2m
+    // references; destroy releases whatever the re-armed journal holds.
+    p.hv.cloneop(DomId::DOM0, CloneOp::CloneReset { dom: child })
+        .expect("reset");
+    assert!(p.audit().is_clean(), "post-reset");
+    p.hv.write_page(child, Pfn(3), 0, &[0xCD]).expect("re-dirty");
+    p.destroy(child).expect("destroy mid-window");
+    assert!(p.audit().is_clean(), "post-destroy");
+}
+
+/// A deliberately de-canonicalized p2m overlay (an entry redundantly
+/// storing the template's value) is invisible to the merged view and to
+/// every refcount, so only the overlay invariant can catch it — and the
+/// report must name the frame involved.
+#[test]
+fn corrupted_overlay_is_detected_and_named() {
+    let mut p = audited_platform("target/test-flightrec");
+    let img = KernelImage::minios("overlay");
+    let parent = p.launch_plain(&guest_cfg("overlay"), &img).expect("boot");
+    p.clone_domain(parent, 1).expect("clone");
+    assert!(p.audit().is_clean(), "pre-corruption state must be clean");
+
+    // Shadow a template slot with its own value: logically a no-op, but
+    // it breaks the canonical-form invariant the O(dirty) reset relies
+    // on (redundant entries would make overlay comparisons lie about
+    // divergence).
+    let base_val = p.hv.domain(parent).expect("parent").p2m.base_get(7);
+    let victim = base_val.expect("pfn 7 is part of the launch mapping");
+    p.hv.domain_mut(parent)
+        .expect("parent")
+        .p2m
+        .corrupt_overlay_for_test(7, base_val);
+
+    let report = p.audit();
+    assert!(!report.is_clean(), "corruption must fail the audit");
+    let v = &report.violations[0];
+    assert_eq!(v.invariant, "p2m-overlay");
+    assert!(
+        v.detail.contains(&victim.to_string()),
+        "violation must name the shadowed frame {victim}: {}",
+        v.detail
+    );
+
+    // Re-setting the slot through the canonical API removes the
+    // redundant entry again.
+    p.hv.domain_mut(parent).expect("parent").p2m.set(7, base_val);
+    assert!(p.audit().is_clean());
 }
 
 /// Dom0 alone (a freshly booted platform) audits clean, and the report's

@@ -1,0 +1,274 @@
+//! Property suite for the clone-family forest: random tapes of
+//! clone/write/privatize/checkpoint/reset/destroy ops are replayed
+//! against a naive deep-copy reference model, and the platform must
+//! match it observably (page contents and vCPU state) after every
+//! single op, with a clean `Platform::audit()` throughout.
+//!
+//! The reference model is deliberately dumb: a checkpoint is a full
+//! deep copy of every mapped page, a reset restores it wholesale. The
+//! hypervisor's O(1) structural checkpoint and O(dirty) journaled
+//! reset must be indistinguishable from that.
+
+use std::collections::BTreeMap;
+
+use nephele::hypervisor::cloneop::CloneOp;
+use nephele::hypervisor::error::HvError;
+use nephele::hypervisor::vcpu::Vcpu;
+use nephele::sim_core::{DomId, Pfn, PAGE_SIZE};
+use nephele::toolstack::{DomainConfig, KernelImage};
+use nephele::{AuditMode, Platform, PlatformConfig};
+use testkit::prop::{check, ranges, vecs, Gen};
+
+/// One step of a random clone-family tape. Domain indices select from
+/// the currently live domains modulo the list length.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write one byte at (pfn, offset) of domain `idx`.
+    Write { idx: u64, pfn: u64, off: usize, val: u8 },
+    /// Privatize a few pages of domain `idx` (COW break for breakpoints).
+    CloneCow { idx: u64, pfn: u64 },
+    /// Arm (or re-arm) the KFX checkpoint of domain `idx`.
+    Checkpoint { idx: u64 },
+    /// Restore domain `idx` to its checkpoint.
+    Reset { idx: u64 },
+    /// Dirty vCPU state of domain `idx`.
+    VcpuDirty { idx: u64, val: u64 },
+    /// Clone domain `idx`.
+    Clone { idx: u64 },
+    /// Destroy domain `idx`.
+    Destroy { idx: u64 },
+}
+
+fn ops_gen() -> impl Gen<Value = Vec<Op>> {
+    vecs(
+        (ranges(0u64..9), ranges(0u64..8), ranges(0u64..1060), ranges(0u64..65536)).map(
+            |(kind, idx, pfn, val)| match kind {
+                // Writes dominate the tape: they are what fills the
+                // dirty journals a reset has to undo.
+                0 | 1 | 2 => Op::Write {
+                    idx,
+                    pfn,
+                    off: (val as usize).wrapping_mul(61) % PAGE_SIZE,
+                    val: val as u8,
+                },
+                3 => Op::CloneCow { idx, pfn },
+                4 => Op::Checkpoint { idx },
+                5 | 6 => Op::Reset { idx },
+                7 => Op::Clone { idx },
+                _ => {
+                    if val % 2 == 0 {
+                        Op::VcpuDirty { idx, val }
+                    } else {
+                        Op::Destroy { idx }
+                    }
+                }
+            },
+        ),
+        1..22,
+    )
+}
+
+/// The deep-copy reference image of one domain.
+struct RefDom {
+    /// Full content of every mapped guest page.
+    pages: BTreeMap<u64, Vec<u8>>,
+    /// Architectural vCPU state.
+    vcpus: Vec<Vcpu>,
+    /// The naive checkpoint: a wholesale copy of pages and vCPUs.
+    checkpoint: Option<(BTreeMap<u64, Vec<u8>>, Vec<Vcpu>)>,
+}
+
+fn guest_cfg(name: &str) -> DomainConfig {
+    DomainConfig::builder(name).memory_mib(4).max_clones(64).build()
+}
+
+/// Reads every mapped page of `dom` into a reference image (used to
+/// seed the model from actual post-launch / post-clone state, so the
+/// model never has to re-implement boot or private-page policies).
+fn read_all(p: &mut Platform, dom: DomId) -> BTreeMap<u64, Vec<u8>> {
+    let pfns: Vec<u64> = p
+        .hv
+        .domain(dom)
+        .expect("live domain")
+        .p2m
+        .iter_mapped()
+        .map(|(pfn, _)| pfn.0)
+        .collect();
+    pfns.into_iter()
+        .map(|pfn| {
+            let mut buf = vec![0u8; PAGE_SIZE];
+            p.hv.read_page(dom, Pfn(pfn), 0, &mut buf).expect("mapped page");
+            (pfn, buf)
+        })
+        .collect()
+}
+
+fn vcpus_of(p: &Platform, dom: DomId) -> Vec<Vcpu> {
+    p.hv.domain(dom).expect("live domain").vcpus.clone()
+}
+
+/// Compares the platform against the model. `full` compares every byte
+/// of every tracked page; the cheap variant compares a prefix of each
+/// page (enough to catch shared-frame corruption promptly — the full
+/// pass after every reset and at tape end catches the rest).
+fn assert_equiv(p: &mut Platform, model: &BTreeMap<u32, RefDom>, full: bool, ctx: &str) {
+    for (id, rd) in model {
+        let dom = DomId(*id);
+        let live = format!("{:?}", vcpus_of(p, dom));
+        let modeled = format!("{:?}", rd.vcpus);
+        assert_eq!(live, modeled, "dom{id} vcpus diverge {ctx}");
+        let probe = if full { PAGE_SIZE } else { 64 };
+        let mut buf = vec![0u8; probe];
+        for (pfn, bytes) in &rd.pages {
+            p.hv.read_page(dom, Pfn(*pfn), 0, &mut buf)
+                .unwrap_or_else(|e| panic!("dom{id} pfn{pfn} unreadable {ctx}: {e}"));
+            assert_eq!(
+                &buf[..],
+                &bytes[..probe],
+                "dom{id} pfn{pfn} content diverges from the reference model {ctx}"
+            );
+        }
+    }
+    let report = p.audit();
+    assert!(report.is_clean(), "audit {ctx}:\n{report}");
+}
+
+/// The hypervisor's structural checkpoint/reset must be observably
+/// identical to a naive deep-copy reference model over arbitrary tapes,
+/// with every intermediate state audit-clean (refcounts, overlay
+/// canonical form, journal completeness — invariants 1, 9 and 10).
+#[test]
+fn reset_matches_deep_copy_reference_model() {
+    let img = KernelImage::minios("resetprop");
+    check(24, |g| {
+        let ops = g.draw(&ops_gen());
+
+        let mut p = Platform::new(
+            PlatformConfig::builder()
+                .guest_pool_mib(64)
+                .audit(AuditMode::Off)
+                .flightrec_dir("target/test-prop-reset")
+                .build(),
+        );
+        let root = p.launch_plain(&guest_cfg("resetprop"), &img).expect("root boot");
+        let mut live = vec![root];
+        let mut model: BTreeMap<u32, RefDom> = BTreeMap::new();
+        model.insert(
+            root.0,
+            RefDom {
+                pages: read_all(&mut p, root),
+                vcpus: vcpus_of(&p, root),
+                checkpoint: None,
+            },
+        );
+
+        for (step, op) in ops.iter().enumerate() {
+            let ctx = format!("(step {step}: {op:?})");
+            let mut full_compare = false;
+            match op {
+                Op::Write { idx, pfn, off, val } => {
+                    let dom = live[(*idx as usize) % live.len()];
+                    match p.hv.write_page(dom, Pfn(*pfn), *off, &[*val]) {
+                        Ok(()) => {
+                            let page = model
+                                .get_mut(&dom.0)
+                                .unwrap()
+                                .pages
+                                .get_mut(pfn)
+                                .expect("write succeeded, so the model tracks the page");
+                            page[*off] = *val;
+                        }
+                        Err(HvError::NotMapped(..)) => {}
+                        Err(e) => panic!("unexpected write error {ctx}: {e}"),
+                    }
+                }
+                Op::CloneCow { idx, pfn } => {
+                    let dom = live[(*idx as usize) % live.len()];
+                    let pfns: Vec<Pfn> =
+                        (*pfn..pfn + 3).map(Pfn).collect();
+                    // Privatization is content-preserving: whether it
+                    // succeeds or fails mid-batch, the model is
+                    // unchanged (only ownership moves).
+                    let _ = p.hv.cloneop(DomId::DOM0, CloneOp::CloneCow { dom, pfns });
+                }
+                Op::Checkpoint { idx } => {
+                    let dom = live[(*idx as usize) % live.len()];
+                    p.hv.cloneop(DomId::DOM0, CloneOp::Checkpoint { dom })
+                        .expect("checkpoint");
+                    let rd = model.get_mut(&dom.0).unwrap();
+                    rd.checkpoint = Some((rd.pages.clone(), rd.vcpus.clone()));
+                }
+                Op::Reset { idx } => {
+                    let dom = live[(*idx as usize) % live.len()];
+                    let rd = model.get_mut(&dom.0).unwrap();
+                    let r = p.hv.cloneop(DomId::DOM0, CloneOp::CloneReset { dom });
+                    match &rd.checkpoint {
+                        Some((pages, vcpus)) => {
+                            r.expect("reset with an armed checkpoint");
+                            rd.pages = pages.clone();
+                            rd.vcpus = vcpus.clone();
+                            full_compare = true;
+                        }
+                        None => {
+                            assert!(
+                                r.is_err(),
+                                "reset without a checkpoint must fail {ctx}"
+                            );
+                        }
+                    }
+                }
+                Op::VcpuDirty { idx, val } => {
+                    let dom = live[(*idx as usize) % live.len()];
+                    p.hv.domain_mut(dom).expect("live").vcpus[0].regs.rip = *val;
+                    model.get_mut(&dom.0).unwrap().vcpus[0].regs.rip = *val;
+                }
+                Op::Clone { idx } => {
+                    if live.len() >= 7 {
+                        continue;
+                    }
+                    let parent = live[(*idx as usize) % live.len()];
+                    let kids = p.clone_domain(parent, 1).expect("clone");
+                    // Cloning COW-shares the parent's pages, so the
+                    // parent's checkpoint journals no longer describe
+                    // restorable private state: the hypervisor disarms
+                    // it, and so does the reference. The hypercall also
+                    // returns fork-style: rax = 0 in the parent.
+                    let parent_ref = model.get_mut(&parent.0).unwrap();
+                    parent_ref.checkpoint = None;
+                    if let Some(v) = parent_ref.vcpus.get_mut(0) {
+                        v.regs.rax = 0;
+                    }
+                    for kid in kids {
+                        // Seed the child from its actual birth state
+                        // (inheritance itself is covered by the COW
+                        // property suite in the hypervisor crate).
+                        model.insert(
+                            kid.0,
+                            RefDom {
+                                pages: read_all(&mut p, kid),
+                                vcpus: vcpus_of(&p, kid),
+                                checkpoint: None,
+                            },
+                        );
+                        live.push(kid);
+                    }
+                    full_compare = true;
+                }
+                Op::Destroy { idx } => {
+                    if live.len() <= 1 {
+                        continue;
+                    }
+                    let pos = (*idx as usize) % live.len();
+                    if live[pos] == root {
+                        continue;
+                    }
+                    let dom = live.remove(pos);
+                    p.destroy(dom).expect("destroy live domain");
+                    model.remove(&dom.0);
+                }
+            }
+            assert_equiv(&mut p, &model, full_compare, &ctx);
+        }
+        assert_equiv(&mut p, &model, true, "(end of tape)");
+    });
+}
