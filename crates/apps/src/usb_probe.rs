@@ -1,0 +1,84 @@
+//! A USB probe: exercises an exclusively passed-through device.
+//!
+//! The workload for detach-on-clone semantics: the parent submits URBs to
+//! its device, forks, and the clone — which deliberately comes up without
+//! the exclusive device — observes its submissions fail and records that
+//! it is running detached.
+
+use guest::{ForkOutcome, GuestApp, GuestEnv};
+
+/// The USB probe workload.
+#[derive(Debug, Clone)]
+pub struct UsbProbeApp {
+    /// URBs to submit at boot and after each fork.
+    pub burst: u32,
+    /// URBs that completed in this instance.
+    pub completed: u64,
+    /// URBs that failed (device absent — expected in clones).
+    pub failed: u64,
+    /// Whether this instance is a clone.
+    pub is_clone: bool,
+}
+
+impl UsbProbeApp {
+    /// Creates the workload submitting `burst` URBs per round.
+    pub fn new(burst: u32) -> Self {
+        UsbProbeApp {
+            burst,
+            completed: 0,
+            failed: 0,
+            is_clone: false,
+        }
+    }
+
+    fn probe(&mut self, env: &mut GuestEnv) {
+        for _ in 0..self.burst {
+            if env.usb_submit(0) {
+                self.completed += 1;
+            } else {
+                self.failed += 1;
+            }
+        }
+    }
+}
+
+impl GuestApp for UsbProbeApp {
+    fn boxed_clone(&self) -> Box<dyn GuestApp> {
+        Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_boot(&mut self, env: &mut GuestEnv) {
+        self.probe(env);
+        env.console_log("usb-probe up\n");
+    }
+
+    fn on_fork(&mut self, env: &mut GuestEnv, outcome: ForkOutcome) {
+        match outcome {
+            ForkOutcome::Parent { .. } => self.probe(env),
+            ForkOutcome::Child { .. } => {
+                self.is_clone = true;
+                self.completed = 0;
+                self.failed = 0;
+                self.probe(env);
+                env.console_log("usb-probe clone detached\n");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_clean() {
+        let a = UsbProbeApp::new(4);
+        assert_eq!(a.burst, 4);
+        assert_eq!(a.completed + a.failed, 0);
+        assert!(!a.is_clone);
+    }
+}

@@ -1,0 +1,82 @@
+//! A vsock RPC client: each instance announces itself to a Dom0 service.
+//!
+//! The workload for the vsock device's reconnect-on-clone semantics: the
+//! parent sends a hello on its stream, forks, and every clone sends its
+//! own hello on its *own* reconnected stream — none of the parent's
+//! buffered messages leak into the child's connection.
+
+use guest::{ForkOutcome, GuestApp, GuestEnv};
+
+/// The hello payload an instance sends on (re)connect.
+pub fn hello_payload(domid: u32, is_clone: bool) -> Vec<u8> {
+    format!("hello from dom{domid} clone={is_clone}").into_bytes()
+}
+
+/// The vsock RPC workload.
+#[derive(Debug, Clone)]
+pub struct VsockRpcApp {
+    /// Messages this instance successfully sent.
+    pub sent: u64,
+    /// Whether this instance is a clone.
+    pub is_clone: bool,
+}
+
+impl VsockRpcApp {
+    /// Creates the workload.
+    pub fn new() -> Self {
+        VsockRpcApp {
+            sent: 0,
+            is_clone: false,
+        }
+    }
+}
+
+impl Default for VsockRpcApp {
+    fn default() -> Self {
+        VsockRpcApp::new()
+    }
+}
+
+impl GuestApp for VsockRpcApp {
+    fn boxed_clone(&self) -> Box<dyn GuestApp> {
+        Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_boot(&mut self, env: &mut GuestEnv) {
+        if env.vsock_send(hello_payload(env.dom.0, false)) {
+            self.sent += 1;
+        }
+        env.console_log("vsock-rpc up\n");
+    }
+
+    fn on_fork(&mut self, env: &mut GuestEnv, outcome: ForkOutcome) {
+        match outcome {
+            ForkOutcome::Parent { .. } => {}
+            ForkOutcome::Child { .. } => {
+                self.is_clone = true;
+                // The clone's stream is fresh: its hello is the first and
+                // only message on it.
+                self.sent = 0;
+                if env.vsock_send(hello_payload(env.dom.0, true)) {
+                    self.sent += 1;
+                }
+                env.console_log("vsock-rpc clone reconnected\n");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_payload_identifies_the_instance() {
+        assert_eq!(hello_payload(7, false), b"hello from dom7 clone=false");
+        assert_ne!(hello_payload(7, false), hello_payload(7, true));
+    }
+}

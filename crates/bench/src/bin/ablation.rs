@@ -9,7 +9,7 @@ use bench::support::{udp_guest_cfg, udp_image};
 use nephele::apps::UdpEchoApp;
 use nephele::sim_core::DomId;
 use nephele::toolstack::{DomainConfig, KernelImage};
-use nephele::{MuxKind, Platform, PlatformConfig};
+use nephele::{ClonePolicy, DeviceClass, MuxKind, Platform, PlatformConfig};
 
 fn clone_mean_ms(p: &mut Platform, parent: DomId, n: usize) -> f64 {
     let t0 = p.clock.now();
@@ -117,9 +117,16 @@ fn ablate_device_cloning() {
         ("no_network", false, true),
         ("minimal", false, false),
     ] {
-        let mut p = Platform::new(PlatformConfig::builder().mux(MuxKind::None).build());
-        p.daemon.config.clone_network = network;
-        p.daemon.config.clone_9pfs = p9;
+        let mut p = Platform::new(
+            PlatformConfig::builder()
+                .mux(MuxKind::None)
+                .clone_policy(
+                    ClonePolicy::all()
+                        .set(DeviceClass::Vif, network)
+                        .set(DeviceClass::P9fs, p9),
+                )
+                .build(),
+        );
         p.daemon.config.minimal = !network && !p9;
         let cfg = DomainConfig::builder("redis")
             .memory_mib(16)

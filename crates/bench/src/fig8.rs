@@ -21,7 +21,7 @@ use linux_procs::ProcessModel;
 use nephele::hypervisor::cloneop::CloneOp;
 use nephele::sim_core::{Clock, CostModel, DomId, PAGE_SIZE};
 use nephele::toolstack::{DomainConfig, KernelImage};
-use nephele::{MuxKind, Platform, PlatformConfig, TraceSink};
+use nephele::{ClonePolicy, DeviceClass, MuxKind, Platform, PlatformConfig, TraceSink};
 use sim_core::stats::Series;
 
 use crate::support::trace_config_from_env;
@@ -91,7 +91,7 @@ fn measure_clone(keys: u64) -> (f64, f64, f64, TraceSink) {
             .tracing(trace_config_from_env())
             .build(),
     );
-    p.daemon.config.clone_network = false; // §7.1 optimization
+    p.daemon.config.policy = ClonePolicy::all().set(DeviceClass::Vif, false); // §7.1 optimization
     p.dm.fs.mkdir_p("/export/redis").ok();
 
     let cfg = DomainConfig::builder("redis")

@@ -1,0 +1,216 @@
+//! The PV block device: shared read-only base image + per-clone COW
+//! overlay.
+//!
+//! Cloning a unikernel with a writable disk must not duplicate the disk:
+//! the whole clone family reads one immutable *base image* and each
+//! member records only its own writes in a thin per-sector overlay. This
+//! is the same persistent-structure design the p2m (PR 6) and the
+//! Xenstore tree (PR 5) use: `Rc` handles make cloning an O(1)
+//! structural snapshot, `Rc::make_mut` gives copy-on-write mutation, and
+//! honest sharing statistics fall out of pointer identity
+//! (`Rc::as_ptr`).
+//!
+//! The overlay is kept *canonical*: writing data equal to the base
+//! sector removes the overlay entry instead of storing a redundant copy,
+//! so `overlay_len` is exactly the number of sectors where the domain
+//! diverges from the image. The auditor's per-device hook enforces this.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use sim_core::DomId;
+
+/// Bytes per sector.
+pub const SECTOR_SIZE: usize = 512;
+
+/// One sector's payload.
+pub type Sector = [u8; SECTOR_SIZE];
+
+/// Resident-byte split of vbd storage between shared base images and
+/// private data, mirroring the `P2mSharing`/`XsSharing` convention:
+/// shared storage is counted at every point of use, so the two fields
+/// sum to the total resident figure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VbdSharing {
+    /// Bytes of storage (base images or overlays) referenced by more
+    /// than one device, counted once per referencing device.
+    pub shared_bytes: u64,
+    /// Bytes backed by storage only one device references.
+    pub unique_bytes: u64,
+}
+
+/// The backend state of one block device.
+#[derive(Debug, Clone)]
+pub struct Vbd {
+    /// Owning domain.
+    pub dom: DomId,
+    /// Device index within the guest.
+    pub devid: u32,
+    /// The family's immutable base image.
+    base: Rc<Vec<u8>>,
+    /// Private divergences from the base, by sector index.
+    overlay: Rc<BTreeMap<u64, Sector>>,
+}
+
+impl Vbd {
+    /// Creates a device over a deterministically-filled base image of
+    /// `sectors` sectors (byte `i` of the image is `(i / SECTOR_SIZE) as
+    /// u8`, so every sector is distinguishable and reproducible).
+    pub fn new(dom: DomId, devid: u32, sectors: u64) -> Self {
+        let bytes = sectors as usize * SECTOR_SIZE;
+        let base = (0..bytes).map(|i| (i / SECTOR_SIZE) as u8).collect();
+        Vbd {
+            dom,
+            devid,
+            base: Rc::new(base),
+            overlay: Rc::new(BTreeMap::new()),
+        }
+    }
+
+    /// Number of sectors in the base image.
+    pub fn sectors(&self) -> u64 {
+        (self.base.len() / SECTOR_SIZE) as u64
+    }
+
+    /// Reads one sector through the merged view (overlay entry if
+    /// present, base image otherwise). `None` past the end of the image.
+    pub fn read_sector(&self, sector: u64) -> Option<Sector> {
+        if sector >= self.sectors() {
+            return None;
+        }
+        if let Some(s) = self.overlay.get(&sector) {
+            return Some(*s);
+        }
+        let off = sector as usize * SECTOR_SIZE;
+        let mut out = [0u8; SECTOR_SIZE];
+        out.copy_from_slice(&self.base[off..off + SECTOR_SIZE]);
+        Some(out)
+    }
+
+    /// Writes one sector, keeping the overlay canonical: data equal to
+    /// the base sector removes the entry instead of storing a redundant
+    /// copy. Returns `false` past the end of the image.
+    pub fn write_sector(&mut self, sector: u64, data: &Sector) -> bool {
+        if sector >= self.sectors() {
+            return false;
+        }
+        let off = sector as usize * SECTOR_SIZE;
+        let overlay = Rc::make_mut(&mut self.overlay);
+        if data[..] == self.base[off..off + SECTOR_SIZE] {
+            overlay.remove(&sector);
+        } else {
+            overlay.insert(sector, *data);
+        }
+        true
+    }
+
+    /// Number of sectors where this device diverges from the base image.
+    pub fn overlay_len(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// Whether every overlay entry actually differs from the base (the
+    /// invariant [`Vbd::write_sector`] maintains; the auditor checks it).
+    pub fn overlay_is_canonical(&self) -> bool {
+        self.overlay.iter().all(|(sector, data)| {
+            let off = *sector as usize * SECTOR_SIZE;
+            data[..] != self.base[off..off + SECTOR_SIZE]
+        })
+    }
+
+    /// The child's device at clone time: `Rc` handles on the parent's
+    /// base *and* current overlay — O(1), no data copied. Either side's
+    /// next write materializes its own overlay via `Rc::make_mut`.
+    pub fn clone_for_child(&self, child: DomId) -> Vbd {
+        Vbd {
+            dom: child,
+            devid: self.devid,
+            base: Rc::clone(&self.base),
+            overlay: Rc::clone(&self.overlay),
+        }
+    }
+
+    /// Pointer identity of the base image (sharing statistics).
+    pub fn base_addr(&self) -> usize {
+        Rc::as_ptr(&self.base) as usize
+    }
+
+    /// Pointer identity of the overlay (sharing statistics).
+    pub fn overlay_addr(&self) -> usize {
+        Rc::as_ptr(&self.overlay) as usize
+    }
+
+    /// Resident bytes of the base image.
+    pub fn base_bytes(&self) -> u64 {
+        self.base.len() as u64
+    }
+
+    /// Resident bytes of the overlay (payload only; B-tree overhead is
+    /// ignored, as for the p2m).
+    pub fn overlay_bytes(&self) -> u64 {
+        self.overlay.len() as u64 * SECTOR_SIZE as u64
+    }
+
+    /// Test-only corruption hook: plants a raw overlay entry bypassing
+    /// the canonicalization in [`Vbd::write_sector`], so the auditor's
+    /// canonical-overlay check can be exercised. Not part of the
+    /// simulated machine.
+    #[doc(hidden)]
+    pub fn corrupt_overlay_for_test(&mut self, sector: u64) {
+        let off = sector as usize * SECTOR_SIZE;
+        let mut data = [0u8; SECTOR_SIZE];
+        data.copy_from_slice(&self.base[off..off + SECTOR_SIZE]);
+        Rc::make_mut(&mut self.overlay).insert(sector, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_come_from_base_until_written() {
+        let v = Vbd::new(DomId(1), 0, 4);
+        assert_eq!(v.read_sector(2).unwrap()[0], 2);
+        assert!(v.read_sector(4).is_none(), "past-the-end reads fail");
+        assert_eq!(v.overlay_len(), 0);
+    }
+
+    #[test]
+    fn writes_are_canonical() {
+        let mut v = Vbd::new(DomId(1), 0, 4);
+        let mut s = [9u8; SECTOR_SIZE];
+        assert!(v.write_sector(1, &s));
+        assert_eq!(v.overlay_len(), 1);
+        assert_eq!(v.read_sector(1).unwrap(), s);
+        // Writing the base content back removes the entry.
+        s = [1u8; SECTOR_SIZE];
+        assert!(v.write_sector(1, &s));
+        assert_eq!(v.overlay_len(), 0);
+        assert!(v.overlay_is_canonical());
+        assert!(!v.write_sector(7, &s), "out-of-range write fails");
+    }
+
+    #[test]
+    fn clones_share_base_and_diverge_privately() {
+        let mut parent = Vbd::new(DomId(1), 0, 8);
+        parent.write_sector(3, &[7u8; SECTOR_SIZE]);
+        let mut child = parent.clone_for_child(DomId(2));
+        assert_eq!(parent.base_addr(), child.base_addr());
+        assert_eq!(parent.overlay_addr(), child.overlay_addr(), "overlay shared until first write");
+        assert_eq!(child.read_sector(3).unwrap(), [7u8; SECTOR_SIZE], "child inherits parent writes");
+
+        child.write_sector(5, &[8u8; SECTOR_SIZE]);
+        assert_ne!(parent.overlay_addr(), child.overlay_addr(), "first write materializes");
+        assert_eq!(parent.read_sector(5).unwrap(), [5u8; SECTOR_SIZE], "parent unaffected");
+        assert_eq!(child.read_sector(3).unwrap(), [7u8; SECTOR_SIZE]);
+    }
+
+    #[test]
+    fn corruption_hook_breaks_canonicality() {
+        let mut v = Vbd::new(DomId(1), 0, 4);
+        assert!(v.overlay_is_canonical());
+        v.corrupt_overlay_for_test(2);
+        assert!(!v.overlay_is_canonical());
+    }
+}

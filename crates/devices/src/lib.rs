@@ -1,10 +1,12 @@
 //! Split-driver paravirtualized devices and their Dom0 management.
 //!
 //! This crate implements both halves of Xen's split-device model for the
-//! three device types Nephele supports — console, network and 9pfs — plus
-//! the plumbing around them: Xenbus negotiation ([`xenbus`]), shared rings
-//! ([`ring`]), the udev event bus ([`udev`]), the QEMU process model
-//! ([`qemu`]) and the Dom0 ramdisk ([`memfs`]).
+//! device types Nephele supports — console, network, 9pfs, COW block
+//! devices ([`block`]), vsock-like streams ([`vsock`]) and USB/IP
+//! passthrough ([`usb`]) — plus the plumbing around them: Xenbus
+//! negotiation ([`xenbus`]), shared rings ([`ring`]), the udev event bus
+//! ([`udev`]), the QEMU process model ([`qemu`]) and the Dom0 ramdisk
+//! ([`memfs`]).
 //!
 //! [`DeviceManager`] is the Dom0-side registry gluing it together. It
 //! offers two setup paths per device, mirroring the paper:
@@ -15,7 +17,14 @@
 //!   deep per-entry copy, for the Fig. 4 comparison), creates the backend
 //!   state directly in the Connected state, and reuses backend processes
 //!   across the clone family.
+//!
+//! Each live device also registers itself on the [`bus::DeviceBus`] as a
+//! [`bus::CloneDevice`], declaring its clone heuristic as a typed
+//! [`bus::CloneSemantics`] value; the `xencloned` second stage dispatches
+//! through the bus rather than enumerating device classes by hand.
 
+pub mod block;
+pub mod bus;
 pub mod console;
 pub mod memfs;
 pub mod net;
@@ -23,6 +32,8 @@ pub mod p9fs;
 pub mod qemu;
 pub mod ring;
 pub mod udev;
+pub mod usb;
+pub mod vsock;
 pub mod xenbus;
 
 use std::collections::HashMap;
@@ -37,6 +48,10 @@ use netmux::{IfaceId, MacAddr, Packet};
 use sim_core::{Clock, CostModel, DomId, Pfn, TraceSink};
 use xenstore::{XsCloneOp, XsError, Xenstore};
 
+use crate::block::{Sector, Vbd, VbdSharing, SECTOR_SIZE};
+use crate::bus::{
+    BlockDev, CloneDevice, ConsoleDev, DeviceBus, P9fsDev, UsbDev, VifDev, VsockDev,
+};
 use crate::console::ConsoleBackend;
 use crate::memfs::MemFs;
 use crate::net::{Vif, RX_RING_SLOTS, TX_RING_SLOTS};
@@ -44,6 +59,8 @@ use crate::p9fs::{P9Request, P9Response};
 use crate::qemu::{QemuProcess, QmpRequest};
 use crate::ring::SharedRing;
 use crate::udev::{UdevBus, UdevEvent};
+use crate::usb::UsbPassthrough;
+use crate::vsock::VsockConn;
 use crate::xenbus::{XenbusState, NEGOTIATION_STEPS};
 
 /// Errors from device management.
@@ -57,6 +74,8 @@ pub enum DevError {
     NoSuchDevice(DomId, u32),
     /// No backend process serves this domain.
     NoBackend(DomId),
+    /// The physical USB device is already passed through to a domain.
+    UsbBusy(String),
 }
 
 impl fmt::Display for DevError {
@@ -64,8 +83,9 @@ impl fmt::Display for DevError {
         match self {
             DevError::Xs(e) => write!(f, "xenstore: {e}"),
             DevError::Hv(e) => write!(f, "hypervisor: {e}"),
-            DevError::NoSuchDevice(d, i) => write!(f, "no vif {i} on {d}"),
+            DevError::NoSuchDevice(d, i) => write!(f, "no device {i} on {d}"),
             DevError::NoBackend(d) => write!(f, "no backend process for {d}"),
+            DevError::UsbBusy(busid) => write!(f, "usb device {busid} already assigned"),
         }
     }
 }
@@ -75,7 +95,7 @@ impl std::error::Error for DevError {
         match self {
             DevError::Xs(e) => Some(e),
             DevError::Hv(e) => Some(e),
-            DevError::NoSuchDevice(..) | DevError::NoBackend(_) => None,
+            DevError::NoSuchDevice(..) | DevError::NoBackend(_) | DevError::UsbBusy(_) => None,
         }
     }
 }
@@ -110,24 +130,48 @@ pub struct VifConfig {
     pub rx_buffers: Vec<Pfn>,
 }
 
-fn vif_front_dir(dom: DomId, devid: u32) -> String {
+pub(crate) fn vif_front_dir(dom: DomId, devid: u32) -> String {
     format!("/local/domain/{}/device/vif/{devid}", dom.0)
 }
 
-fn vif_back_dir(dom: DomId, devid: u32) -> String {
+pub(crate) fn vif_back_dir(dom: DomId, devid: u32) -> String {
     format!("/local/domain/0/backend/vif/{}/{devid}", dom.0)
 }
 
-fn console_dir(dom: DomId) -> String {
+pub(crate) fn console_dir(dom: DomId) -> String {
     format!("/local/domain/{}/console", dom.0)
 }
 
-fn p9_front_dir(dom: DomId) -> String {
+pub(crate) fn p9_front_dir(dom: DomId) -> String {
     format!("/local/domain/{}/device/9pfs/0", dom.0)
 }
 
-fn p9_back_dir(dom: DomId) -> String {
+pub(crate) fn p9_back_dir(dom: DomId) -> String {
     format!("/local/domain/0/backend/9pfs/{}/0", dom.0)
+}
+
+pub(crate) fn vbd_front_dir(dom: DomId, devid: u32) -> String {
+    format!("/local/domain/{}/device/vbd/{devid}", dom.0)
+}
+
+pub(crate) fn vbd_back_dir(dom: DomId, devid: u32) -> String {
+    format!("/local/domain/0/backend/vbd/{}/{devid}", dom.0)
+}
+
+pub(crate) fn vsock_front_dir(dom: DomId) -> String {
+    format!("/local/domain/{}/device/vsock/0", dom.0)
+}
+
+pub(crate) fn vsock_back_dir(dom: DomId) -> String {
+    format!("/local/domain/0/backend/vsock/{}/0", dom.0)
+}
+
+pub(crate) fn usb_front_dir(dom: DomId, devid: u32) -> String {
+    format!("/local/domain/{}/device/vusb/{devid}", dom.0)
+}
+
+pub(crate) fn usb_back_dir(dom: DomId, devid: u32) -> String {
+    format!("/local/domain/0/backend/vusb/{}/{devid}", dom.0)
 }
 
 /// The Dom0 device registry and backend host.
@@ -143,6 +187,10 @@ pub struct DeviceManager {
     console: ConsoleBackend,
     qemus: Vec<QemuProcess>,
     next_pid: u32,
+    vbds: HashMap<(u32, u32), Vbd>,
+    vsocks: HashMap<u32, VsockConn>,
+    usbs: HashMap<(u32, u32), UsbPassthrough>,
+    bus: DeviceBus,
     trace: TraceSink,
 }
 
@@ -159,8 +207,23 @@ impl DeviceManager {
             console: ConsoleBackend::new(),
             qemus: Vec::new(),
             next_pid: 1000,
+            vbds: HashMap::new(),
+            vsocks: HashMap::new(),
+            usbs: HashMap::new(),
+            bus: DeviceBus::new(),
             trace: TraceSink::default(),
         }
+    }
+
+    /// The device bus: every live device's identity and clone semantics.
+    pub fn bus(&self) -> &DeviceBus {
+        &self.bus
+    }
+
+    /// The devices `owner` holds, sorted by `(class, devid)` — the
+    /// canonical second-stage dispatch order (console, vifs, 9pfs, ...).
+    pub fn bus_devices(&self, owner: DomId) -> Vec<std::rc::Rc<dyn CloneDevice>> {
+        self.bus.devices(owner)
     }
 
     /// Attaches a trace sink (disabled by default); device-clone spans and
@@ -201,13 +264,32 @@ impl DeviceManager {
         xs.write(DomId::DOM0, &format!("{dir}/output"), "pty")?;
         self.clock.advance(self.costs.console_attach);
         self.console.attach(dom, ring_pfn);
+        self.bus.register(Rc::new(ConsoleDev { dom }));
         Ok(())
     }
 
     /// Clone-path console setup: only the Xenstore entries are cloned; the
     /// managing process picks the change up via its watch and creates the
     /// child state with a fresh ring (§4.2, §5.2.1).
+    #[deprecated(
+        since = "0.3.0",
+        note = "dispatch through the device bus (DeviceManager::bus_devices + CloneDevice::clone_into)"
+    )]
     pub fn clone_console(
+        &mut self,
+        hv: &mut Hypervisor,
+        xs: &mut Xenstore,
+        parent: DomId,
+        child: DomId,
+        deep_copy: bool,
+    ) -> Result<()> {
+        self.clone_console_impl(hv, xs, parent, child, deep_copy)
+    }
+
+    /// The console clone implementation; [`bus::ConsoleDev::clone_into`]
+    /// and the deprecated direct entry point both land here, so the two
+    /// paths charge identical virtual time and record identical spans.
+    pub(crate) fn clone_console_impl(
         &mut self,
         hv: &mut Hypervisor,
         xs: &mut Xenstore,
@@ -232,6 +314,7 @@ impl DeviceManager {
         let ring_pfn = hv.domain(child)?.console_pfn;
         self.clock.advance(self.costs.console_attach);
         self.console.attach_clone(parent, child, ring_pfn);
+        self.bus.register(Rc::new(ConsoleDev { dom: child }));
         Ok(())
     }
 
@@ -318,6 +401,7 @@ impl DeviceManager {
         };
         self.vifs.insert((dom.0, cfg.devid), vif);
         self.iface_map.insert(iface, (dom, cfg.devid));
+        self.bus.register(Rc::new(VifDev { dom, devid: cfg.devid }));
         self.clock.advance(self.costs.udev_event);
         udev.emit(UdevEvent::VifCreated { dom, devid: cfg.devid });
         Ok(iface)
@@ -327,7 +411,28 @@ impl DeviceManager {
     /// deep per-entry copy), the backend shortcuts the negotiation and the
     /// rings are copied. Emits the udev event that prompts userspace to
     /// enslave the new interface.
+    #[deprecated(
+        since = "0.3.0",
+        note = "dispatch through the device bus (DeviceManager::bus_devices + CloneDevice::clone_into)"
+    )]
+    #[allow(clippy::too_many_arguments)]
     pub fn clone_vif(
+        &mut self,
+        hv: &mut Hypervisor,
+        xs: &mut Xenstore,
+        udev: &mut UdevBus,
+        parent: DomId,
+        child: DomId,
+        devid: u32,
+        deep_copy: bool,
+    ) -> Result<IfaceId> {
+        self.clone_vif_impl(hv, xs, udev, parent, child, devid, deep_copy)
+    }
+
+    /// The vif clone implementation shared by [`bus::VifDev::clone_into`]
+    /// and the deprecated direct entry point.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn clone_vif_impl(
         &mut self,
         hv: &mut Hypervisor,
         xs: &mut Xenstore,
@@ -365,6 +470,7 @@ impl DeviceManager {
         let vif = parent_vif.clone_for_child(child, iface, guest_port, back_port);
         self.vifs.insert((child.0, devid), vif);
         self.iface_map.insert(iface, (child, devid));
+        self.bus.register(Rc::new(VifDev { dom: child, devid }));
         self.clock.advance(self.costs.udev_event);
         udev.emit(UdevEvent::VifCreated { dom: child, devid });
         Ok(iface)
@@ -509,13 +615,30 @@ impl DeviceManager {
         self.next_pid += 1;
         self.fs.mkdir_p(export_root).map_err(|_| DevError::NoBackend(dom))?;
         self.qemus.push(QemuProcess::launch(pid, dom, export_root));
+        self.bus.register(Rc::new(P9fsDev { dom }));
         Ok(())
     }
 
     /// Clone-path 9pfs setup: Xenstore state cloned, then a QMP request to
     /// the *parent's existing* backend process duplicates the fid table —
     /// no new process is launched (§5.2.1).
+    #[deprecated(
+        since = "0.3.0",
+        note = "dispatch through the device bus (DeviceManager::bus_devices + CloneDevice::clone_into)"
+    )]
     pub fn clone_9pfs(
+        &mut self,
+        xs: &mut Xenstore,
+        parent: DomId,
+        child: DomId,
+        deep_copy: bool,
+    ) -> Result<usize> {
+        self.clone_9pfs_impl(xs, parent, child, deep_copy)
+    }
+
+    /// The 9pfs clone implementation shared by [`bus::P9fsDev::clone_into`]
+    /// and the deprecated direct entry point.
+    pub(crate) fn clone_9pfs_impl(
         &mut self,
         xs: &mut Xenstore,
         parent: DomId,
@@ -545,6 +668,7 @@ impl DeviceManager {
         self.clock
             .advance(self.costs.qmp_clone_per_fid.saturating_mul(fids as u64));
         span.attr("fids", fids);
+        self.bus.register(Rc::new(P9fsDev { dom: child }));
         Ok(fids)
     }
 
@@ -573,6 +697,308 @@ impl DeviceManager {
             .find(|q| q.serves(dom))
             .ok_or(DevError::NoBackend(dom))?;
         Ok(q.p9.handle(&mut self.fs, dom, req))
+    }
+
+    // ------------------------------------------------------------------
+    // Block (vbd): shared base image + per-clone COW overlay
+    // ------------------------------------------------------------------
+
+    /// Boot-path vbd setup: Xenstore population, Xenbus negotiation and
+    /// backend creation over a fresh base image of `sectors` sectors.
+    pub fn setup_vbd_boot(
+        &mut self,
+        xs: &mut Xenstore,
+        dom: DomId,
+        devid: u32,
+        sectors: u64,
+    ) -> Result<()> {
+        let f = vbd_front_dir(dom, devid);
+        let b = vbd_back_dir(dom, devid);
+        xs.write(DomId::DOM0, &format!("{f}/backend"), &b)?;
+        xs.write(DomId::DOM0, &format!("{f}/backend-id"), "0")?;
+        xs.write(DomId::DOM0, &format!("{f}/virtual-device"), &devid.to_string())?;
+        xs.write(DomId::DOM0, &format!("{b}/frontend"), &f)?;
+        xs.write(DomId::DOM0, &format!("{b}/frontend-id"), &dom.0.to_string())?;
+        xs.write(DomId::DOM0, &format!("{b}/sectors"), &sectors.to_string())?;
+        xs.write(DomId::DOM0, &format!("{b}/sector-size"), &SECTOR_SIZE.to_string())?;
+        xs.write(DomId::DOM0, &format!("{b}/mode"), "w")?;
+        for (front, back) in NEGOTIATION_STEPS {
+            self.clock.advance(self.costs.xenbus_transition);
+            xs.write(DomId::DOM0, &format!("{f}/state"), front.to_xs())?;
+            self.clock.advance(self.costs.xenbus_transition);
+            xs.write(DomId::DOM0, &format!("{b}/state"), back.to_xs())?;
+        }
+        self.clock.advance(self.costs.backend_create);
+        self.vbds.insert((dom.0, devid), Vbd::new(dom, devid, sectors));
+        self.bus.register(Rc::new(BlockDev { dom, devid }));
+        Ok(())
+    }
+
+    /// The vbd clone implementation ([`bus::BlockDev::clone_into`]
+    /// dispatches here): Xenstore state cloned, then an O(1) structural
+    /// snapshot of the parent's base image and current overlay — the
+    /// [`bus::CloneSemantics::CowOverlay`] heuristic. Returns the number
+    /// of overlay sectors the child inherits.
+    pub(crate) fn clone_vbd_impl(
+        &mut self,
+        xs: &mut Xenstore,
+        parent: DomId,
+        child: DomId,
+        devid: u32,
+        deep_copy: bool,
+    ) -> Result<u64> {
+        let span = self.trace.span("dev.clone_vbd");
+        span.attr("devid", devid);
+        span.attr("deep_copy", deep_copy);
+        let pf = vbd_front_dir(parent, devid);
+        let pb = vbd_back_dir(parent, devid);
+        let cf = vbd_front_dir(child, devid);
+        let cb = vbd_back_dir(child, devid);
+        if deep_copy {
+            self.deep_copy_dir(xs, &pf, &cf, parent, child)?;
+            self.deep_copy_dir(xs, &pb, &cb, parent, child)?;
+        } else {
+            xs.xs_clone(DomId::DOM0, XsCloneOp::DevVbd, parent, child, &pf, &cf)?;
+            xs.xs_clone(DomId::DOM0, XsCloneOp::DevVbd, parent, child, &pb, &cb)?;
+        }
+        let parent_vbd = self
+            .vbds
+            .get(&(parent.0, devid))
+            .ok_or(DevError::NoSuchDevice(parent, devid))?;
+        self.clock.advance(self.costs.blk_clone_base);
+        let vbd = parent_vbd.clone_for_child(child);
+        let inherited = vbd.overlay_len() as u64;
+        span.attr("inherited", inherited);
+        self.vbds.insert((child.0, devid), vbd);
+        self.bus.register(Rc::new(BlockDev { dom: child, devid }));
+        Ok(inherited)
+    }
+
+    /// Looks up a vbd.
+    pub fn vbd(&self, dom: DomId, devid: u32) -> Option<&Vbd> {
+        self.vbds.get(&(dom.0, devid))
+    }
+
+    /// Guest reads one sector through the merged base+overlay view.
+    pub fn vbd_read(&mut self, dom: DomId, devid: u32, sector: u64) -> Result<Sector> {
+        self.clock.advance(self.costs.blk_read_per_sector);
+        self.vbds
+            .get(&(dom.0, devid))
+            .ok_or(DevError::NoSuchDevice(dom, devid))?
+            .read_sector(sector)
+            .ok_or(DevError::NoSuchDevice(dom, devid))
+    }
+
+    /// Guest writes one sector into its private overlay; `false` past the
+    /// end of the image.
+    pub fn vbd_write(&mut self, dom: DomId, devid: u32, sector: u64, data: &Sector) -> Result<bool> {
+        self.clock.advance(self.costs.blk_write_per_sector);
+        Ok(self
+            .vbds
+            .get_mut(&(dom.0, devid))
+            .ok_or(DevError::NoSuchDevice(dom, devid))?
+            .write_sector(sector, data))
+    }
+
+    /// Resident-byte split of vbd storage between shared and unique, by
+    /// `Rc` pointer identity: a base image or overlay referenced by more
+    /// than one device counts as shared at every point of use (the same
+    /// convention as `P2mSharing`/`XsSharing`).
+    pub fn vbd_sharing(&self) -> VbdSharing {
+        let mut refs: HashMap<usize, u32> = HashMap::new();
+        for v in self.vbds.values() {
+            *refs.entry(v.base_addr()).or_insert(0) += 1;
+            *refs.entry(v.overlay_addr()).or_insert(0) += 1;
+        }
+        let mut s = VbdSharing::default();
+        for v in self.vbds.values() {
+            for (addr, bytes) in [(v.base_addr(), v.base_bytes()), (v.overlay_addr(), v.overlay_bytes())] {
+                if refs.get(&addr).copied().unwrap_or(0) > 1 {
+                    s.shared_bytes += bytes;
+                } else {
+                    s.unique_bytes += bytes;
+                }
+            }
+        }
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // Vsock-like stream device
+    // ------------------------------------------------------------------
+
+    /// Boot-path vsock setup: Xenstore population, Xenbus negotiation, an
+    /// event-channel pair and a fresh stream connection on the domain's
+    /// deterministic port.
+    pub fn setup_vsock_boot(
+        &mut self,
+        hv: &mut Hypervisor,
+        xs: &mut Xenstore,
+        dom: DomId,
+    ) -> Result<()> {
+        let f = vsock_front_dir(dom);
+        let b = vsock_back_dir(dom);
+        let port = crate::vsock::vsock_port_for(dom);
+        xs.write(DomId::DOM0, &format!("{f}/backend"), &b)?;
+        xs.write(DomId::DOM0, &format!("{f}/backend-id"), "0")?;
+        xs.write(DomId::DOM0, &format!("{f}/port"), &port.to_string())?;
+        xs.write(DomId::DOM0, &format!("{b}/frontend"), &f)?;
+        xs.write(DomId::DOM0, &format!("{b}/frontend-id"), &dom.0.to_string())?;
+        xs.write(DomId::DOM0, &format!("{b}/port"), &port.to_string())?;
+        for (front, back) in NEGOTIATION_STEPS {
+            self.clock.advance(self.costs.xenbus_transition);
+            xs.write(DomId::DOM0, &format!("{f}/state"), front.to_xs())?;
+            self.clock.advance(self.costs.xenbus_transition);
+            xs.write(DomId::DOM0, &format!("{b}/state"), back.to_xs())?;
+        }
+        hv.evtchn_connect_pair(dom, DomId::DOM0)?;
+        self.clock.advance(self.costs.vsock_connect);
+        self.vsocks.insert(dom.0, VsockConn::connect(dom));
+        self.bus.register(Rc::new(VsockDev { dom }));
+        Ok(())
+    }
+
+    /// The vsock clone implementation ([`bus::VsockDev::clone_into`]
+    /// dispatches here): registry state is cloned, but the transport is a
+    /// *fresh* connection on the child's deterministically reallocated
+    /// port — the [`bus::CloneSemantics::Reconnect`] heuristic. Returns
+    /// the child's port.
+    pub(crate) fn clone_vsock_impl(
+        &mut self,
+        hv: &mut Hypervisor,
+        xs: &mut Xenstore,
+        parent: DomId,
+        child: DomId,
+        deep_copy: bool,
+    ) -> Result<u32> {
+        let span = self.trace.span("dev.clone_vsock");
+        span.attr("deep_copy", deep_copy);
+        let pf = vsock_front_dir(parent);
+        let pb = vsock_back_dir(parent);
+        let cf = vsock_front_dir(child);
+        let cb = vsock_back_dir(child);
+        if deep_copy {
+            self.deep_copy_dir(xs, &pf, &cf, parent, child)?;
+            self.deep_copy_dir(xs, &pb, &cb, parent, child)?;
+        } else {
+            xs.xs_clone(DomId::DOM0, XsCloneOp::DevVsock, parent, child, &pf, &cf)?;
+            xs.xs_clone(DomId::DOM0, XsCloneOp::DevVsock, parent, child, &pb, &cb)?;
+        }
+        let parent_conn = self
+            .vsocks
+            .get(&parent.0)
+            .ok_or(DevError::NoSuchDevice(parent, 0))?;
+        let conn = parent_conn.reconnect_for_child(child);
+        let port = conn.port;
+        // The cloned entries carry the parent's port; the reconnect
+        // rewrites them to the child's deterministic allocation.
+        xs.write(DomId::DOM0, &format!("{cf}/port"), &port.to_string())?;
+        xs.write(DomId::DOM0, &format!("{cb}/port"), &port.to_string())?;
+        hv.evtchn_connect_pair(child, DomId::DOM0)?;
+        self.clock.advance(self.costs.vsock_connect);
+        span.attr("port", port);
+        self.vsocks.insert(child.0, conn);
+        self.bus.register(Rc::new(VsockDev { dom: child }));
+        Ok(port)
+    }
+
+    /// Looks up a domain's vsock connection.
+    pub fn vsock(&self, dom: DomId) -> Option<&VsockConn> {
+        self.vsocks.get(&dom.0)
+    }
+
+    /// Guest sends one message on its vsock stream; `false` when
+    /// disconnected.
+    pub fn vsock_send(&mut self, dom: DomId, payload: Vec<u8>) -> Result<bool> {
+        self.clock.advance(self.costs.vsock_rpc);
+        Ok(self
+            .vsocks
+            .get_mut(&dom.0)
+            .ok_or(DevError::NoSuchDevice(dom, 0))?
+            .send(payload))
+    }
+
+    // ------------------------------------------------------------------
+    // USB/IP passthrough
+    // ------------------------------------------------------------------
+
+    /// Boot-path USB setup: claims the exclusive physical device `busid`
+    /// for `dom` and attaches it. Fails with [`DevError::UsbBusy`] if the
+    /// device is already assigned to a live domain.
+    pub fn setup_usb_boot(
+        &mut self,
+        xs: &mut Xenstore,
+        dom: DomId,
+        devid: u32,
+        busid: &str,
+    ) -> Result<()> {
+        if self.usbs.values().any(|u| u.attached && u.busid == busid) {
+            return Err(DevError::UsbBusy(busid.to_string()));
+        }
+        let f = usb_front_dir(dom, devid);
+        let b = usb_back_dir(dom, devid);
+        xs.write(DomId::DOM0, &format!("{f}/backend"), &b)?;
+        xs.write(DomId::DOM0, &format!("{f}/backend-id"), "0")?;
+        xs.write(DomId::DOM0, &format!("{b}/frontend"), &f)?;
+        xs.write(DomId::DOM0, &format!("{b}/frontend-id"), &dom.0.to_string())?;
+        xs.write(DomId::DOM0, &format!("{b}/busid"), busid)?;
+        for (front, back) in NEGOTIATION_STEPS {
+            self.clock.advance(self.costs.xenbus_transition);
+            xs.write(DomId::DOM0, &format!("{f}/state"), front.to_xs())?;
+            self.clock.advance(self.costs.xenbus_transition);
+            xs.write(DomId::DOM0, &format!("{b}/state"), back.to_xs())?;
+        }
+        self.clock.advance(self.costs.usb_attach);
+        self.usbs.insert((dom.0, devid), UsbPassthrough::attach(dom, devid, busid));
+        self.bus.register(Rc::new(UsbDev { dom, devid }));
+        Ok(())
+    }
+
+    /// The USB clone step ([`bus::UsbDev::clone_into`] dispatches here):
+    /// the physical device is exclusive, so the child comes up *without*
+    /// it — no Xenstore state, no backend state, no bus registration —
+    /// while the parent keeps it attached. This is the whole of
+    /// [`bus::CloneSemantics::DetachOnClone`].
+    pub(crate) fn clone_usb_detach_impl(
+        &mut self,
+        parent: DomId,
+        child: DomId,
+        devid: u32,
+    ) -> Result<()> {
+        let span = self.trace.span("dev.clone_usb");
+        span.attr("devid", devid);
+        span.attr("child", child.0);
+        if !self.usbs.contains_key(&(parent.0, devid)) {
+            return Err(DevError::NoSuchDevice(parent, devid));
+        }
+        // Charged for the backend's veto round-trip; deliberately no
+        // child-side state of any kind.
+        self.clock.advance(self.costs.usb_detach);
+        Ok(())
+    }
+
+    /// Looks up a USB passthrough device.
+    pub fn usb(&self, dom: DomId, devid: u32) -> Option<&UsbPassthrough> {
+        self.usbs.get(&(dom.0, devid))
+    }
+
+    /// Whether no *other* attached record holds `busid` — the exclusive
+    /// assignment invariant the auditor checks.
+    pub fn usb_busid_exclusive(&self, busid: &str, dom: DomId, devid: u32) -> bool {
+        !self
+            .usbs
+            .iter()
+            .any(|((d, i), u)| (*d, *i) != (dom.0, devid) && u.attached && u.busid == busid)
+    }
+
+    /// Guest submits one URB; `false` when the device is detached.
+    pub fn usb_submit(&mut self, dom: DomId, devid: u32) -> Result<bool> {
+        self.clock.advance(self.costs.usb_urb);
+        Ok(self
+            .usbs
+            .get_mut(&(dom.0, devid))
+            .ok_or(DevError::NoSuchDevice(dom, devid))?
+            .submit_urb())
     }
 
     // ------------------------------------------------------------------
@@ -631,6 +1057,10 @@ impl DeviceManager {
             q.forget_domain(dom);
         }
         self.qemus.retain(|q| !q.is_idle());
+        self.vbds.retain(|(d, _), _| *d != dom.0);
+        self.vsocks.remove(&dom.0);
+        self.usbs.retain(|(d, _), _| *d != dom.0);
+        self.bus.forget_domain(dom);
     }
 
     /// Modelled Dom0 resident memory for backend state, in bytes (Fig. 5's
@@ -641,12 +1071,26 @@ impl DeviceManager {
         const PER_CONSOLE: u64 = 48 * 1024;
         const PER_QEMU: u64 = 9 * 1024 * 1024;
         const PER_SERVED: u64 = 128 * 1024;
+        const PER_VBD: u64 = 64 * 1024;
+        const PER_VSOCK: u64 = 16 * 1024;
+        const PER_USB: u64 = 32 * 1024;
         let served: u64 = self.qemus.iter().map(|q| q.serves.len() as u64).sum();
+        // Vbd storage is resident once per distinct blob, however many
+        // devices share it.
+        let mut blobs: HashMap<usize, u64> = HashMap::new();
+        for v in self.vbds.values() {
+            blobs.insert(v.base_addr(), v.base_bytes());
+            blobs.insert(v.overlay_addr(), v.overlay_bytes());
+        }
         self.vifs.len() as u64 * PER_VIF
             + self.console.attached_count() as u64 * PER_CONSOLE
             + self.qemus.len() as u64 * PER_QEMU
             + served * PER_SERVED
             + self.fs.total_bytes() as u64
+            + self.vbds.len() as u64 * PER_VBD
+            + blobs.values().sum::<u64>()
+            + self.vsocks.len() as u64 * PER_VSOCK
+            + self.usbs.len() as u64 * PER_USB
     }
 }
 
@@ -744,7 +1188,7 @@ mod tests {
         dm.setup_vif_boot(&mut hv, &mut xs, &mut udev, dom, vif_cfg()).unwrap();
         let child = hv.create_domain("child", 4, 1).unwrap();
         let ifc = dm
-            .clone_vif(&mut hv, &mut xs, &mut udev, dom, child, 0, false)
+            .clone_vif_impl(&mut hv, &mut xs, &mut udev, dom, child, 0, false)
             .unwrap();
         let cv = dm.vif(child, 0).unwrap();
         let pv = dm.vif(dom, 0).unwrap();
@@ -765,8 +1209,8 @@ mod tests {
         dm.setup_vif_boot(&mut hv, &mut xs, &mut udev, dom, vif_cfg()).unwrap();
         let c1 = hv.create_domain("c1", 4, 1).unwrap();
         let c2 = hv.create_domain("c2", 4, 1).unwrap();
-        dm.clone_vif(&mut hv, &mut xs, &mut udev, dom, c1, 0, false).unwrap();
-        dm.clone_vif(&mut hv, &mut xs, &mut udev, dom, c2, 0, true).unwrap();
+        dm.clone_vif_impl(&mut hv, &mut xs, &mut udev, dom, c1, 0, false).unwrap();
+        dm.clone_vif_impl(&mut hv, &mut xs, &mut udev, dom, c2, 0, true).unwrap();
         for key in ["mac", "state", "handle", "backend-id"] {
             let a = xs.read(DomId::DOM0, &format!("{}/{key}", vif_front_dir(c1, 0))).unwrap();
             let b = xs.read(DomId::DOM0, &format!("{}/{key}", vif_front_dir(c2, 0))).unwrap();
@@ -786,7 +1230,7 @@ mod tests {
         assert_eq!(dm.console_output(dom), b"booted\n");
 
         let child = hv.create_domain("child", 4, 1).unwrap();
-        dm.clone_console(&mut hv, &mut xs, dom, child, false).unwrap();
+        dm.clone_console_impl(&mut hv, &mut xs, dom, child, false).unwrap();
         assert!(dm.console_attached(child));
         assert!(dm.console_output(child).is_empty(), "no parent output replay");
         assert!(xs.exists(&format!("{}/ring-ref", console_dir(child))));
@@ -806,7 +1250,7 @@ mod tests {
 
         // Clone: same process, fids duplicated.
         let child = hv.create_domain("child", 4, 1).unwrap();
-        let fids = dm.clone_9pfs(&mut xs, dom, child, false).unwrap();
+        let fids = dm.clone_9pfs_impl(&mut xs, dom, child, false).unwrap();
         assert_eq!(fids, 1);
         assert_eq!(dm.qemu_count(), 1, "no new backend process per clone");
         assert!(dm.p9_served(child));
@@ -839,5 +1283,101 @@ mod tests {
         dm.setup_vif_boot(&mut hv, &mut xs, &mut udev, dom, vif_cfg()).unwrap();
         dm.setup_console_boot(&mut hv, &mut xs, &mut udev, dom).unwrap();
         assert!(dm.dom0_backend_bytes() > before);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_the_bus_implementations() {
+        let (mut hv, mut xs, mut dm, mut udev, dom) = setup();
+        dm.setup_console_boot(&mut hv, &mut xs, &mut udev, dom).unwrap();
+        dm.setup_vif_boot(&mut hv, &mut xs, &mut udev, dom, vif_cfg()).unwrap();
+        dm.setup_9pfs_boot(&mut hv, &mut xs, dom, "/export").unwrap();
+        let child = hv.create_domain("child", 4, 1).unwrap();
+        dm.clone_console(&mut hv, &mut xs, dom, child, false).unwrap();
+        dm.clone_vif(&mut hv, &mut xs, &mut udev, dom, child, 0, false).unwrap();
+        dm.clone_9pfs(&mut xs, dom, child, false).unwrap();
+        assert!(dm.console_attached(child));
+        assert!(dm.vif(child, 0).is_some());
+        assert!(dm.p9_served(child));
+        assert_eq!(dm.bus_devices(child).len(), 3, "shims register bus entries too");
+    }
+
+    #[test]
+    fn bus_reflects_boot_and_clone_registrations() {
+        let (mut hv, mut xs, mut dm, mut udev, dom) = setup();
+        dm.setup_console_boot(&mut hv, &mut xs, &mut udev, dom).unwrap();
+        dm.setup_vif_boot(&mut hv, &mut xs, &mut udev, dom, vif_cfg()).unwrap();
+        dm.setup_9pfs_boot(&mut hv, &mut xs, dom, "/export").unwrap();
+        let classes: Vec<bus::DeviceClass> =
+            dm.bus_devices(dom).iter().map(|d| d.id().class).collect();
+        assert_eq!(
+            classes,
+            vec![bus::DeviceClass::Console, bus::DeviceClass::Vif, bus::DeviceClass::P9fs],
+            "dispatch order is console, vif, 9pfs"
+        );
+        udev.drain();
+        dm.forget_domain(&mut udev, dom);
+        assert!(dm.bus().is_empty(), "forget_domain clears bus registrations");
+    }
+
+    #[test]
+    fn vbd_boot_clone_and_cow() {
+        let (mut hv, mut xs, mut dm, _udev, dom) = setup();
+        dm.setup_vbd_boot(&mut xs, dom, 0, 8).unwrap();
+        assert!(xs.exists(&format!("{}/sectors", vbd_back_dir(dom, 0))));
+        let s = [7u8; SECTOR_SIZE];
+        assert!(dm.vbd_write(dom, 0, 3, &s).unwrap());
+
+        let child = hv.create_domain("child", 4, 1).unwrap();
+        let inherited = dm.clone_vbd_impl(&mut xs, dom, child, 0, false).unwrap();
+        assert_eq!(inherited, 1, "child inherits the parent's overlay");
+        assert!(xs.exists(&format!("{}/state", vbd_front_dir(child, 0))));
+        assert_eq!(dm.vbd_read(child, 0, 3).unwrap(), s);
+
+        // Divergence is private in both directions.
+        assert!(dm.vbd_write(child, 0, 5, &[9u8; SECTOR_SIZE]).unwrap());
+        assert_eq!(dm.vbd_read(dom, 0, 5).unwrap(), [5u8; SECTOR_SIZE]);
+        let sh = dm.vbd_sharing();
+        assert!(sh.shared_bytes > 0, "base image shared across the family");
+    }
+
+    #[test]
+    fn vsock_clone_reconnects_on_child_port() {
+        let (mut hv, mut xs, mut dm, _udev, dom) = setup();
+        dm.setup_vsock_boot(&mut hv, &mut xs, dom).unwrap();
+        assert!(dm.vsock_send(dom, b"parent msg".to_vec()).unwrap());
+
+        let child = hv.create_domain("child", 4, 1).unwrap();
+        let port = dm.clone_vsock_impl(&mut hv, &mut xs, dom, child, false).unwrap();
+        assert_eq!(port, crate::vsock::vsock_port_for(child));
+        assert_eq!(
+            xs.read(DomId::DOM0, &format!("{}/port", vsock_front_dir(child))).unwrap(),
+            port.to_string(),
+            "cloned entries rewritten to the child's port"
+        );
+        let c = dm.vsock(child).unwrap();
+        assert!(c.connected);
+        assert!(c.sent.is_empty(), "no buffered-data inheritance");
+    }
+
+    #[test]
+    fn usb_is_exclusive_and_detaches_on_clone() {
+        let (mut hv, mut xs, mut dm, _udev, dom) = setup();
+        dm.setup_usb_boot(&mut xs, dom, 0, "1-1.4").unwrap();
+        assert!(dm.usb_submit(dom, 0).unwrap());
+
+        // The same physical device cannot be attached twice.
+        let other = hv.create_domain("other", 4, 1).unwrap();
+        assert!(matches!(
+            dm.setup_usb_boot(&mut xs, other, 0, "1-1.4"),
+            Err(DevError::UsbBusy(_))
+        ));
+
+        let child = hv.create_domain("child", 4, 1).unwrap();
+        dm.clone_usb_detach_impl(dom, child, 0).unwrap();
+        assert!(dm.usb(child, 0).is_none(), "child comes up without the device");
+        assert!(dm.usb(dom, 0).unwrap().attached, "parent keeps it");
+        assert!(!dm.bus().contains(child, bus::DeviceId::new(bus::DeviceClass::Usb, 0)));
+        assert!(dm.usb_busid_exclusive("1-1.4", dom, 0));
     }
 }

@@ -37,12 +37,20 @@
 //!     checkpoint-time layout, and every slot where the current overlay
 //!     diverges from the checkpoint snapshot must be journaled — a
 //!     divergence the journal misses is state `clone_reset` would leak.
+//! 11. **Device bus vs the Xenstore device tree.** Every registered bus
+//!     device has a live owner and all of its Xenstore nodes present,
+//!     every device node is claimed by exactly one registered device,
+//!     no live domain's device node exists without a registered owner
+//!     (no orphan rings after detach-on-clone; dead domains' stale
+//!     backend entries are legacy destroy behavior pinned by the
+//!     determinism-gated figures), and each device's own invariants
+//!     ([`CloneDevice::audit`](crate::CloneDevice::audit)) hold.
 //!
 //! The checks are read-only and O(total frames + domains + devices); they
 //! run on demand, after every clone/destroy in debug builds, and after
 //! every lifecycle operation under `NEPHELE_AUDIT=every-op`.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 use hypervisor::domain::DomainState;
@@ -506,6 +514,100 @@ pub(crate) fn run(p: &Platform) -> AuditReport {
             report.violations.push(AuditViolation {
                 invariant: "xenstore-tree",
                 detail: format!("vif {}/{devid} missing frontend or backend entry", dom.0),
+            });
+        }
+    }
+
+    // 11. Device bus vs the Xenstore device tree. First pass: every
+    // registered device has a live owner, its nodes exist, and its own
+    // invariants hold; each node is claimed by exactly one device.
+    let mut claimed: BTreeMap<String, u32> = BTreeMap::new();
+    for dev in p.dm.bus().all() {
+        report.checks += 1;
+        let id = dev.id();
+        let owner = dev.owner();
+        if !hv.domain_exists(owner) {
+            report.violations.push(AuditViolation {
+                invariant: "device-bus",
+                detail: format!(
+                    "{} {} registered on the bus for dead {owner}",
+                    id.class.name(),
+                    id.devid
+                ),
+            });
+            continue;
+        }
+        for path in dev.xenstore_paths() {
+            report.checks += 1;
+            if !p.xs.exists(&path) {
+                report.violations.push(AuditViolation {
+                    invariant: "device-bus",
+                    detail: format!(
+                        "{} {} of {owner} is missing its Xenstore node {path}",
+                        id.class.name(),
+                        id.devid
+                    ),
+                });
+            }
+            *claimed.entry(path).or_default() += 1;
+        }
+        for detail in dev.audit(&p.dm, &p.xs) {
+            report.violations.push(AuditViolation { invariant: "device-bus", detail });
+        }
+    }
+    for (path, n) in claimed.iter().filter(|(_, n)| **n > 1) {
+        report.violations.push(AuditViolation {
+            invariant: "device-bus",
+            detail: format!("Xenstore node {path} claimed by {n} bus devices"),
+        });
+    }
+
+    // Second pass: walk the actual device nodes (frontends per live
+    // domain, backends under Dom0) — each must belong to a registered
+    // device. An unclaimed node is an orphan: exactly what a buggy
+    // detach-on-clone would leave behind. The backend walk is scoped to
+    // live domains: the legacy toolstack leaves a destroyed domain's
+    // backend entries in place, and the determinism-gated figures pin
+    // that behavior (every Xenstore charge scales with the store's
+    // entry count).
+    let mut device_nodes: Vec<String> = Vec::new();
+    for d in hv.domains() {
+        if d.id.is_dom0() {
+            continue;
+        }
+        let home = format!("/local/domain/{}", d.id.0);
+        let console = format!("{home}/console");
+        if p.xs.exists(&console) {
+            device_nodes.push(console);
+        }
+        for class in p.xs.peek_directory(&format!("{home}/device")) {
+            for devid in p.xs.peek_directory(&format!("{home}/device/{class}")) {
+                device_nodes.push(format!("{home}/device/{class}/{devid}"));
+            }
+        }
+    }
+    for class in p.xs.peek_directory("/local/domain/0/backend") {
+        for domid in p.xs.peek_directory(&format!("/local/domain/0/backend/{class}")) {
+            let alive = domid
+                .parse::<u32>()
+                .map(|d| hv.domain_exists(DomId(d)))
+                .unwrap_or(false);
+            if !alive {
+                continue;
+            }
+            for devid in
+                p.xs.peek_directory(&format!("/local/domain/0/backend/{class}/{domid}"))
+            {
+                device_nodes.push(format!("/local/domain/0/backend/{class}/{domid}/{devid}"));
+            }
+        }
+    }
+    for node in device_nodes {
+        report.checks += 1;
+        if !claimed.contains_key(&node) {
+            report.violations.push(AuditViolation {
+                invariant: "device-bus",
+                detail: format!("device node {node} has no registered bus device (orphan)"),
             });
         }
     }

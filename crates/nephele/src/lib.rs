@@ -16,6 +16,26 @@
 //! assert_eq!(kids.len(), 2);
 //! ```
 //!
+//! Devices hang off a uniform bus: every live device registers on the
+//! [`DeviceBus`] declaring its identity ([`DeviceId`]) and its clone
+//! heuristic ([`CloneSemantics`], paper §4.2); the cloning daemon's
+//! second stage dispatches through [`CloneDevice::clone_into`], and
+//! which classes follow a clone is a per-class [`ClonePolicy`]:
+//!
+//! ```
+//! use nephele::{ClonePolicy, CloneSemantics, DeviceClass, Platform, PlatformConfig};
+//!
+//! // Redis-style clones: skip network-device cloning (§7.1).
+//! let p = Platform::new(
+//!     PlatformConfig::builder()
+//!         .clone_policy(ClonePolicy::all().set(DeviceClass::Vif, false))
+//!         .build(),
+//! );
+//! assert!(!p.daemon.config.policy.clones(DeviceClass::Vif));
+//! assert_eq!(DeviceClass::Vbd.semantics(), CloneSemantics::CowOverlay);
+//! assert_eq!(DeviceClass::Usb.semantics(), CloneSemantics::DetachOnClone);
+//! ```
+//!
 //! To observe what a run did, enable tracing and export the recorded
 //! spans ([`TraceConfig`], [`Platform::trace`], chrome-trace JSON and CSV
 //! exporters in [`sim_core::trace`]).
@@ -46,6 +66,19 @@ pub use platform::{
     PlatformConfigBuilder,
     PlatformError,
     PlatformSnapshot, //
+};
+
+// The device bus: the uniform per-device clone-semantics surface (see
+// the crate-level example).
+pub use devices::bus::{
+    CloneCtx,
+    CloneDevice,
+    CloneOutcome,
+    ClonePolicy,
+    CloneSemantics,
+    DeviceBus,
+    DeviceClass,
+    DeviceId, //
 };
 
 // The observability surface and the component error types wrapped by

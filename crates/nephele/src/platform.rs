@@ -7,6 +7,7 @@ use std::net::Ipv4Addr;
 use std::path::PathBuf;
 use std::rc::Rc;
 
+use devices::bus::ClonePolicy;
 use devices::udev::UdevBus;
 use devices::{DevError, DeviceManager};
 use guest::{ForkOutcome, GuestAction, GuestApp, GuestEnv, GuestHeap, HOST_MAC};
@@ -196,6 +197,9 @@ pub struct PlatformConfig {
     /// Automatic-audit policy. `None` defers to `NEPHELE_AUDIT` (falling
     /// back to [`AuditMode::Lifecycle`]); `Some` pins it.
     pub audit: Option<AuditMode>,
+    /// Per-device-class clone policy handed to `xencloned` (defaults to
+    /// cloning every class).
+    pub clone_policy: ClonePolicy,
 }
 
 impl Default for PlatformConfig {
@@ -210,6 +214,7 @@ impl Default for PlatformConfig {
             flightrec_dir: PathBuf::from("results"),
             flightrec_dumps: true,
             audit: None,
+            clone_policy: ClonePolicy::all(),
         }
     }
 }
@@ -324,6 +329,21 @@ impl PlatformConfigBuilder {
         self
     }
 
+    /// Sets the per-device-class clone policy.
+    ///
+    /// ```
+    /// use nephele::{ClonePolicy, DeviceClass, PlatformConfig};
+    ///
+    /// let cfg = PlatformConfig::builder()
+    ///     .clone_policy(ClonePolicy::all().set(DeviceClass::Vif, false))
+    ///     .build();
+    /// assert!(!cfg.clone_policy.clones(DeviceClass::Vif));
+    /// ```
+    pub fn clone_policy(mut self, policy: ClonePolicy) -> Self {
+        self.config.clone_policy = policy;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> PlatformConfig {
         self.config
@@ -369,6 +389,12 @@ pub struct PlatformSnapshot {
     /// templates plus every overlay entry. Grows as clones diverge
     /// through COW faults.
     pub p2m_unique_bytes: u64,
+    /// Vbd storage bytes referenced by more than one block device
+    /// (counted at every point of use): base images across a clone
+    /// family, plus overlays still structurally shared after a clone.
+    pub blk_shared_bytes: u64,
+    /// Vbd storage bytes only a single block device references.
+    pub blk_unique_bytes: u64,
 }
 
 struct GuestSlot {
@@ -434,6 +460,7 @@ impl Platform {
         xl.attach_trace(trace.clone());
         daemon.attach_trace(trace.clone());
         daemon.start(&mut hv).expect("daemon start on fresh hypervisor");
+        daemon.config.policy = config.clone_policy.clone();
 
         let mux: Option<Box<dyn CloneMux>> = match config.mux {
             MuxKind::None => None,
@@ -1110,6 +1137,7 @@ impl Platform {
         let mem = self.hv.memory_stats();
         let xs_sharing = self.xs.sharing();
         let p2m_sharing = self.hv.p2m_sharing();
+        let blk_sharing = self.dm.vbd_sharing();
         PlatformSnapshot {
             hyp_free_bytes: mem.free * sim_core::PAGE_SIZE as u64,
             dom0_free_bytes: self.dom0.free_bytes(&self.xs, &self.dm, &self.xl),
@@ -1123,6 +1151,8 @@ impl Platform {
             xs_unique_entry_bytes: xs_sharing.unique_entry_bytes,
             p2m_shared_bytes: p2m_sharing.shared_bytes,
             p2m_unique_bytes: p2m_sharing.unique_bytes,
+            blk_shared_bytes: blk_sharing.shared_bytes,
+            blk_unique_bytes: blk_sharing.unique_bytes,
         }
     }
 

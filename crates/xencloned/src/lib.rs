@@ -26,6 +26,7 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
 
+use devices::bus::{CloneCtx, ClonePolicy, DeviceClass};
 use devices::udev::{UdevBus, UdevEvent};
 use devices::{DevError, DeviceManager};
 use hypervisor::cloneop::CloneOp;
@@ -93,13 +94,18 @@ pub struct XenclonedConfig {
     /// Use the `xs_clone` request (`false` falls back to the deep per-entry
     /// copy measured by the "clone + XS deep copy" curve of Fig. 4).
     pub use_xs_clone: bool,
+    /// Per-device-class clone policy (the Redis experiment of §7.1
+    /// disables the network class: "the I/O cloning is optimized to clone
+    /// only the devices that are needed by the clones").
+    pub policy: ClonePolicy,
     /// Clone console devices.
+    #[deprecated(since = "0.3.0", note = "set `policy` (ClonePolicy) instead")]
     pub clone_console: bool,
-    /// Clone network devices (the Redis experiment of §7.1 skips them:
-    /// "the I/O cloning is optimized to clone only the devices that are
-    /// needed by the clones").
+    /// Clone network devices.
+    #[deprecated(since = "0.3.0", note = "set `policy` (ClonePolicy) instead")]
     pub clone_network: bool,
     /// Clone 9pfs devices.
+    #[deprecated(since = "0.3.0", note = "set `policy` (ClonePolicy) instead")]
     pub clone_9pfs: bool,
     /// Restrict the second stage to the mandatory operations only
     /// (toolstack introduction and naming) — the configuration used for
@@ -108,14 +114,32 @@ pub struct XenclonedConfig {
 }
 
 impl Default for XenclonedConfig {
+    #[allow(deprecated)]
     fn default() -> Self {
         XenclonedConfig {
             use_xs_clone: true,
+            policy: ClonePolicy::all(),
             clone_console: true,
             clone_network: true,
             clone_9pfs: true,
             minimal: false,
         }
+    }
+}
+
+impl XenclonedConfig {
+    /// Whether the second stage clones devices of `class`: the typed
+    /// [`ClonePolicy`] merged with the deprecated per-class booleans (a
+    /// class is cloned only if neither disables it).
+    #[allow(deprecated)]
+    pub fn device_enabled(&self, class: DeviceClass) -> bool {
+        let legacy = match class {
+            DeviceClass::Console => self.clone_console,
+            DeviceClass::Vif => self.clone_network,
+            DeviceClass::P9fs => self.clone_9pfs,
+            _ => true,
+        };
+        legacy && self.policy.clones(class)
     }
 }
 
@@ -288,38 +312,44 @@ impl Xencloned {
                 }
             }
 
-            // Console (step 2.1 → QEMU picks it up via its watch).
-            if self.config.clone_console && dm.console_attached(parent) {
-                dm.clone_console(hv, xs, parent, child, !self.config.use_xs_clone)?;
+            // Devices: one loop over the parent's bus entries, dispatched
+            // through each device's declared clone semantics (steps
+            // 2.1–2.3). The bus sorts by (class, devid), so consoles clone
+            // first, then vifs by device index, then 9pfs — the same order
+            // the legacy hand-enumerated stage used.
+            let deep_copy = !self.config.use_xs_clone;
+            for dev in dm.bus_devices(parent) {
+                if !self.config.device_enabled(dev.id().class) {
+                    continue;
+                }
+                let mut ctx = CloneCtx {
+                    parent,
+                    child,
+                    deep_copy,
+                    hv,
+                    xs,
+                    udev,
+                    dm,
+                };
+                let outcome = dev.as_ref().clone_into(&mut ctx)?;
+                ifaces.extend(outcome.ifaces);
             }
 
-            // Network devices: clone, then run the userspace follow-ups for
-            // the udev events (step 2.3) — enslaving each new vif.
-            if self.config.clone_network {
-                for devid in dm.vif_devids(parent) {
-                    let iface =
-                        dm.clone_vif(hv, xs, udev, parent, child, devid, !self.config.use_xs_clone)?;
-                    ifaces.push(iface);
-                }
-                for e in udev.drain() {
-                    if let UdevEvent::VifCreated { .. } = e {
-                        if mux.is_some() {
-                            self.clock.advance(self.costs.bond_enslave);
-                        } else {
-                            self.clock.advance(self.costs.bridge_add);
-                        }
-                    }
-                }
-                if let Some(m) = mux.as_deref_mut() {
-                    for i in &ifaces {
-                        m.add_member(*i);
+            // Userspace follow-ups for the udev events (step 2.3) —
+            // enslaving each new vif.
+            for e in udev.drain() {
+                if let UdevEvent::VifCreated { .. } = e {
+                    if mux.is_some() {
+                        self.clock.advance(self.costs.bond_enslave);
+                    } else {
+                        self.clock.advance(self.costs.bridge_add);
                     }
                 }
             }
-
-            // 9pfs: QMP request to the parent's backend process (step 2.2).
-            if self.config.clone_9pfs && dm.p9_served(parent) {
-                dm.clone_9pfs(xs, parent, child, !self.config.use_xs_clone)?;
+            if let Some(m) = mux.as_deref_mut() {
+                for i in &ifaces {
+                    m.add_member(*i);
+                }
             }
         }
 
@@ -515,10 +545,23 @@ mod tests {
     fn network_skipping_for_redis_style_clones() {
         let mut w = world();
         let parent = boot_parent(&mut w);
-        w.daemon.config.clone_network = false;
+        w.daemon.config.policy = ClonePolicy::all().set(DeviceClass::Vif, false);
         let c = fork(&mut w, parent, None);
         assert!(w.dm.vif(c.child, 0).is_none());
         assert!(w.dm.console_attached(c.child), "console still cloned");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_class_booleans_still_disable_classes() {
+        let mut w = world();
+        let parent = boot_parent(&mut w);
+        w.daemon.config.clone_network = false;
+        assert!(!w.daemon.config.device_enabled(DeviceClass::Vif));
+        assert!(w.daemon.config.device_enabled(DeviceClass::Console));
+        let c = fork(&mut w, parent, None);
+        assert!(w.dm.vif(c.child, 0).is_none(), "legacy boolean still honoured");
+        assert!(w.dm.console_attached(c.child));
     }
 
     #[test]

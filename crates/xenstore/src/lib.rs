@@ -74,6 +74,10 @@ pub enum XsCloneOp {
     DevVif,
     /// 9pfs device cloning.
     Dev9pfs,
+    /// Block device cloning.
+    DevVbd,
+    /// Vsock device cloning.
+    DevVsock,
 }
 
 /// A fired watch event awaiting dispatch.
@@ -124,6 +128,8 @@ fn clone_op_name(op: XsCloneOp) -> &'static str {
         XsCloneOp::DevConsole => "dev_console",
         XsCloneOp::DevVif => "dev_vif",
         XsCloneOp::Dev9pfs => "dev_9pfs",
+        XsCloneOp::DevVbd => "dev_vbd",
+        XsCloneOp::DevVsock => "dev_vsock",
     }
 }
 
@@ -261,6 +267,24 @@ impl Xenstore {
     /// Whether a path exists (no logging; used internally and by tests).
     pub fn exists(&self, path: &str) -> bool {
         self.root.lookup(path).is_some()
+    }
+
+    /// Introspection-only directory listing: child names without charging
+    /// virtual time or logging an access. The auditor uses this to
+    /// enumerate device nodes; the simulated machine must use
+    /// [`Xenstore::directory`].
+    pub fn peek_directory(&self, path: &str) -> Vec<String> {
+        match self.root.lookup(path) {
+            Some(node) => node.child_names().map(str::to_string).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Introspection-only value read: like [`Xenstore::read`] but without
+    /// charging virtual time or logging an access. `None` for missing
+    /// paths and value-less directories.
+    pub fn peek(&self, path: &str) -> Option<String> {
+        self.root.lookup(path).and_then(|node| node.value())
     }
 
     /// Writes `value` at `path`, creating intermediate directories, firing
@@ -535,6 +559,13 @@ impl Xenstore {
         if self.exists(&home) {
             let _ = self.rm(DomId::DOM0, &home);
         }
+        // NOTE: the Dom0-side backend entries
+        // (`/local/domain/0/backend/<class>/<domid>`) are deliberately
+        // left in place, mirroring the legacy toolstack teardown. Every
+        // committed figure's virtual time depends on the store's entry
+        // count (`xs_per_existing_entry`), so removing them here would
+        // drift the determinism-gated CSVs; the device-bus auditor
+        // scopes its orphan sweep to live domains accordingly.
         self.watches.forget_owner(domid);
     }
 
@@ -602,7 +633,11 @@ impl Xenstore {
         // when first written through.
         let rewritten = match op {
             XsCloneOp::Basic => src,
-            XsCloneOp::DevConsole | XsCloneOp::DevVif | XsCloneOp::Dev9pfs => {
+            XsCloneOp::DevConsole
+            | XsCloneOp::DevVif
+            | XsCloneOp::Dev9pfs
+            | XsCloneOp::DevVbd
+            | XsCloneOp::DevVsock => {
                 src.with_rewrite(DomidRewrite {
                     old: parent_domid.0,
                     new: child_domid.0,

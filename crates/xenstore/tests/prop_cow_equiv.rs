@@ -326,7 +326,11 @@ impl RefStore {
             .advance(self.costs.xs_clone_per_entry.saturating_mul(entries));
         let rewritten = match op {
             XsCloneOp::Basic => src,
-            XsCloneOp::DevConsole | XsCloneOp::DevVif | XsCloneOp::Dev9pfs => {
+            XsCloneOp::DevConsole
+            | XsCloneOp::DevVif
+            | XsCloneOp::Dev9pfs
+            | XsCloneOp::DevVbd
+            | XsCloneOp::DevVsock => {
                 let mut n = src;
                 n.rewrite_domid(parent.0, child.0);
                 n
@@ -446,6 +450,8 @@ fn cow_store_matches_deep_copy_reference() {
             XsCloneOp::DevConsole,
             XsCloneOp::DevVif,
             XsCloneOp::Dev9pfs,
+            XsCloneOp::DevVbd,
+            XsCloneOp::DevVsock,
         ];
 
         for (step, op) in ops.into_iter().enumerate() {

@@ -10,13 +10,16 @@ use std::net::Ipv4Addr;
 
 use nephele::apps::RedisApp;
 use nephele::toolstack::{DomainConfig, KernelImage};
-use nephele::{Platform, PlatformConfig};
+use nephele::{ClonePolicy, DeviceClass, Platform, PlatformConfig};
 
 fn main() {
-    let mut platform = Platform::new(PlatformConfig::builder().build());
     // Redis clones do not need network devices — xencloned clones only
     // what is needed (the paper's I/O-cloning optimization).
-    platform.daemon.config.clone_network = false;
+    let mut platform = Platform::new(
+        PlatformConfig::builder()
+            .clone_policy(ClonePolicy::all().set(DeviceClass::Vif, false))
+            .build(),
+    );
 
     let config = DomainConfig::builder("redis")
         .memory_mib(64)

@@ -54,8 +54,8 @@ awk -v base="$(reset_median scripts/bench_baselines/BENCH_clone_reset.json)" \
     }
 }'
 
-echo "== cargo check with deprecated APIs denied (no internal callers of deprecated getters)"
-RUSTFLAGS="-D deprecated" cargo check -q --workspace --offline
+echo "== cargo check with deprecated APIs denied (no internal callers of deprecated getters or clone shims)"
+RUSTFLAGS="-D deprecated" cargo check -q --workspace --all-targets --offline
 
 echo "== scripts/bench_gate.sh (medians vs checked-in baselines)"
 scripts/bench_gate.sh
@@ -66,12 +66,12 @@ if scripts/bench_gate.sh scripts/fixtures/regressed >/dev/null 2>&1; then
     exit 1
 fi
 
-echo "== figure determinism gate (fig4/fig5/fig7/fig9 CSVs must be byte-identical)"
-# Neither the COW Xenstore nor the p2m overlay rework may perturb any
-# virtual-time figure: re-run the key figures with the committed seeds
-# and diff stdout against the checked-in CSVs. fig4/fig7 embed span
-# aggregates, so they reproduce only with tracing enabled; fig5/fig9
-# run without it.
+echo "== figure determinism gate (fig4/fig5/fig6/fig7/fig9 CSVs must be byte-identical)"
+# Neither the COW Xenstore, the p2m overlay rework, nor the device-bus
+# dispatch may perturb any virtual-time figure: re-run the key figures
+# with the committed seeds and diff stdout against the checked-in CSVs.
+# fig4/fig7 embed span aggregates, so they reproduce only with tracing
+# enabled; fig5/fig6/fig9 run without it.
 detgate() {
     local fig="$1" trace="$2" out
     out="$(mktemp)"
@@ -91,6 +91,7 @@ detgate() {
 }
 detgate fig4 trace
 detgate fig5 notrace
+detgate fig6 notrace
 detgate fig7 trace
 detgate fig9 notrace
 

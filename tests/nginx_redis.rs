@@ -7,7 +7,7 @@ use nephele::apps::{NginxApp, RedisApp, DUMP_FILE, HTTP_PORT, REDIS_PORT};
 use nephele::netmux::SockEvent;
 use nephele::sim_core::DomId;
 use nephele::toolstack::{DomainConfig, KernelImage};
-use nephele::{Platform, PlatformConfig};
+use nephele::{ClonePolicy, DeviceClass, Platform, PlatformConfig};
 
 const SERVICE_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
@@ -94,7 +94,7 @@ fn nginx_worker_pinning() {
 fn redis_platform() -> (Platform, DomId) {
     let mut p = Platform::new(PlatformConfig::small());
     // Redis clones do not need network devices (§7.1).
-    p.daemon.config.clone_network = false;
+    p.daemon.config.policy = ClonePolicy::all().set(DeviceClass::Vif, false);
     let cfg = DomainConfig::builder("redis")
         .memory_mib(64)
         .vif(SERVICE_IP)
