@@ -24,7 +24,7 @@ pub mod p2m;
 pub mod scheduler;
 pub mod vcpu;
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
 
 use sim_core::{
@@ -100,6 +100,8 @@ pub struct Hypervisor {
     frames: FrameTable,
     domains: BTreeMap<u32, Domain>,
     next_domid: u32,
+    /// Ids of destroyed domains, reused lowest-first by [`Hypervisor::alloc_domid`].
+    free_domids: BTreeSet<u32>,
     clone_ring: NotificationRing,
     cloning_enabled: bool,
     pending_events: VecDeque<PendingEvent>,
@@ -108,6 +110,9 @@ pub struct Hypervisor {
     child_bindings: HashMap<(u32, Port), Vec<(DomId, Port)>>,
     cpu_pool: CpuPool,
     trace: TraceSink,
+    /// Deterministic fork/join pool for host-parallel batch stamping
+    /// (single-threaded by default; see [`Hypervisor::attach_pool`]).
+    par_pool: sim_core::par::Pool,
 }
 
 impl Hypervisor {
@@ -121,12 +126,14 @@ impl Hypervisor {
             frames: FrameTable::new(total),
             domains: BTreeMap::new(),
             next_domid: 0,
+            free_domids: BTreeSet::new(),
             clone_ring: NotificationRing::new(config.notification_ring_capacity),
             cloning_enabled: false,
             pending_events: VecDeque::new(),
             child_bindings: HashMap::new(),
             cpu_pool: CpuPool::new(config.cores),
             trace: TraceSink::default(),
+            par_pool: sim_core::par::Pool::single(),
         };
         // Dom0 exists from boot; its memory is modelled by the Dom0 model,
         // so it maps no pages from the guest pool.
@@ -151,6 +158,19 @@ impl Hypervisor {
         self.trace = sink;
     }
 
+    /// Attaches the deterministic fork/join pool used for host-parallel
+    /// batch stamping (single-threaded by default, which keeps every
+    /// code path byte-identical to the pre-pool behavior).
+    pub fn attach_pool(&mut self, pool: sim_core::par::Pool) {
+        self.par_pool = pool;
+    }
+
+    /// The attached fork/join pool (a cheap copy — the pool is just the
+    /// deterministic splitting policy).
+    pub fn pool(&self) -> sim_core::par::Pool {
+        self.par_pool
+    }
+
     /// The attached trace sink.
     pub fn trace(&self) -> &TraceSink {
         &self.trace
@@ -166,7 +186,7 @@ impl Hypervisor {
     // ------------------------------------------------------------------
 
     fn create_domain_inner(&mut self, name: &str, mem_pages: u64, vcpus: u32) -> Result<DomId> {
-        let id = DomId(self.next_domid);
+        let id = DomId(self.alloc_domid());
 
         self.clock.advance(self.costs.domain_create_base);
         self.clock
@@ -179,12 +199,14 @@ impl Hypervisor {
         self.clock
             .advance(self.costs.mem_alloc_per_page.saturating_mul(p2m_size));
 
-        let p2m_slots: Vec<Option<Mfn>> = self
-            .frames
-            .alloc_many(FrameOwner::Dom(id), p2m_size)?
-            .into_iter()
-            .map(Some)
-            .collect();
+        let p2m_slots: Vec<Option<Mfn>> = match self.frames.alloc_many(FrameOwner::Dom(id), p2m_size)
+        {
+            Ok(v) => v.into_iter().map(Some).collect(),
+            Err(e) => {
+                self.release_domid(id.0);
+                return Err(e);
+            }
+        };
 
         // Page-table frames and the frames storing the p2m itself are
         // auxiliary private memory.
@@ -197,10 +219,11 @@ impl Hypervisor {
             Ok(v) => v,
             Err(e) => {
                 // Roll back the p2m allocation so a failed creation does
-                // not leak frames.
+                // not leak frames (nor the reserved domain id).
                 for mfn in p2m_slots.into_iter().flatten() {
                     let _ = self.frames.free(mfn, FrameOwner::Dom(id));
                 }
+                self.release_domid(id.0);
                 return Err(e);
             }
         };
@@ -239,7 +262,6 @@ impl Hypervisor {
             checkpoint: None,
         };
         self.domains.insert(id.0, dom);
-        self.next_domid += 1;
         Ok(id)
     }
 
@@ -369,8 +391,10 @@ impl Hypervisor {
             peer.evtchn.close_peer(id);
             peer.grants.revoke_grantee(id);
         }
-        // Orphaned pending notifications for the dead domain are dropped.
+        // Orphaned pending notifications for the dead domain are dropped,
+        // and the id goes back to the allocator for deterministic reuse.
         self.pending_events.retain(|e| e.dom != id);
+        self.release_domid(id.0);
         Ok(())
     }
 
@@ -764,11 +788,29 @@ impl Hypervisor {
         evts
     }
 
-    /// Reserves the next domain id (cloning path).
+    /// Reserves a domain id. The lowest previously-freed id is reused
+    /// first (O(log freed), ordered — the id handed out is a pure
+    /// function of the create/destroy tape, with no hashing or host
+    /// state involved); with nothing to reuse, the next-id counter is
+    /// bumped. Both the create path and the cloning path allocate
+    /// through here, so ids are never double-assigned.
     pub(crate) fn alloc_domid(&mut self) -> u32 {
+        if let Some(id) = self.free_domids.pop_first() {
+            return id;
+        }
         let id = self.next_domid;
         self.next_domid += 1;
         id
+    }
+
+    /// Returns a domain id to the allocator (domain destruction and the
+    /// create-rollback path).
+    fn release_domid(&mut self, id: u32) {
+        debug_assert!(
+            !self.domains.contains_key(&id),
+            "released domid {id} still has a live domain"
+        );
+        self.free_domids.insert(id);
     }
 
     /// Inserts a fully built domain (cloning path).
@@ -977,6 +1019,38 @@ mod tests {
         let mut buf = [0u8; 5];
         hv.read_page(b, Pfn(5), 0, &mut buf).unwrap();
         assert_eq!(&buf, b"state");
+    }
+
+    #[test]
+    fn domid_sequence_is_pinned_across_create_destroy_create() {
+        // The allocator contract the rest of the stack depends on:
+        // lowest freed id first, then the counter — a pure function of
+        // the create/destroy tape. This tape's expected ids are pinned;
+        // any change to the reuse policy must update them consciously.
+        let mut hv = hv();
+        let a = hv.create_domain("a", 4, 1).unwrap();
+        let b = hv.create_domain("b", 4, 1).unwrap();
+        let c = hv.create_domain("c", 4, 1).unwrap();
+        assert_eq!((a.0, b.0, c.0), (1, 2, 3), "dom0 holds id 0");
+
+        // Destroy the middle and first domains; the lowest id wins reuse.
+        hv.destroy_domain(b).unwrap();
+        hv.destroy_domain(a).unwrap();
+        let d = hv.create_domain("d", 4, 1).unwrap();
+        let e = hv.create_domain("e", 4, 1).unwrap();
+        let f = hv.create_domain("f", 4, 1).unwrap();
+        assert_eq!((d.0, e.0, f.0), (1, 2, 4), "reuse 1 then 2, then bump");
+
+        // Destroying the highest id and re-creating reuses it too.
+        hv.destroy_domain(f).unwrap();
+        let g = hv.create_domain("g", 4, 1).unwrap();
+        assert_eq!(g.0, 4);
+
+        // A failed creation must not consume an id.
+        hv.destroy_domain(g).unwrap();
+        assert!(hv.create_domain("huge", 1 << 20, 1).is_err());
+        let h = hv.create_domain("h", 4, 1).unwrap();
+        assert_eq!(h.0, 4);
     }
 
     #[test]

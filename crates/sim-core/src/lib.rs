@@ -11,6 +11,8 @@
 //! * [`costs`] — the single calibrated [`CostModel`] from which every
 //!   modelled operation derives its virtual duration.
 //! * [`events`] — a deterministic discrete-event queue.
+//! * [`par`] — a deterministic fork/join [`Pool`]: seeded work splitting
+//!   and ordered reduction, so host parallelism never changes a result.
 //! * [`rng`] — a small deterministic PRNG ([`SplitMix64`]) so the lower
 //!   layers do not need external crates.
 //! * [`stats`] — streaming statistics and series recording for experiments.
@@ -28,6 +30,7 @@
 //! [`SimDuration`]: time::SimDuration
 //! [`Clock`]: clock::Clock
 //! [`CostModel`]: costs::CostModel
+//! [`Pool`]: par::Pool
 //! [`SplitMix64`]: rng::SplitMix64
 
 pub mod clock;
@@ -36,6 +39,7 @@ pub mod events;
 pub mod flightrec;
 pub mod hist;
 pub mod ids;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -47,6 +51,7 @@ pub use events::EventQueue;
 pub use flightrec::{FlightEvent, FlightRecorder, DEFAULT_FLIGHTREC_CAPACITY};
 pub use hist::Histogram;
 pub use ids::{DomId, Mfn, Pfn, PAGE_SIZE};
+pub use par::Pool;
 pub use rng::SplitMix64;
 pub use time::{SimDuration, SimTime};
 pub use trace::{SpanGuard, TraceConfig, TraceSink};

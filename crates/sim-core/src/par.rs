@@ -1,0 +1,257 @@
+//! Deterministic fork/join execution.
+//!
+//! The simulator's semantic clock is *virtual* time; host threads are
+//! only allowed to speed up work whose outcome is already fixed by the
+//! single-threaded order. [`Pool`] is the one primitive every layer uses
+//! for that: it maps a function over a batch of independent items on a
+//! fixed number of `std::thread` workers (no external crates — the
+//! workspace is hermetic) and hands the results back **in input order**,
+//! so a caller that merges them sequentially observes exactly what the
+//! single-threaded loop would have produced.
+//!
+//! Determinism rules the pool enforces by construction:
+//!
+//! * **Seeded work splitting.** The batch is cut into contiguous chunks
+//!   whose boundaries are a pure function of `(seed, len, threads)` —
+//!   never of host timing — so the same configuration always assigns
+//!   the same items to the same logical worker.
+//! * **Ordered reduction.** Each worker returns its chunk's results as
+//!   one vector; the caller's thread concatenates them in chunk order.
+//!   No worker ever publishes through shared mutable state, so there is
+//!   nothing to race on and nothing to lock.
+//! * **Inline single-thread path.** With `threads <= 1` (the default
+//!   platform configuration) or a trivially small batch, [`Pool::map`]
+//!   runs the closure inline on the calling thread: no spawn, no
+//!   synchronization, byte-for-byte the pre-pool behavior.
+//!
+//! Workers receive owned `Send` inputs and produce owned `Send` outputs.
+//! Anything `Rc`-based (the virtual [`Clock`](crate::Clock), the
+//! [`TraceSink`](crate::TraceSink), p2m templates) must stay on the
+//! calling thread; parallel stages ship plain data out and the caller
+//! commits it in order.
+
+use crate::rng::SplitMix64;
+
+/// Default seed for pools whose owner has no seed of its own.
+pub const DEFAULT_POOL_SEED: u64 = 0x6e65_7068_656c_6570; // "nephelep"
+
+/// A fixed-size deterministic fork/join pool.
+///
+/// Cheap to copy and hand to every component that wants it; the pool
+/// holds no OS resources — threads are scoped per [`map`](Pool::map)
+/// call, so a `Pool` is just the splitting policy.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::par::Pool;
+///
+/// let st = Pool::single();
+/// let mt = Pool::new(4);
+/// let items: Vec<u64> = (0..100).collect();
+/// let a = st.map(items.clone(), |i, x| x * 2 + i as u64);
+/// let b = mt.map(items, |i, x| x * 2 + i as u64);
+/// assert_eq!(a, b); // ordered reduction: thread count is invisible
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+    seed: u64,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::single()
+    }
+}
+
+impl Pool {
+    /// A pool running `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Pool { threads: threads.max(1), seed: DEFAULT_POOL_SEED }
+    }
+
+    /// The single-threaded pool: [`map`](Pool::map) runs inline.
+    pub fn single() -> Self {
+        Pool::new(1)
+    }
+
+    /// Replaces the work-splitting seed (chunk boundaries are a pure
+    /// function of `(seed, len, threads)`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of workers this pool schedules onto.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` when [`map`](Pool::map) may actually spawn workers.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// Deterministic chunk boundaries for a batch of `len` items:
+    /// `nw + 1` strictly increasing split points from `0` to `len`,
+    /// where `nw = min(threads, len)`. An even split jittered by a
+    /// seeded PRNG — a pure function of `(seed, len, threads)`, so the
+    /// same configuration always cuts the batch the same way.
+    pub fn split_points(&self, len: usize) -> Vec<usize> {
+        let nw = self.threads.min(len).max(1);
+        let mut pts = Vec::with_capacity(nw + 1);
+        pts.push(0usize);
+        let mut rng = SplitMix64::new(
+            self.seed ^ ((len as u64) << 24) ^ (self.threads as u64),
+        );
+        for i in 1..nw {
+            let even = i * len / nw;
+            let slack = (len / nw / 4) as i64;
+            let jitter = if slack > 0 {
+                (rng.next_below(2 * slack as u64 + 1)) as i64 - slack
+            } else {
+                0
+            };
+            // Keep at least one item per remaining chunk.
+            let lo = pts[i - 1] as i64 + 1;
+            let hi = (len - (nw - i)) as i64;
+            pts.push((even as i64 + jitter).clamp(lo, hi) as usize);
+        }
+        pts.push(len);
+        pts
+    }
+
+    /// Maps `f` over `items` on the pool, returning outputs in input
+    /// order. `f` receives each item's original index alongside the
+    /// item, so workers can label results without shared state.
+    ///
+    /// With one thread (or fewer than two items) this is a plain inline
+    /// loop — no threads, no locks, identical to sequential code.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` (the joining thread re-panics).
+    pub fn map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, T) -> U + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        }
+        let len = items.len();
+        let pts = self.split_points(len);
+        // Carve the batch into owned chunks back-to-front so each
+        // split_off is O(chunk), then restore front-to-back order.
+        let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(pts.len() - 1);
+        let mut rest = items;
+        for w in (1..pts.len() - 1).rev() {
+            chunks.push((pts[w], rest.split_off(pts[w])));
+        }
+        chunks.push((0, rest));
+        chunks.reverse();
+
+        let f = &f;
+        let per_chunk: Vec<Vec<U>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|(base, chunk)| {
+                    scope.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, x)| f(base + i, x))
+                            .collect::<Vec<U>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+
+        // Ordered reduction: concatenate in chunk (= input) order.
+        let mut out = Vec::with_capacity(len);
+        for mut v in per_chunk {
+            out.append(&mut v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order_at_any_width() {
+        let items: Vec<u64> = (0..997).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let got = Pool::new(threads).map(items.clone(), |_, x| x * 3 + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_passes_original_indices() {
+        let items: Vec<u64> = (0..257).map(|i| i * 10).collect();
+        let got = Pool::new(4).map(items, |i, x| (i, x));
+        for (i, (idx, x)) in got.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*x, i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn split_points_are_deterministic_and_well_formed() {
+        for (threads, len) in [(4usize, 100usize), (8, 3), (2, 1), (3, 1000), (16, 17)] {
+            let p = Pool::new(threads);
+            let a = p.split_points(len);
+            let b = p.split_points(len);
+            assert_eq!(a, b, "same config must split identically");
+            assert_eq!(a[0], 0);
+            assert_eq!(*a.last().unwrap(), len);
+            assert!(a.windows(2).all(|w| w[0] < w[1] || (len == 0 && w[0] == w[1])));
+            assert_eq!(a.len(), threads.min(len).max(1) + 1);
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_split_but_not_the_result() {
+        let p1 = Pool::new(4).with_seed(1);
+        let p2 = Pool::new(4).with_seed(2);
+        assert_ne!(p1.split_points(4096), p2.split_points(4096));
+        let items: Vec<u64> = (0..4096).collect();
+        assert_eq!(
+            p1.map(items.clone(), |i, x| x ^ i as u64),
+            p2.map(items, |i, x| x ^ i as u64),
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_batches_run_inline() {
+        let p = Pool::new(8);
+        assert_eq!(p.map(Vec::<u32>::new(), |_, x| x), Vec::<u32>::new());
+        assert_eq!(p.map(vec![9u32], |i, x| x + i as u32), vec![9]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let p = Pool::new(4);
+        let items: Vec<u32> = (0..64).collect();
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.map(items, |_, x| {
+                assert!(x != 40, "deliberate worker failure");
+                x
+            })
+        }));
+        assert!(res.is_err());
+    }
+}

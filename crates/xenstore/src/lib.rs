@@ -544,6 +544,7 @@ impl Xenstore {
     fn introduce_domain_impl(&mut self, domid: DomId, parent: Option<DomId>) -> Result<()> {
         self.clock.advance(self.costs.xs_introduce);
         self.charge_request("introduce", &format!("/local/domain/{}", domid.0));
+        self.scrub_stale_backends(domid);
         let home = format!("/local/domain/{}", domid.0);
         self.mkdir_internal(DomId::DOM0, &home)?;
         if let Some(p) = parent {
@@ -551,6 +552,24 @@ impl Xenstore {
         }
         self.fire_watches(&home);
         Ok(())
+    }
+
+    /// Garbage-collects Dom0-side backend subtrees left behind by a
+    /// *previous* owner of `domid`. Destruction deliberately leaves them
+    /// in place (see [`Xenstore::forget_domain`]); now that the domid
+    /// allocator reuses freed ids, a domain taking over an id must not
+    /// inherit its predecessor's stale device nodes — the auditor's
+    /// orphan sweep is scoped to live domains and would (rightly) flag
+    /// them. Pure bookkeeping folded into the introduce request: no
+    /// extra virtual time, no watch events, and a no-op for fresh ids,
+    /// so figures that never destroy a domain are byte-identical.
+    fn scrub_stale_backends(&mut self, domid: DomId) {
+        for class in self.peek_directory("/local/domain/0/backend") {
+            let path = format!("/local/domain/0/backend/{class}/{}", domid.0);
+            if let Some(removed) = self.root.remove(&path) {
+                self.entry_count = self.entry_count.saturating_sub(removed);
+            }
+        }
     }
 
     /// Removes a domain's subtree on destruction.

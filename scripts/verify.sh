@@ -24,6 +24,9 @@ cargo test -q --offline --test trace_spans
 echo "== cargo test -q -p hypervisor --offline --test prop_clone_batch (batched clone equivalence + atomicity)"
 cargo test -q -p hypervisor --offline --test prop_clone_batch
 
+echo "== cargo test -q --offline --test prop_parallel_equiv (MT-vs-ST bit-identical platforms)"
+cargo test -q --offline --test prop_parallel_equiv
+
 echo "== cargo bench --no-run --offline"
 cargo bench --no-run --offline
 
@@ -32,6 +35,38 @@ cargo bench -p bench --bench clone_fanout --offline
 
 echo "== cargo bench -p bench --bench clone_reset --offline (O(dirty) checkpoint restore)"
 cargo bench -p bench --bench clone_reset --offline
+
+echo "== cargo bench -p bench --bench parallel_stamp --offline (fork/join pool on batched stamping)"
+cargo bench -p bench --bench parallel_stamp --offline
+
+echo "== parallel stamping speedup gate (fanout64: 4 threads vs 1 thread)"
+# The tentpole win: stamping 64 children's private pages on 4 workers
+# must beat the single-threaded pool by 2x. Wall-clock parallelism only
+# exists where the host has the cores to express it, so on smaller
+# hosts the ratio gate is skipped — determinism (the real contract) is
+# enforced unconditionally by prop_parallel_equiv and the figure gates.
+stamp_median() {
+    sed -n 's/.*"group": "parallel_stamp", "name": "'"$2"'".*"median_ns": \([0-9.eE+-]*\),.*/\1/p' "$1"
+}
+host_cpus="$(nproc)"
+awk -v st="$(stamp_median results/BENCH_parallel_stamp.json fanout64_t1)" \
+    -v mt="$(stamp_median results/BENCH_parallel_stamp.json fanout64_t4)" \
+    -v cpus="$host_cpus" 'BEGIN {
+    if (st + 0 <= 0 || mt + 0 <= 0) {
+        print "verify.sh: missing parallel_stamp medians (t1=" st ", t4=" mt ")"
+        exit 1
+    }
+    ratio = st / mt
+    printf "   fanout64 median %.0f ns at 1 thread vs %.0f ns at 4 (%.2fx on %d CPU(s))\n", st, mt, ratio, cpus
+    if (cpus < 4) {
+        print "   host has fewer than 4 CPUs: wall-clock ratio gate skipped"
+        exit 0
+    }
+    if (ratio < 2.0) {
+        print "verify.sh: parallel stamping speedup " ratio "x is below the 2x gate"
+        exit 1
+    }
+}'
 
 echo "== clone_reset speedup gate (>= 5x vs the seeded pre-overlay baseline)"
 # The general bench gate only catches regressions; this one asserts the
@@ -73,27 +108,39 @@ echo "== figure determinism gate (fig4/fig5/fig6/fig7/fig9 CSVs must be byte-ide
 # fig4/fig7 embed span aggregates, so they reproduce only with tracing
 # enabled; fig5/fig6/fig9 run without it.
 detgate() {
-    local fig="$1" trace="$2" out
+    local fig="$1" trace="$2" threads="${3:-1}" out
     out="$(mktemp)"
     if [[ "$trace" == trace ]]; then
-        NEPHELE_TRACE=1 cargo run -q -p bench --release --offline --bin "$fig" > "$out"
+        NEPHELE_THREADS="$threads" NEPHELE_TRACE=1 \
+            cargo run -q -p bench --release --offline --bin "$fig" > "$out"
     else
-        cargo run -q -p bench --release --offline --bin "$fig" > "$out"
+        NEPHELE_THREADS="$threads" \
+            cargo run -q -p bench --release --offline --bin "$fig" > "$out"
     fi
     if ! diff -q "results/$fig.csv" "$out" >/dev/null; then
-        echo "verify.sh: $fig.csv drifted from the committed results:"
+        echo "verify.sh: $fig.csv drifted from the committed results (threads=$threads):"
         diff "results/$fig.csv" "$out" | head -20
         rm -f "$out"
         exit 1
     fi
     rm -f "$out"
-    echo "   $fig.csv reproduced byte-identical"
+    echo "   $fig.csv reproduced byte-identical (threads=$threads)"
 }
 detgate fig4 trace
 detgate fig5 notrace
 detgate fig6 notrace
 detgate fig7 trace
 detgate fig9 notrace
+
+echo "== figure determinism gate under NEPHELE_THREADS=4 (host parallelism must be invisible)"
+# The same figures, re-run with the fork/join pool at 4 workers: every
+# byte of every virtual-time CSV must be unchanged, or the parallel
+# stamping leaked host scheduling into simulated results.
+detgate fig4 trace 4
+detgate fig5 notrace 4
+detgate fig6 notrace 4
+detgate fig7 trace 4
+detgate fig9 notrace 4
 
 echo "== cargo doc --no-deps --offline (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace --quiet

@@ -7,7 +7,7 @@ use std::net::Ipv4Addr;
 use std::path::Path;
 
 use nephele::hypervisor::cloneop::CloneOp;
-use nephele::hypervisor::memory::FrameOwner;
+use nephele::hypervisor::memory::{FrameOwner, FRAME_SHARDS};
 use nephele::sim_core::{DomId, Pfn};
 use nephele::toolstack::{DomainConfig, KernelImage};
 use nephele::{AuditMode, Platform, PlatformConfig};
@@ -199,6 +199,58 @@ fn audit_hook_panics_on_corruption_at_next_op() {
         .unwrap_or_else(|| "non-string panic".into());
     assert!(msg.contains("audit failed"), "panic message: {msg}");
     assert!(msg.contains("frame-refcount"), "panic names the invariant: {msg}");
+}
+
+/// Two shard counters corrupted in opposite directions still sum to the
+/// correct global totals, so the global counter cross-check (invariant 2)
+/// stays green — only the per-shard recount (invariant 12) can see the
+/// drift, and its report must name both shards.
+#[test]
+fn compensated_shard_drift_is_detected_by_the_shard_scan_only() {
+    let mut p = Platform::new(
+        PlatformConfig::builder()
+            .guest_pool_mib(256)
+            .audit(AuditMode::Off)
+            .flightrec_dir("target/test-flightrec")
+            .build(),
+    );
+    let img = KernelImage::minios("shards");
+    let parent = p.launch_plain(&guest_cfg("shards"), &img).expect("boot");
+    p.clone_domain(parent, 2).expect("clone");
+    assert!(p.audit().is_clean(), "pre-corruption state must be clean");
+
+    // Move one COW count from a shard that has some to its neighbour.
+    let scan = p.hv.frames().scan_shard_stats();
+    let donor = scan
+        .iter()
+        .position(|s| s.cow > 0)
+        .expect("a clone leaves COW frames behind");
+    let receiver = (donor + 1) % FRAME_SHARDS;
+    p.hv.frames_mut().corrupt_shard_counter_for_test(receiver, 1);
+    p.hv.frames_mut().corrupt_shard_counter_for_test(donor, -1);
+
+    // The drift is compensated: the global totals still agree, so the
+    // whole-table counter check cannot fire.
+    assert_eq!(p.hv.frames().incremental_stats(), p.hv.frames().scan_stats());
+
+    let report = p.audit();
+    assert!(!report.is_clean(), "compensated drift must fail the audit");
+    assert!(
+        report.violations.iter().all(|v| v.invariant == "shard-stats"),
+        "only the shard invariant can see compensated drift:\n{report}"
+    );
+    assert_eq!(report.violations.len(), 2, "both shards flagged:\n{report}");
+    for s in [donor, receiver] {
+        assert!(
+            report.violations.iter().any(|v| v.detail.contains(&format!("shard {s} "))),
+            "violation must name shard {s}:\n{report}"
+        );
+    }
+
+    // Undoing the corruption brings the audit back to clean.
+    p.hv.frames_mut().corrupt_shard_counter_for_test(receiver, -1);
+    p.hv.frames_mut().corrupt_shard_counter_for_test(donor, 1);
+    assert!(p.audit().is_clean());
 }
 
 /// An armed KFX checkpoint with live COW-fault journals must audit

@@ -1,0 +1,204 @@
+//! Same-seed multi-threaded vs single-threaded equivalence: random
+//! clone/fork/checkpoint/reset/destroy tapes replayed at `threads = 1`
+//! and `threads ∈ {2, 4, 8}` must produce bit-identical platforms — the
+//! same [`PlatformSnapshot`], the same frame placement (every domain's
+//! p2m and aux frames), the same Xenstore tree, and the same trace spans
+//! (names, nesting and virtual-time stamps) — with a clean audit at
+//! every width.
+//!
+//! This is the semantic contract of `sim_core::par::Pool`: host threads
+//! only accelerate work whose outcome is already fixed by the
+//! single-threaded order, so the thread count must be observably
+//! invisible.
+
+use nephele::hypervisor::cloneop::CloneOp;
+use nephele::hypervisor::error::HvError;
+use nephele::sim_core::{DomId, Pfn, TraceConfig, PAGE_SIZE};
+use nephele::toolstack::{DomainConfig, KernelImage};
+use nephele::{AuditMode, Platform, PlatformConfig, PlatformSnapshot};
+use testkit::prop::{check, ranges, vecs, Gen};
+
+/// One step of a random clone-family tape. Domain indices select from
+/// the currently live domains modulo the list length.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Batch-clone domain `idx` into `nr` children (the parallel path).
+    Clone { idx: u64, nr: u32 },
+    /// Fork domain `idx` (single-child clone).
+    Fork { idx: u64 },
+    /// Write one byte at (pfn, offset) of domain `idx` (COW breaks).
+    Write { idx: u64, pfn: u64, off: usize, val: u8 },
+    /// Arm (or re-arm) the KFX checkpoint of domain `idx`.
+    Checkpoint { idx: u64 },
+    /// Restore domain `idx` to its checkpoint.
+    Reset { idx: u64 },
+    /// Destroy domain `idx` (frees its domid for deterministic reuse).
+    Destroy { idx: u64 },
+}
+
+fn ops_gen() -> impl Gen<Value = Vec<Op>> {
+    vecs(
+        (ranges(0u64..8), ranges(0u64..8), ranges(0u64..1060), ranges(0u64..65536)).map(
+            |(kind, idx, pfn, val)| match kind {
+                // Batch clones dominate: they are the parallelized path.
+                0 | 1 => Op::Clone { idx, nr: 1 + (val % 4) as u32 },
+                2 | 3 => Op::Write {
+                    idx,
+                    pfn,
+                    off: (val as usize).wrapping_mul(61) % PAGE_SIZE,
+                    val: val as u8,
+                },
+                4 => Op::Checkpoint { idx },
+                5 => Op::Reset { idx },
+                6 => Op::Destroy { idx },
+                _ => Op::Fork { idx },
+            },
+        ),
+        1..14,
+    )
+}
+
+fn guest_cfg(name: &str) -> DomainConfig {
+    DomainConfig::builder(name).memory_mib(4).max_clones(64).build()
+}
+
+/// Everything about a finished tape that must be thread-count-invariant.
+struct Outcome {
+    snapshot: PlatformSnapshot,
+    /// Per-domain frame placement: p2m mappings and aux frames, in
+    /// domain-id order.
+    frames: String,
+    /// The full Xenstore tree (paths and values, sorted walk).
+    xenstore: String,
+    /// Every recorded trace span: name, nesting, attrs and virtual-time
+    /// start/end stamps.
+    spans: String,
+}
+
+/// Depth-first Xenstore dump via the uncharged introspection API.
+fn dump_xenstore(p: &Platform, path: &str, out: &mut String) {
+    let val = p.xs.peek(path);
+    out.push_str(path);
+    if let Some(v) = val {
+        out.push_str(" = ");
+        out.push_str(&v);
+    }
+    out.push('\n');
+    for child in p.xs.peek_directory(path) {
+        let sub = if path == "/" { format!("/{child}") } else { format!("{path}/{child}") };
+        dump_xenstore(p, &sub, out);
+    }
+}
+
+fn run_tape(threads: usize, ops: &[Op]) -> Outcome {
+    let img = KernelImage::minios("parprop");
+    let mut p = Platform::new(
+        PlatformConfig::builder()
+            .guest_pool_mib(64)
+            .threads(threads)
+            .tracing(TraceConfig::enabled())
+            .audit(AuditMode::Off)
+            .flightrec_dir("target/test-prop-parallel")
+            .build(),
+    );
+    let root = p.launch_plain(&guest_cfg("parprop"), &img).expect("root boot");
+    let mut live = vec![root];
+    for op in ops {
+        match op {
+            Op::Clone { idx, nr } => {
+                if live.len() >= 12 {
+                    continue;
+                }
+                let parent = live[(*idx as usize) % live.len()];
+                if let Ok(kids) = p.clone_domain(parent, *nr) {
+                    live.extend(kids);
+                }
+            }
+            Op::Fork { idx } => {
+                if live.len() >= 12 {
+                    continue;
+                }
+                let parent = live[(*idx as usize) % live.len()];
+                if let Ok(kids) = p.clone_domain(parent, 1) {
+                    live.extend(kids);
+                }
+            }
+            Op::Write { idx, pfn, off, val } => {
+                let dom = live[(*idx as usize) % live.len()];
+                match p.hv.write_page(dom, Pfn(*pfn), *off, &[*val]) {
+                    Ok(()) | Err(HvError::NotMapped(..)) => {}
+                    Err(e) => panic!("unexpected write error: {e}"),
+                }
+            }
+            Op::Checkpoint { idx } => {
+                let dom = live[(*idx as usize) % live.len()];
+                let _ = p.hv.cloneop(DomId::DOM0, CloneOp::Checkpoint { dom });
+            }
+            Op::Reset { idx } => {
+                let dom = live[(*idx as usize) % live.len()];
+                let _ = p.hv.cloneop(DomId::DOM0, CloneOp::CloneReset { dom });
+            }
+            Op::Destroy { idx } => {
+                if live.len() <= 1 {
+                    continue;
+                }
+                let pos = (*idx as usize) % live.len();
+                if live[pos] == root {
+                    continue;
+                }
+                let dom = live.remove(pos);
+                p.destroy(dom).expect("destroy live domain");
+            }
+        }
+    }
+
+    let report = p.audit();
+    assert!(report.is_clean(), "audit at threads={threads}:\n{report}");
+
+    let mut frames = String::new();
+    let mut ids: Vec<u32> = p.hv.domains().map(|d| d.id.0).collect();
+    ids.sort_unstable();
+    for id in ids {
+        let d = p.hv.domain(DomId(id)).expect("listed domain");
+        frames.push_str(&format!("dom{id} {:?} aux={:?}\n", d.name, d.aux_frames));
+        for (pfn, mfn) in d.p2m.iter_mapped() {
+            frames.push_str(&format!("  {pfn}->{mfn}\n"));
+        }
+    }
+
+    let mut xenstore = String::new();
+    dump_xenstore(&p, "/", &mut xenstore);
+
+    let spans = format!("{:#?}", p.trace().spans());
+
+    Outcome { snapshot: p.snapshot(), frames, xenstore, spans }
+}
+
+/// Replaying the same tape at any thread width must be observably
+/// indistinguishable from the single-threaded run.
+#[test]
+fn parallel_execution_is_bit_identical_to_single_threaded() {
+    check(10, |g| {
+        let ops = g.draw(&ops_gen());
+        let base = run_tape(1, &ops);
+        for threads in [2usize, 4, 8] {
+            let mt = run_tape(threads, &ops);
+            assert_eq!(
+                base.snapshot, mt.snapshot,
+                "snapshot diverges at threads={threads} for {ops:?}"
+            );
+            assert_eq!(
+                base.frames, mt.frames,
+                "frame placement diverges at threads={threads} for {ops:?}"
+            );
+            assert_eq!(
+                base.xenstore, mt.xenstore,
+                "xenstore tree diverges at threads={threads} for {ops:?}"
+            );
+            assert_eq!(
+                base.spans, mt.spans,
+                "trace spans diverge at threads={threads} for {ops:?}"
+            );
+        }
+    });
+}
