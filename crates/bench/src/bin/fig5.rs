@@ -14,6 +14,8 @@ fn main() {
     bench::support::print_csv("fig5: free memory while booting", &r.booting.series);
     println!();
     bench::support::print_csv("fig5: free memory while cloning", &r.cloning.series);
+    bench::support::export_trace(&r.booting.trace, "fig5_boot");
+    bench::support::export_trace(&r.cloning.trace, "fig5_clone");
 
     eprintln!();
     eprintln!("summary:");

@@ -11,6 +11,9 @@ fn main() {
     eprintln!("fig9: running 7 fuzzing campaigns for {secs} virtual seconds each...");
     let (series, reports) = bench::fig9::run(secs);
     bench::support::print_csv("fig9: fuzzing throughput (executions/s)", &series);
+    for (label, r) in &reports {
+        bench::support::export_trace(&r.trace, &format!("fig9_{label}"));
+    }
 
     eprintln!();
     eprintln!("summary (mean executions/second):");

@@ -8,6 +8,7 @@
 //! 1 MB is the preallocated RX ring.
 
 use apps::UdpEchoApp;
+use nephele::TraceSink;
 use sim_core::stats::Series;
 
 use crate::support::{platform_with_pool, udp_guest_cfg, udp_image};
@@ -26,6 +27,8 @@ pub struct PackingRun {
     pub p2m_shared_bytes: u64,
     /// Host-side p2m bytes private to one domain at the end of the run.
     pub p2m_unique_bytes: u64,
+    /// The run's trace sink (disabled unless `NEPHELE_TRACE` is set).
+    pub trace: TraceSink,
 }
 
 /// Combined experiment result.
@@ -69,6 +72,7 @@ fn run_boot(pool_mib: u64, limit: u64) -> PackingRun {
         bytes_per_instance: (free0 - end.hyp_free_bytes) / count.max(1),
         p2m_shared_bytes: end.p2m_shared_bytes,
         p2m_unique_bytes: end.p2m_unique_bytes,
+        trace: p.trace().clone(),
     }
 }
 
@@ -106,6 +110,7 @@ fn run_clone(pool_mib: u64, limit: u64) -> PackingRun {
         bytes_per_instance: (free_after_parent - end.hyp_free_bytes) / (count - 1).max(1),
         p2m_shared_bytes: end.p2m_shared_bytes,
         p2m_unique_bytes: end.p2m_unique_bytes,
+        trace: p.trace().clone(),
     }
 }
 

@@ -39,7 +39,13 @@ pub fn platform_with_pool(pool_mib: u64) -> Platform {
 /// `about:tracing` / Perfetto), the span-aggregate CSV and the latency
 /// histogram CSV (per-operation p50/p90/p99/max) under `results/`, with
 /// the aggregates also printed to stdout next to the figure's series.
-/// No-op when the sink is disabled.
+/// Also writes the streaming exports — virtual-time timeline CSV,
+/// per-clone-family rollup CSV and the Prometheus-style text exposition —
+/// to files only (stdout stays byte-identical to earlier releases, which
+/// the determinism gate relies on). No-op when the sink is disabled.
+///
+/// This is the one export path every figure runner goes through, so any
+/// figure run with `NEPHELE_TRACE=1` yields the same artifact set.
 pub fn export_trace(trace: &TraceSink, fig: &str) {
     if !trace.is_enabled() {
         return;
@@ -49,21 +55,22 @@ pub fn export_trace(trace: &TraceSink, fig: &str) {
     println!("# {fig}: latency histograms (us)");
     print!("{}", trace.histograms_csv());
     let dir = Path::new("results");
+    let export = |name: &str, r: std::io::Result<()>, path: &Path| match r {
+        Ok(()) => eprintln!("{fig}: wrote {}", path.display()),
+        Err(e) => eprintln!("{fig}: {name} export failed: {e}"),
+    };
     let json = dir.join(format!("{fig}_trace.json"));
     let csv = dir.join(format!("{fig}_spans.csv"));
     let hist = dir.join(format!("{fig}_hist.csv"));
-    match trace.write_chrome_trace(&json) {
-        Ok(()) => eprintln!("{fig}: wrote {}", json.display()),
-        Err(e) => eprintln!("{fig}: chrome-trace export failed: {e}"),
-    }
-    match trace.write_span_aggregates(&csv) {
-        Ok(()) => eprintln!("{fig}: wrote {}", csv.display()),
-        Err(e) => eprintln!("{fig}: span-aggregate export failed: {e}"),
-    }
-    match trace.write_histograms(&hist) {
-        Ok(()) => eprintln!("{fig}: wrote {}", hist.display()),
-        Err(e) => eprintln!("{fig}: histogram export failed: {e}"),
-    }
+    let timeline = dir.join(format!("{fig}_timeline.csv"));
+    let families = dir.join(format!("{fig}_families.csv"));
+    let prom = dir.join(format!("{fig}_metrics.prom"));
+    export("chrome-trace", trace.write_chrome_trace(&json), &json);
+    export("span-aggregate", trace.write_span_aggregates(&csv), &csv);
+    export("histogram", trace.write_histograms(&hist), &hist);
+    export("timeline", trace.write_timeline(&timeline), &timeline);
+    export("family-rollup", trace.write_family_rollup(&families), &families);
+    export("metrics-text", trace.write_metrics_text(&prom), &prom);
 }
 
 /// Percentile summary of one measured curve (used for the figure

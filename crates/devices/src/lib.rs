@@ -36,7 +36,7 @@ pub mod usb;
 pub mod vsock;
 pub mod xenbus;
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
@@ -536,7 +536,7 @@ impl DeviceManager {
             .ok_or(DevError::NoSuchDevice(dom, devid))?;
         let pushed = vif.tx.push(pkt);
         self.trace
-            .count(if pushed { "dev.ring.tx" } else { "dev.ring.tx_drop" }, 1);
+            .count_dom(if pushed { "dev.ring.tx" } else { "dev.ring.tx_drop" }, dom, 1);
         self.trace
             .record_ns("dev.ring.tx", self.clock.now().since(start).as_ns());
         Ok(pushed)
@@ -566,7 +566,7 @@ impl DeviceManager {
             None => false,
         };
         self.trace
-            .count(if pushed { "dev.ring.rx" } else { "dev.ring.rx_drop" }, 1);
+            .count_dom(if pushed { "dev.ring.rx" } else { "dev.ring.rx_drop" }, dom, 1);
         self.trace
             .record_ns("dev.ring.rx", self.clock.now().since(start).as_ns());
         pushed
@@ -821,6 +821,30 @@ impl DeviceManager {
             }
         }
         s
+    }
+
+    /// Per-domain split of [`vbd_sharing`](Self::vbd_sharing): each
+    /// domain's contribution, in domain-id order (domains without vbds are
+    /// absent). Summing the rows reproduces the global split, which is how
+    /// the family rollups attribute resident block bytes to clone families.
+    pub fn vbd_sharing_by_dom(&self) -> Vec<(DomId, VbdSharing)> {
+        let mut refs: HashMap<usize, u32> = HashMap::new();
+        for v in self.vbds.values() {
+            *refs.entry(v.base_addr()).or_insert(0) += 1;
+            *refs.entry(v.overlay_addr()).or_insert(0) += 1;
+        }
+        let mut per_dom: BTreeMap<u32, VbdSharing> = BTreeMap::new();
+        for ((dom, _devid), v) in &self.vbds {
+            let s = per_dom.entry(*dom).or_default();
+            for (addr, bytes) in [(v.base_addr(), v.base_bytes()), (v.overlay_addr(), v.overlay_bytes())] {
+                if refs.get(&addr).copied().unwrap_or(0) > 1 {
+                    s.shared_bytes += bytes;
+                } else {
+                    s.unique_bytes += bytes;
+                }
+            }
+        }
+        per_dom.into_iter().map(|(d, s)| (DomId(d), s)).collect()
     }
 
     // ------------------------------------------------------------------

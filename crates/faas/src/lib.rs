@@ -12,6 +12,8 @@
 //!   (COW-unshared) pages plus per-instance orchestration state as
 //!   footprint, and the Python runtime shared via the 9pfs root.
 
+pub mod scale;
 pub mod sim;
 
+pub use scale::{run_scale, ScaleConfig, ScaleReport};
 pub use sim::{run_faas, Backend, FaasConfig, FaasReport};

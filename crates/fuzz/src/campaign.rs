@@ -21,7 +21,7 @@ use linux_procs::ProcessModel;
 use nephele::hypervisor::cloneop::{CloneOp, CloneOpResult};
 use nephele::sim_core::{Clock, DomId, Pfn, SimDuration, SimTime, SplitMix64};
 use nephele::toolstack::{DomainConfig, KernelImage};
-use nephele::{Platform, PlatformConfig};
+use nephele::{Platform, PlatformConfig, TraceConfig, TraceSink};
 
 use crate::afl::Afl;
 
@@ -59,6 +59,10 @@ pub struct FuzzConfig {
     pub duration: SimDuration,
     /// PRNG seed.
     pub seed: u64,
+    /// Observability knobs for the campaign platform (off by default; the
+    /// platform modes thread this through [`PlatformConfig`], the bare
+    /// Linux models have no platform and ignore it).
+    pub tracing: TraceConfig,
 }
 
 impl Default for FuzzConfig {
@@ -68,6 +72,7 @@ impl Default for FuzzConfig {
             target: FuzzTarget::SyscallSubsystem,
             duration: SimDuration::from_secs(300),
             seed: 0xF022,
+            tracing: TraceConfig::default(),
         }
     }
 }
@@ -91,6 +96,9 @@ pub struct FuzzReport {
     pub avg_reset_us: f64,
     /// Mean dirty pages restored per reset (clone modes only).
     pub avg_dirty_pages: f64,
+    /// The campaign platform's trace sink (disabled for the Linux modes
+    /// and when [`FuzzConfig::tracing`] left tracing off).
+    pub trace: TraceSink,
 }
 
 struct Bucketizer {
@@ -159,8 +167,10 @@ fn finish(
     reset_us_sum: f64,
     dirty_sum: u64,
     resets: u64,
+    trace: TraceSink,
 ) -> FuzzReport {
     FuzzReport {
+        trace,
         series: buckets.series(),
         total_execs: afl.executions(),
         avg_throughput: afl.executions() as f64 / duration.as_secs_f64(),
@@ -172,12 +182,13 @@ fn finish(
     }
 }
 
-fn fuzz_platform() -> Platform {
+fn fuzz_platform(cfg: &FuzzConfig) -> Platform {
     Platform::new(
         PlatformConfig::builder()
             .guest_pool_mib(256)
             .ring_capacity(128)
             .mux(nephele::MuxKind::None)
+            .tracing(cfg.tracing.clone())
             .build(),
     )
 }
@@ -192,7 +203,7 @@ fn fuzz_guest_cfg() -> DomainConfig {
 
 fn run_unikraft_clone(cfg: &FuzzConfig) -> FuzzReport {
     let mut rng = SplitMix64::new(cfg.seed);
-    let mut p = fuzz_platform();
+    let mut p = fuzz_platform(cfg);
     let parent = p
         .launch(
             &fuzz_guest_cfg(),
@@ -256,12 +267,12 @@ fn run_unikraft_clone(cfg: &FuzzConfig) -> FuzzReport {
         resets += 1;
         buckets.record(p.clock.now());
     }
-    finish(&afl, &buckets, cfg.duration, reset_us, dirty_sum, resets)
+    finish(&afl, &buckets, cfg.duration, reset_us, dirty_sum, resets, p.trace().clone())
 }
 
 fn run_unikraft_boot_each(cfg: &FuzzConfig) -> FuzzReport {
     let mut rng = SplitMix64::new(cfg.seed);
-    let mut p = fuzz_platform();
+    let mut p = fuzz_platform(cfg);
     let mut afl = Afl::new(cfg.seed, seed_input(cfg.target, &mut rng));
     let mut buckets = Bucketizer::new(cfg.duration);
     let t_end = p.clock.now() + cfg.duration;
@@ -290,7 +301,7 @@ fn run_unikraft_boot_each(cfg: &FuzzConfig) -> FuzzReport {
         p.destroy(dom).unwrap();
         buckets.record(p.clock.now());
     }
-    finish(&afl, &buckets, cfg.duration, 0.0, 0, 0)
+    finish(&afl, &buckets, cfg.duration, 0.0, 0, 0, p.trace().clone())
 }
 
 fn run_linux_process(cfg: &FuzzConfig) -> FuzzReport {
@@ -322,7 +333,7 @@ fn run_linux_process(cfg: &FuzzConfig) -> FuzzReport {
         afl.report(&input, &result.edges, result.crashed);
         buckets.record(clock.now());
     }
-    finish(&afl, &buckets, cfg.duration, 0.0, 0, 0)
+    finish(&afl, &buckets, cfg.duration, 0.0, 0, 0, TraceSink::disabled())
 }
 
 fn run_linux_module(cfg: &FuzzConfig) -> FuzzReport {
@@ -354,7 +365,7 @@ fn run_linux_module(cfg: &FuzzConfig) -> FuzzReport {
         resets += 1;
         buckets.record(clock.now());
     }
-    finish(&afl, &buckets, cfg.duration, reset_us, dirty_sum, resets)
+    finish(&afl, &buckets, cfg.duration, reset_us, dirty_sum, resets, TraceSink::disabled())
 }
 
 fn sim_core_costs() -> std::rc::Rc<nephele::sim_core::CostModel> {
@@ -371,6 +382,7 @@ mod tests {
             target,
             duration: SimDuration::from_secs(10),
             seed: 42,
+            tracing: TraceConfig::default(),
         })
     }
 

@@ -262,6 +262,9 @@ impl Hypervisor {
             checkpoint: None,
         };
         self.domains.insert(id.0, dom);
+        // Every freshly created domain roots a new clone family in the
+        // provenance registry (clone children join via `insert_domain`).
+        self.trace.family_root_created(id, name);
         Ok(id)
     }
 
@@ -395,6 +398,7 @@ impl Hypervisor {
         // and the id goes back to the allocator for deterministic reuse.
         self.pending_events.retain(|e| e.dom != id);
         self.release_domid(id.0);
+        self.trace.family_destroyed(id);
         Ok(())
     }
 
@@ -449,14 +453,14 @@ impl Hypervisor {
             FrameOwner::Cow => match self.frames.cow_fault(mfn, dom)? {
                 CowResolution::Copied(copy) => {
                     self.clock.advance(self.costs.cow_fault_copy);
-                    self.trace.count("hv.cow_fault.copy", 1);
+                    self.trace.count_dom("hv.cow_fault.copy", dom, 1);
                     self.domain_mut(dom)?.p2m.set(pfn.0 as usize, Some(copy));
                     self.journal_cow_copy(dom, pfn, mfn)?;
                     Ok(copy)
                 }
                 CowResolution::Transferred => {
                     self.clock.advance(self.costs.cow_fault_transfer);
-                    self.trace.count("hv.cow_fault.transfer", 1);
+                    self.trace.count_dom("hv.cow_fault.transfer", dom, 1);
                     // Only read-only shared pages reach the write-fault
                     // path (the IDC arm above catches writable ones).
                     self.journal_transfer_fault(dom, pfn, mfn, false)?;
@@ -642,6 +646,32 @@ impl Hypervisor {
         s
     }
 
+    /// Per-domain split of [`p2m_sharing`](Self::p2m_sharing): each
+    /// domain's contribution to the shared/unique template bytes, in
+    /// domain-id order. Summing the rows reproduces the global split,
+    /// which is how the family rollups attribute resident p2m bytes to
+    /// clone families.
+    pub fn p2m_sharing_by_dom(&self) -> Vec<(DomId, p2m::P2mSharing)> {
+        let mut base_uses: HashMap<usize, u32> = HashMap::new();
+        for d in self.domains.values() {
+            *base_uses.entry(d.p2m.base_addr()).or_default() += 1;
+        }
+        self.domains
+            .values()
+            .map(|d| {
+                let mut s = p2m::P2mSharing::default();
+                let base_bytes = d.p2m.base_len() as u64 * p2m::BASE_SLOT_BYTES;
+                if base_uses[&d.p2m.base_addr()] > 1 {
+                    s.shared_bytes += base_bytes;
+                } else {
+                    s.unique_bytes += base_bytes;
+                }
+                s.unique_bytes += d.p2m.overlay_len() as u64 * p2m::OVERLAY_ENTRY_BYTES;
+                (d.id, s)
+            })
+            .collect()
+    }
+
     /// Free guest-pool pages.
     pub fn free_pages(&self) -> u64 {
         self.frames.free_frames()
@@ -813,8 +843,10 @@ impl Hypervisor {
         self.free_domids.insert(id);
     }
 
-    /// Inserts a fully built domain (cloning path).
+    /// Inserts a fully built domain (cloning path), joining it to its
+    /// parent's clone family in the provenance registry.
     pub(crate) fn insert_domain(&mut self, d: Domain) {
+        self.trace.family_cloned(d.id, d.parent);
         self.domains.insert(d.id.0, d);
     }
 

@@ -38,7 +38,14 @@
 //!
 //! To observe what a run did, enable tracing and export the recorded
 //! spans ([`TraceConfig`], [`Platform::trace`], chrome-trace JSON and CSV
-//! exporters in [`sim_core::trace`]).
+//! exporters in [`sim_core::trace`]). Long or wide runs should switch the
+//! sink to streaming aggregation ([`TraceMode::Aggregate`], or
+//! `NEPHELE_TRACE_MODE=aggregate` at runtime): raw records are folded into
+//! histograms, virtual-time timeline slices and per-clone-family rollups
+//! as they close, so sink memory stays bounded by distinct metric keys
+//! rather than events. [`Platform::timeline_csv`],
+//! [`Platform::metrics_text`] and [`Platform::family_rollup_csv`] export
+//! identical bytes in either mode.
 //!
 //! Re-exports give access to every subsystem (`nephele::hypervisor`,
 //! `nephele::xenstore`, ...).
@@ -85,7 +92,14 @@ pub use devices::bus::{
 // `PlatformError`, so downstream code rarely needs to name member crates.
 pub use devices::DevError;
 pub use hypervisor::error::HvError;
-pub use sim_core::{TraceConfig, TraceSink};
+pub use sim_core::{
+    FamilyRow,
+    SinkOverhead,
+    TimelineConfig,
+    TraceConfig,
+    TraceMode,
+    TraceSink, //
+};
 pub use toolstack::XlError;
 pub use xencloned::CloneDaemonError;
 pub use xenstore::XsError;

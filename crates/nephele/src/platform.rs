@@ -1,10 +1,10 @@
 //! The assembled virtualization platform and its event loop.
 
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::net::Ipv4Addr;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
 use devices::bus::ClonePolicy;
@@ -27,16 +27,19 @@ use netmux::{
     SockEvent,
     XmitHashPolicy, //
 };
+use sim_core::rollup::render_family_csv;
 use sim_core::{
     Clock,
     CostModel,
     DomId,
     EventQueue,
+    FamilyRow,
     FlightEvent,
     FlightRecorder,
     SimDuration,
     SplitMix64,
     TraceConfig,
+    TraceMode,
     TraceSink,
     DEFAULT_FLIGHTREC_CAPACITY, //
 };
@@ -313,6 +316,31 @@ impl PlatformConfigBuilder {
         self
     }
 
+    /// Sets the trace retention mode, flipping the master switch to match
+    /// ([`TraceMode::Off`] disables the sink). Other tracing knobs are
+    /// preserved. `NEPHELE_TRACE_MODE` overrides this at runtime.
+    ///
+    /// ```
+    /// use nephele::{PlatformConfig, TraceMode};
+    ///
+    /// let cfg = PlatformConfig::builder().trace_mode(TraceMode::Aggregate).build();
+    /// assert!(cfg.tracing.enabled);
+    /// assert_eq!(cfg.tracing.effective_mode(), TraceMode::Aggregate);
+    /// ```
+    pub fn trace_mode(mut self, mode: TraceMode) -> Self {
+        self.config.tracing.mode = mode;
+        self.config.tracing.enabled = mode != TraceMode::Off;
+        self
+    }
+
+    /// Caps the raw counter samples a Full-mode sink retains; the oldest
+    /// samples are dropped past the cap (totals, timelines and streaming
+    /// aggregates are unaffected).
+    pub fn counter_sample_cap(mut self, cap: usize) -> Self {
+        self.config.tracing.counter_sample_cap = Some(cap);
+        self
+    }
+
     /// Sets the flight recorder ring capacity (number of events kept).
     pub fn flightrec_capacity(mut self, capacity: usize) -> Self {
         self.config.flightrec_capacity = capacity;
@@ -451,6 +479,7 @@ pub struct Platform {
     guests: HashMap<u32, GuestSlot>,
     timers: EventQueue<(u32, u64)>,
     packets_routed: u64,
+    seed: u64,
     trace: TraceSink,
     flightrec: FlightRecorder,
     flightrec_dir: PathBuf,
@@ -465,7 +494,18 @@ impl Platform {
     pub fn new(config: PlatformConfig) -> Self {
         let clock = Clock::new();
         let costs = Rc::new(config.costs);
-        let trace = TraceSink::new(clock.clone(), &config.tracing);
+        // `NEPHELE_TRACE_MODE=off|full|aggregate` overrides the configured
+        // retention mode (and the master switch with it); the remaining
+        // tracing knobs are kept as configured.
+        let mut tracing = config.tracing.clone();
+        if let Some(mode) = std::env::var("NEPHELE_TRACE_MODE")
+            .ok()
+            .and_then(|v| TraceMode::parse(v.trim()))
+        {
+            tracing.mode = mode;
+            tracing.enabled = mode != TraceMode::Off;
+        }
+        let trace = TraceSink::new(clock.clone(), &tracing);
         let mut hv = Hypervisor::new(clock.clone(), costs.clone(), &config.machine);
         let mut xs = Xenstore::new(clock.clone(), costs.clone());
         let mut dm = DeviceManager::new(clock.clone(), costs.clone());
@@ -537,6 +577,7 @@ impl Platform {
             guests: HashMap::new(),
             timers: EventQueue::new(),
             packets_routed: 0,
+            seed: config.seed,
             trace,
             flightrec: FlightRecorder::with_capacity(flightrec_capacity),
             flightrec_dir: config.flightrec_dir,
@@ -559,6 +600,98 @@ impl Platform {
     /// O(1) cost per event even with tracing off.
     pub fn flightrec(&self) -> &FlightRecorder {
         &self.flightrec
+    }
+
+    /// The master PRNG seed this platform was built with (also stamped
+    /// into flight-recorder dump filenames).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    // ------------------------------------------------------------------
+    // Observability exports
+    // ------------------------------------------------------------------
+
+    /// The virtual-time timeline as CSV (see
+    /// [`TraceSink::timeline_csv`]): counters, gauges and span closes
+    /// folded into fixed-width virtual-time slices. Identical in Full and
+    /// Aggregate mode; the header alone when tracing is off.
+    pub fn timeline_csv(&self) -> String {
+        self.trace.timeline_csv()
+    }
+
+    /// Writes [`timeline_csv`](Self::timeline_csv) to `path`, creating
+    /// parent directories as needed.
+    pub fn write_timeline(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        self.trace.write_timeline(path)
+    }
+
+    /// A Prometheus-style text exposition of the end-of-run metric state
+    /// (see [`TraceSink::metrics_text`]). Identical in Full and Aggregate
+    /// mode; empty when tracing is off.
+    pub fn metrics_text(&self) -> String {
+        self.trace.metrics_text()
+    }
+
+    /// Writes [`metrics_text`](Self::metrics_text) to `path`, creating
+    /// parent directories as needed.
+    pub fn write_metrics_text(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        self.trace.write_metrics_text(path)
+    }
+
+    /// Per-clone-family rollup rows: the sink's span/counter/gauge
+    /// attributions (see [`TraceSink::family_rows`]) plus point-in-time
+    /// `resident.*` rows splitting the platform's resident bytes (p2m
+    /// templates, Xenstore subtrees, block storage) across the live
+    /// members of each family.
+    pub fn family_rollup_rows(&self) -> Vec<FamilyRow> {
+        let mut rows = self.trace.family_rows();
+        if rows.is_empty() {
+            return rows;
+        }
+        let names: BTreeMap<u32, String> =
+            rows.iter().map(|r| (r.family, r.root_name.clone())).collect();
+        let mut resident: BTreeMap<(u32, &'static str), u64> = BTreeMap::new();
+        for (dom, s) in self.hv.p2m_sharing_by_dom() {
+            let Some(root) = self.trace.family_root_of(dom) else { continue };
+            *resident.entry((root, "resident.p2m_shared_bytes")).or_default() += s.shared_bytes;
+            *resident.entry((root, "resident.p2m_unique_bytes")).or_default() += s.unique_bytes;
+            *resident.entry((root, "resident.xs_entry_bytes")).or_default() +=
+                self.xs.subtree_entry_bytes(&format!("/local/domain/{}", dom.0));
+        }
+        for (dom, s) in self.dm.vbd_sharing_by_dom() {
+            let Some(root) = self.trace.family_root_of(dom) else { continue };
+            *resident.entry((root, "resident.blk_shared_bytes")).or_default() += s.shared_bytes;
+            *resident.entry((root, "resident.blk_unique_bytes")).or_default() += s.unique_bytes;
+        }
+        for ((family, metric), value) in resident {
+            let Some(root_name) = names.get(&family) else { continue };
+            rows.push(FamilyRow {
+                family,
+                root_name: root_name.clone(),
+                metric: metric.to_string(),
+                value,
+            });
+        }
+        rows
+    }
+
+    /// [`family_rollup_rows`](Self::family_rollup_rows) rendered as
+    /// `family,root,metric,value` CSV, sorted by `(family, metric)`.
+    pub fn family_rollup_csv(&self) -> String {
+        render_family_csv(self.family_rollup_rows())
+    }
+
+    /// Writes [`family_rollup_csv`](Self::family_rollup_csv) to `path`,
+    /// creating parent directories as needed.
+    pub fn write_family_rollup(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.family_rollup_csv())
     }
 
     /// Runs the state invariant auditor over the whole platform (frame
@@ -620,17 +753,39 @@ impl Platform {
         assert!(report.is_clean(), "nephele state audit failed after {op}:\n{report}");
     }
 
-    /// Writes `flightrec-<context>.json` into the configured dump
-    /// directory. Only the first dump per platform is written, so the
-    /// black box reflects the original failure, not the fallout.
+    /// Writes `flightrec-<context>-seed<seed>.json` into the configured
+    /// dump directory. Only the first dump per platform is written, so the
+    /// black box reflects the original failure, not the fallout. The seed
+    /// in the name keeps concurrent differently-seeded runs from colliding
+    /// on one file; if a dump with the same name but *different* contents
+    /// already exists (a crashed earlier run, say), it is preserved and
+    /// this dump is dropped with a note.
     fn dump_flightrec(&self, context: &str) {
         if !self.flightrec_dumps || self.flightrec_dumped.get() {
             return;
         }
         self.flightrec_dumped.set(true);
-        let file = format!("flightrec-{}.json", context.replace('.', "-"));
+        let file = format!("flightrec-{}-seed{:x}.json", context.replace('.', "-"), self.seed);
         let path = self.flightrec_dir.join(file);
-        if self.flightrec.dump(&path, context).is_ok() {
+        let json = self.flightrec.to_json(context);
+        if let Ok(existing) = std::fs::read_to_string(&path) {
+            if existing != json {
+                eprintln!(
+                    "nephele: refusing to clobber differing flight-recorder dump {}",
+                    path.display()
+                );
+                return;
+            }
+        }
+        let write = || -> std::io::Result<()> {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            std::fs::write(&path, &json)
+        };
+        if write().is_ok() {
             eprintln!("nephele: flight recorder dumped to {}", path.display());
         }
     }
@@ -1526,6 +1681,85 @@ mod tests {
             p.xs.resident_bytes()
         );
         p.xs.audit_tree().unwrap();
+    }
+
+    #[test]
+    fn family_rollup_includes_resident_rows_for_live_families() {
+        let mut cfg = PlatformConfig::small();
+        cfg.tracing = TraceConfig::aggregate();
+        let mut p = Platform::new(cfg);
+        let dom = p
+            .launch_plain(
+                &udp_cfg("rollup", Ipv4Addr::new(10, 0, 0, 12)),
+                &KernelImage::minios("rollup"),
+            )
+            .unwrap();
+        p.clone_domain(dom, 2).unwrap();
+        let csv = p.family_rollup_csv();
+        let family = p.trace().family_root_of(dom).unwrap();
+        for metric in [
+            "members_total,3",
+            "members_live,3",
+            "resident.p2m_shared_bytes",
+            "resident.p2m_unique_bytes",
+            "resident.xs_entry_bytes",
+        ] {
+            assert!(
+                csv.contains(&format!("{family},rollup,{metric}")),
+                "missing {metric} row in:\n{csv}"
+            );
+        }
+        // The resident p2m split sums to the platform-wide snapshot.
+        let snap = p.snapshot();
+        let sum_metric = |name: &str| -> u64 {
+            csv.lines()
+                .filter(|l| l.contains(name))
+                .map(|l| l.rsplit(',').next().unwrap().parse::<u64>().unwrap())
+                .sum()
+        };
+        assert_eq!(sum_metric("resident.p2m_shared_bytes"), snap.p2m_shared_bytes);
+        assert_eq!(sum_metric("resident.p2m_unique_bytes"), snap.p2m_unique_bytes);
+        // Timeline and exposition exports are non-empty in Aggregate mode.
+        assert!(p.timeline_csv().lines().count() > 1, "timeline has rows");
+        assert!(p.metrics_text().contains("nephele_"), "exposition has metrics");
+    }
+
+    #[test]
+    fn flightrec_dump_names_carry_the_seed_and_refuse_clobber() {
+        let dir = std::path::PathBuf::from("target/test-flightrec-seed");
+        let _ = std::fs::remove_dir_all(&dir);
+        let build = |seed: u64| {
+            Platform::new(
+                PlatformConfig::builder()
+                    .guest_pool_mib(64)
+                    .ring_capacity(32)
+                    .seed(seed)
+                    .flightrec_dir(&dir)
+                    .build(),
+            )
+        };
+        // Destroying a nonexistent domain is an error, which dumps.
+        let mut p = build(0xABC);
+        let _ = p.destroy(DomId(42));
+        let path = dir.join("flightrec-platform-destroy-seedabc.json");
+        assert!(path.exists(), "dump named with the seed");
+        let original = std::fs::read_to_string(&path).unwrap();
+        // A different same-seed run whose ring differs must not clobber it.
+        let mut p2 = build(0xABC);
+        let _ = p2.launch_plain(
+            &udp_cfg("extra", Ipv4Addr::new(10, 0, 0, 13)),
+            &KernelImage::minios("extra"),
+        );
+        let _ = p2.destroy(DomId(42));
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            original,
+            "differing dump must not overwrite the original"
+        );
+        // A different seed lands in its own file.
+        let mut p3 = build(0xDEF);
+        let _ = p3.destroy(DomId(42));
+        assert!(dir.join("flightrec-platform-destroy-seeddef.json").exists());
     }
 
     #[test]

@@ -101,6 +101,12 @@ impl Histogram {
         }
     }
 
+    /// Sum of all recorded values (exact; `u128` so even u64-scale values
+    /// cannot overflow the accumulator).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean of the recorded values (integer division; 0 when empty).
     pub fn mean(&self) -> u64 {
         if self.count == 0 {

@@ -18,7 +18,12 @@
 //! * [`stats`] — streaming statistics and series recording for experiments.
 //! * [`trace`] — deterministic observability: virtual-time spans, counters,
 //!   gauges and log-bucketed latency [`hist`]ograms with chrome-trace / CSV
-//!   exporters.
+//!   exporters, streaming-aggregation modes, a Prometheus-style text
+//!   exposition, and per-clone-family rollups.
+//! * [`timeline`] — bounded virtual-time slice ring: counters, gauges and
+//!   span closes folded into fixed-width slices with a CSV exporter.
+//! * [`rollup`] — the clone-family provenance registry behind the
+//!   family rollup exports.
 //! * [`hist`] — HDR-style log-bucketed histograms with exact-rank
 //!   percentiles.
 //! * [`flightrec`] — an always-on fixed-size ring of compact events, dumped
@@ -41,8 +46,10 @@ pub mod hist;
 pub mod ids;
 pub mod par;
 pub mod rng;
+pub mod rollup;
 pub mod stats;
 pub mod time;
+pub mod timeline;
 pub mod trace;
 
 pub use clock::Clock;
@@ -53,5 +60,7 @@ pub use hist::Histogram;
 pub use ids::{DomId, Mfn, Pfn, PAGE_SIZE};
 pub use par::Pool;
 pub use rng::SplitMix64;
+pub use rollup::{FamilyRegistry, FamilyRow, FamilyStats};
 pub use time::{SimDuration, SimTime};
-pub use trace::{SpanGuard, TraceConfig, TraceSink};
+pub use timeline::{Timeline, TimelineConfig};
+pub use trace::{SinkOverhead, SpanGuard, TraceConfig, TraceMode, TraceSink};

@@ -12,17 +12,42 @@
 //! operation on a disabled sink is a single `Option` check, so leaving the
 //! instrumentation in place costs effectively nothing when tracing is off.
 //!
-//! Two exporters are provided:
+//! # Trace modes
+//!
+//! An enabled sink runs in one of two [`TraceMode`]s:
+//!
+//! * [`TraceMode::Full`] retains every span, counter sample and gauge
+//!   sample — O(events) memory — for post-hoc analysis and the Chrome
+//!   trace exporter.
+//! * [`TraceMode::Aggregate`] folds each span into per-name aggregates and
+//!   log-bucketed [`Histogram`]s *at close time* and drops the raw record;
+//!   counter and gauge samples are never retained. Memory stays at
+//!   O(distinct metric keys × timeline slices) no matter how many events a
+//!   run produces — the mode that scales to 10^5-domain experiments.
+//!
+//! Both modes additionally stream every observation into a bounded
+//! virtual-time [`Timeline`] and resolve dom-attributed metrics to their
+//! clone family via the [`FamilyRegistry`] fed by the hypervisor, so
+//! [`timeline_csv`](TraceSink::timeline_csv),
+//! [`metrics_text`](TraceSink::metrics_text) and
+//! [`family_rollup_csv`](TraceSink::family_rollup_csv) are byte-identical
+//! across modes, seeds and `NEPHELE_THREADS` widths.
+//!
+//! Exporters:
 //!
 //! * [`TraceSink::chrome_trace_json`] — the Chrome trace-event format
 //!   (loadable in `about:tracing` or [Perfetto](https://ui.perfetto.dev)),
 //!   with spans as complete (`"ph":"X"`) events and counters as `"ph":"C"`
-//!   events;
+//!   events (Full mode only — Aggregate drops the raw events);
 //! * [`TraceSink::span_aggregates_csv`] — a flat `span,count,total_ms,mean_ms`
-//!   table, sorted by span name, for printing next to experiment series.
+//!   table, sorted by span name, for printing next to experiment series;
+//! * [`TraceSink::timeline_csv`] — the virtual-time slice ring;
+//! * [`TraceSink::metrics_text`] — Prometheus-style text exposition of the
+//!   end-of-run state;
+//! * [`TraceSink::family_rollup_csv`] — per-clone-family rollups.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::path::Path;
 use std::rc::Rc;
@@ -30,7 +55,44 @@ use std::rc::Rc;
 use crate::clock::Clock;
 use crate::hist::Histogram;
 use crate::ids::DomId;
+use crate::rollup::{render_family_csv, FamilyRegistry, FamilyRow};
 use crate::time::SimTime;
+use crate::timeline::{Timeline, TimelineConfig};
+
+/// How much raw data an enabled sink retains; see the [module docs](self).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// No tracing at all (the sink is disabled).
+    Off,
+    /// Retain every raw record — O(events) memory.
+    #[default]
+    Full,
+    /// Fold at record time, drop raw records — O(keys) memory.
+    Aggregate,
+}
+
+impl TraceMode {
+    /// Parses the `NEPHELE_TRACE_MODE` spellings (case-insensitive):
+    /// `off`/`0`/`none`, `full`/`1`/`on`, `aggregate`/`agg`.
+    pub fn parse(s: &str) -> Option<TraceMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => Some(TraceMode::Off),
+            "full" | "1" | "on" => Some(TraceMode::Full),
+            "aggregate" | "agg" => Some(TraceMode::Aggregate),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TraceMode::Off => "off",
+            TraceMode::Full => "full",
+            TraceMode::Aggregate => "aggregate",
+        })
+    }
+}
 
 /// Tracing knobs for a platform (off by default).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -38,12 +100,42 @@ pub struct TraceConfig {
     /// Master switch. When `false` the platform keeps a disabled sink and
     /// instrumentation does near-zero work.
     pub enabled: bool,
+    /// Retention mode of an enabled sink ([`TraceMode::Full`] by default;
+    /// [`TraceMode::Off`] here disables the sink like `enabled: false`).
+    pub mode: TraceMode,
+    /// Retention cap for raw counter samples in Full mode (`None` =
+    /// unbounded). When the cap is hit the *oldest* samples are dropped
+    /// (counted in [`SinkOverhead::counter_samples_dropped`]); totals,
+    /// timelines and streaming aggregates are unaffected.
+    pub counter_sample_cap: Option<usize>,
+    /// Virtual-time slicing of the [`Timeline`].
+    pub timeline: TimelineConfig,
 }
 
 impl TraceConfig {
-    /// A config with tracing switched on.
+    /// A config with tracing switched on (Full mode).
     pub fn enabled() -> Self {
-        TraceConfig { enabled: true }
+        TraceConfig { enabled: true, ..Default::default() }
+    }
+
+    /// A config with Aggregate-mode tracing switched on.
+    pub fn aggregate() -> Self {
+        TraceConfig::with_mode(TraceMode::Aggregate)
+    }
+
+    /// A config for the given mode ([`TraceMode::Off`] yields a disabled
+    /// config).
+    pub fn with_mode(mode: TraceMode) -> Self {
+        TraceConfig { enabled: mode != TraceMode::Off, mode, ..Default::default() }
+    }
+
+    /// The mode an enabled sink built from this config would run in.
+    pub fn effective_mode(&self) -> TraceMode {
+        if self.enabled {
+            self.mode
+        } else {
+            TraceMode::Off
+        }
     }
 }
 
@@ -130,6 +222,10 @@ pub struct SpanRecord {
     pub end: Option<SimTime>,
     /// Typed attributes attached via [`SpanGuard::attr`].
     pub attrs: Vec<(&'static str, AttrValue)>,
+    /// Clone-family root this span was attributed to at close time, via
+    /// its first `dom`/`parent`/`child` attribute (`None` when the span
+    /// carries none, or the domain is outside any registered family).
+    pub family: Option<u32>,
 }
 
 impl SpanRecord {
@@ -146,8 +242,13 @@ pub struct CounterSample {
     pub name: &'static str,
     /// Virtual time of the bump.
     pub at: SimTime,
+    /// The bump itself.
+    pub delta: u64,
     /// Running total after the bump.
     pub total: u64,
+    /// Clone-family root the bump was attributed to at record time (set
+    /// by [`TraceSink::count_dom`] for domains in a registered family).
+    pub family: Option<u32>,
 }
 
 /// One timestamped per-domain gauge observation.
@@ -176,15 +277,84 @@ pub struct SpanAggregate {
     pub mean_ns: u64,
 }
 
+/// The sink's accounting of its own host-side work and retention — the
+/// numbers behind the "Aggregate mode is O(keys), not O(events)" claim.
+/// All counts are cumulative since construction (or the last
+/// [`TraceSink::clear`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkOverhead {
+    /// Spans opened.
+    pub span_opens: u64,
+    /// Spans closed.
+    pub span_closes: u64,
+    /// Counter bumps.
+    pub counter_bumps: u64,
+    /// Gauge observations.
+    pub gauge_records: u64,
+    /// Explicit histogram records ([`TraceSink::record_ns`]).
+    pub hist_records: u64,
+    /// Span records currently held (open spans plus, in Full mode, every
+    /// closed one).
+    pub retained_spans: u64,
+    /// High-water mark of `retained_spans`.
+    pub peak_retained_spans: u64,
+    /// Raw counter samples currently held (always 0 in Aggregate mode).
+    pub retained_counter_samples: u64,
+    /// High-water mark of `retained_counter_samples`.
+    pub peak_retained_counter_samples: u64,
+    /// Raw gauge samples currently held (always 0 in Aggregate mode).
+    pub retained_gauge_samples: u64,
+    /// High-water mark of `retained_gauge_samples`.
+    pub peak_retained_gauge_samples: u64,
+    /// Counter samples evicted by [`TraceConfig::counter_sample_cap`].
+    pub counter_samples_dropped: u64,
+}
+
 #[derive(Debug)]
 struct TraceBuf {
     clock: Clock,
+    mode: TraceMode,
+    counter_cap: Option<usize>,
     spans: Vec<SpanRecord>,
+    /// Free slots of the span slab (Aggregate mode reuses closed slots so
+    /// open-span indices stay stable while memory stays bounded).
+    free: Vec<usize>,
     stack: Vec<usize>,
     counters: BTreeMap<&'static str, u64>,
-    counter_samples: Vec<CounterSample>,
+    counter_samples: VecDeque<CounterSample>,
     gauges: Vec<GaugeSample>,
+    /// Last value per `(gauge, domain)` — the end-of-run state
+    /// [`TraceSink::metrics_text`] exposes; maintained in both modes.
+    gauge_last: BTreeMap<(&'static str, u32), u64>,
     hists: BTreeMap<&'static str, Histogram>,
+    /// Streaming per-name span aggregates `(count, total_ns)` (Aggregate).
+    span_agg: BTreeMap<&'static str, (u64, u64)>,
+    /// Streaming per-name span duration histograms (Aggregate).
+    span_hists: BTreeMap<&'static str, Histogram>,
+    timeline: Timeline,
+    families: FamilyRegistry,
+    overhead: SinkOverhead,
+}
+
+impl TraceBuf {
+    /// The family root for a span's attrs: the first of `dom`, `parent`,
+    /// `child` that names a domain in a registered family.
+    fn family_of_attrs(&self, attrs: &[(&'static str, AttrValue)]) -> Option<u32> {
+        for key in ["dom", "parent", "child"] {
+            if let Some((_, AttrValue::U64(v))) = attrs.iter().find(|(k, _)| *k == key) {
+                if let Ok(d) = u32::try_from(*v) {
+                    return self.families.root_of(DomId(d));
+                }
+            }
+        }
+        None
+    }
+
+    fn note_span_retention(&mut self) {
+        let retained = (self.spans.len() - self.free.len()) as u64;
+        self.overhead.retained_spans = retained;
+        self.overhead.peak_retained_spans = self.overhead.peak_retained_spans.max(retained);
+    }
 }
 
 /// A shareable handle onto a trace buffer; see the [module docs](self).
@@ -219,8 +389,37 @@ impl Drop for SpanGuard {
         if let Some((buf, idx)) = self.inner.take() {
             let mut b = buf.borrow_mut();
             let end = b.clock.now();
-            b.spans[idx].end = Some(end);
+            let rec = &mut b.spans[idx];
+            rec.end = Some(end);
+            let name = rec.name;
+            let dur = end.since(rec.start).as_ns();
+            let family = b.family_of_attrs(&b.spans[idx].attrs);
+            b.spans[idx].family = family;
             b.stack.retain(|&i| i != idx);
+            b.overhead.span_closes += 1;
+            b.timeline.fold_span(end, name, dur);
+            if b.mode == TraceMode::Aggregate {
+                let e = b.span_agg.entry(name).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += dur;
+                b.span_hists.entry(name).or_default().record(dur);
+                if let Some(root) = family {
+                    b.families.record_span(root, name, dur);
+                }
+                // Tombstone the slot and hand it back to the slab: the
+                // raw record (and its attr allocations) die here.
+                b.spans[idx] = SpanRecord {
+                    name: "",
+                    parent: None,
+                    depth: 0,
+                    start: end,
+                    end: Some(end),
+                    attrs: Vec::new(),
+                    family: None,
+                };
+                b.free.push(idx);
+                b.note_span_retention();
+            }
         }
     }
 }
@@ -232,20 +431,31 @@ impl TraceSink {
     }
 
     /// Builds a sink from the shared clock and a config; returns a disabled
-    /// sink when `config.enabled` is `false`.
+    /// sink when the config's [effective mode](TraceConfig::effective_mode)
+    /// is [`TraceMode::Off`].
     pub fn new(clock: Clock, config: &TraceConfig) -> Self {
-        if !config.enabled {
+        let mode = config.effective_mode();
+        if mode == TraceMode::Off {
             return TraceSink::disabled();
         }
         TraceSink {
             inner: Some(Rc::new(RefCell::new(TraceBuf {
                 clock,
+                mode,
+                counter_cap: config.counter_sample_cap,
                 spans: Vec::new(),
+                free: Vec::new(),
                 stack: Vec::new(),
                 counters: BTreeMap::new(),
-                counter_samples: Vec::new(),
+                counter_samples: VecDeque::new(),
                 gauges: Vec::new(),
+                gauge_last: BTreeMap::new(),
                 hists: BTreeMap::new(),
+                span_agg: BTreeMap::new(),
+                span_hists: BTreeMap::new(),
+                timeline: Timeline::new(config.timeline),
+                families: FamilyRegistry::default(),
+                overhead: SinkOverhead::default(),
             }))),
         }
     }
@@ -253,6 +463,11 @@ impl TraceSink {
     /// Whether this sink records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The mode this sink runs in ([`TraceMode::Off`] when disabled).
+    pub fn mode(&self) -> TraceMode {
+        self.inner.as_ref().map(|b| b.borrow().mode).unwrap_or(TraceMode::Off)
     }
 
     /// Opens a span named `name`, stamped at the current virtual instant.
@@ -266,24 +481,47 @@ impl TraceSink {
         let start = b.clock.now();
         let parent = b.stack.last().copied();
         let depth = parent.map(|p| b.spans[p].depth + 1).unwrap_or(0);
-        let idx = b.spans.len();
-        b.spans.push(SpanRecord {
+        let rec = SpanRecord {
             name,
             parent,
             depth,
             start,
             end: None,
             attrs: Vec::new(),
-        });
+            family: None,
+        };
+        let idx = match b.free.pop() {
+            Some(i) => {
+                b.spans[i] = rec;
+                i
+            }
+            None => {
+                b.spans.push(rec);
+                b.spans.len() - 1
+            }
+        };
         b.stack.push(idx);
+        b.overhead.span_opens += 1;
+        b.note_span_retention();
         SpanGuard {
             inner: Some((buf.clone(), idx)),
         }
     }
 
-    /// Bumps the named monotonic counter by `delta` and records a
-    /// timestamped sample of the new total.
+    /// Bumps the named monotonic counter by `delta`; in Full mode a
+    /// timestamped sample of the new total is retained (subject to
+    /// [`TraceConfig::counter_sample_cap`]).
     pub fn count(&self, name: &'static str, delta: u64) {
+        self.count_inner(name, None, delta);
+    }
+
+    /// Like [`count`](Self::count), additionally attributing the bump to
+    /// `dom`'s clone family for [`family_rollup_csv`](Self::family_rollup_csv).
+    pub fn count_dom(&self, name: &'static str, dom: DomId, delta: u64) {
+        self.count_inner(name, Some(dom), delta);
+    }
+
+    fn count_inner(&self, name: &'static str, dom: Option<DomId>, delta: u64) {
         let Some(buf) = &self.inner else { return };
         let mut b = buf.borrow_mut();
         let at = b.clock.now();
@@ -292,23 +530,65 @@ impl TraceSink {
             *c += delta;
             *c
         };
-        b.counter_samples.push(CounterSample { name, at, total });
+        b.overhead.counter_bumps += 1;
+        b.timeline.fold_count(at, name, delta, total);
+        let family = dom.and_then(|d| b.families.root_of(d));
+        match b.mode {
+            TraceMode::Full => {
+                b.counter_samples.push_back(CounterSample { name, at, delta, total, family });
+                if let Some(cap) = b.counter_cap {
+                    while b.counter_samples.len() > cap {
+                        b.counter_samples.pop_front();
+                        b.overhead.counter_samples_dropped += 1;
+                    }
+                }
+                let retained = b.counter_samples.len() as u64;
+                b.overhead.retained_counter_samples = retained;
+                b.overhead.peak_retained_counter_samples =
+                    b.overhead.peak_retained_counter_samples.max(retained);
+            }
+            TraceMode::Aggregate => {
+                if let Some(root) = family {
+                    b.families.record_counter(root, name, delta);
+                }
+            }
+            TraceMode::Off => unreachable!("an enabled sink is never Off"),
+        }
     }
 
-    /// Records a timestamped per-domain gauge observation.
+    /// Records a timestamped per-domain gauge observation. The last value
+    /// per `(name, dom)` is kept in both modes; Full mode retains every
+    /// sample. Gauges of domains in a registered clone family also update
+    /// the family rollup (last value per member, dying with the member).
     pub fn gauge(&self, name: &'static str, dom: DomId, value: u64) {
         let Some(buf) = &self.inner else { return };
         let mut b = buf.borrow_mut();
         let at = b.clock.now();
-        b.gauges.push(GaugeSample { name, dom, at, value });
+        b.overhead.gauge_records += 1;
+        b.gauge_last.insert((name, dom.0), value);
+        b.timeline.fold_gauge(at, name, dom.0, value);
+        if let Some(root) = b.families.root_of(dom) {
+            b.families.record_gauge(root, name, dom.0, value);
+        }
+        if b.mode == TraceMode::Full {
+            b.gauges.push(GaugeSample { name, dom, at, value });
+            let retained = b.gauges.len() as u64;
+            b.overhead.retained_gauge_samples = retained;
+            b.overhead.peak_retained_gauge_samples =
+                b.overhead.peak_retained_gauge_samples.max(retained);
+        }
     }
 
     /// Records a virtual-nanosecond latency sample into the named
-    /// log-bucketed [`Histogram`] (see [`crate::hist`]). O(1); a no-op on a
-    /// disabled sink.
+    /// log-bucketed [`Histogram`] (see [`crate::hist`]) and the timeline.
+    /// O(1); a no-op on a disabled sink.
     pub fn record_ns(&self, name: &'static str, ns: u64) {
         let Some(buf) = &self.inner else { return };
-        buf.borrow_mut().hists.entry(name).or_default().record(ns);
+        let mut b = buf.borrow_mut();
+        let at = b.clock.now();
+        b.overhead.hist_records += 1;
+        b.hists.entry(name).or_default().record(ns);
+        b.timeline.fold_span(at, name, ns);
     }
 
     /// Snapshot of the named latency histogram (`None` when unknown or
@@ -325,6 +605,28 @@ impl TraceSink {
             .as_ref()
             .map(|b| b.borrow().hists.clone())
             .unwrap_or_default()
+    }
+
+    /// Per-name histograms of span durations: streamed at close time in
+    /// Aggregate mode, computed from the retained records in Full mode —
+    /// identical either way.
+    pub fn span_hists(&self) -> BTreeMap<&'static str, Histogram> {
+        let Some(buf) = &self.inner else {
+            return BTreeMap::new();
+        };
+        let b = buf.borrow();
+        match b.mode {
+            TraceMode::Aggregate => b.span_hists.clone(),
+            _ => {
+                let mut out: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+                for s in &b.spans {
+                    if s.end.is_some() {
+                        out.entry(s.name).or_default().record(s.duration_ns());
+                    }
+                }
+                out
+            }
+        }
     }
 
     /// The latency histograms as
@@ -361,11 +663,18 @@ impl TraceSink {
             .unwrap_or(0)
     }
 
-    /// Snapshot of all recorded spans, in open order.
+    /// Snapshot of all recorded spans, in open order. Aggregate mode
+    /// returns an empty list: raw records are dropped at close time.
     pub fn spans(&self) -> Vec<SpanRecord> {
         self.inner
             .as_ref()
-            .map(|b| b.borrow().spans.clone())
+            .map(|b| {
+                let b = b.borrow();
+                match b.mode {
+                    TraceMode::Aggregate => Vec::new(),
+                    _ => b.spans.clone(),
+                }
+            })
             .unwrap_or_default()
     }
 
@@ -377,7 +686,18 @@ impl TraceSink {
             .unwrap_or_default()
     }
 
-    /// Snapshot of all gauge samples, in record order.
+    /// Snapshot of the retained raw counter samples, in record order
+    /// (empty in Aggregate mode; the oldest may have been evicted by
+    /// [`TraceConfig::counter_sample_cap`]).
+    pub fn counter_samples(&self) -> Vec<CounterSample> {
+        self.inner
+            .as_ref()
+            .map(|b| b.borrow().counter_samples.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of all gauge samples, in record order (empty in Aggregate
+    /// mode).
     pub fn gauges(&self) -> Vec<GaugeSample> {
         self.inner
             .as_ref()
@@ -385,24 +705,62 @@ impl TraceSink {
             .unwrap_or_default()
     }
 
-    /// Clears all recorded data (spans, counters, gauges); the sink stays
-    /// enabled. Useful for scoping an export to one phase of an experiment.
+    /// Last observed value per `(gauge, domain id)` — maintained in both
+    /// modes.
+    pub fn gauge_last(&self) -> BTreeMap<(&'static str, u32), u64> {
+        self.inner
+            .as_ref()
+            .map(|b| b.borrow().gauge_last.clone())
+            .unwrap_or_default()
+    }
+
+    /// The sink's self-accounting (zero when disabled).
+    pub fn overhead(&self) -> SinkOverhead {
+        self.inner
+            .as_ref()
+            .map(|b| b.borrow().overhead)
+            .unwrap_or_default()
+    }
+
+    /// Clears all recorded metric data (spans, counters, gauges, timeline,
+    /// aggregates, overhead); the sink stays enabled and the clone-family
+    /// *lineage* is kept — lineage is structural state fed by lifecycle
+    /// events that will not be replayed — while per-family metric stats
+    /// reset. Useful for scoping an export to one phase of an experiment.
     pub fn clear(&self) {
         if let Some(buf) = &self.inner {
             let mut b = buf.borrow_mut();
             b.spans.clear();
+            b.free.clear();
             b.stack.clear();
             b.counters.clear();
             b.counter_samples.clear();
             b.gauges.clear();
+            b.gauge_last.clear();
             b.hists.clear();
+            b.span_agg.clear();
+            b.span_hists.clear();
+            b.timeline.clear();
+            b.families.clear_stats();
+            b.overhead = SinkOverhead::default();
         }
     }
 
     /// Checks the structural invariants of the recorded spans: every span
     /// is finished, ends at or after its start, and lies within its parent's
-    /// interval. Returns a description of the first violation.
+    /// interval. Returns a description of the first violation. In Aggregate
+    /// mode only the open/closed invariant remains checkable (closed spans
+    /// are gone).
     pub fn validate_well_nested(&self) -> Result<(), String> {
+        if let Some(buf) = &self.inner {
+            let b = buf.borrow();
+            if b.mode == TraceMode::Aggregate {
+                if !b.stack.is_empty() {
+                    return Err(format!("{} span(s) still open", b.stack.len()));
+                }
+                return Ok(());
+            }
+        }
         let spans = self.spans();
         for (i, s) in spans.iter().enumerate() {
             let Some(end) = s.end else {
@@ -425,16 +783,26 @@ impl TraceSink {
         Ok(())
     }
 
-    /// Per-name aggregates over finished spans, sorted by name.
+    /// Per-name aggregates over finished spans, sorted by name: streamed
+    /// at close time in Aggregate mode, computed post-hoc in Full mode —
+    /// identical either way.
     pub fn span_aggregates(&self) -> Vec<SpanAggregate> {
-        let mut agg: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
-        for s in self.spans() {
-            if s.end.is_some() {
-                let e = agg.entry(s.name).or_insert((0, 0));
-                e.0 += 1;
-                e.1 += s.duration_ns();
+        let agg: BTreeMap<&'static str, (u64, u64)> = match &self.inner {
+            Some(buf) if buf.borrow().mode == TraceMode::Aggregate => {
+                buf.borrow().span_agg.clone()
             }
-        }
+            _ => {
+                let mut agg: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+                for s in self.spans() {
+                    if s.end.is_some() {
+                        let e = agg.entry(s.name).or_insert((0, 0));
+                        e.0 += 1;
+                        e.1 += s.duration_ns();
+                    }
+                }
+                agg
+            }
+        };
         agg.into_iter()
             .map(|(name, (count, total_ns))| SpanAggregate {
                 name,
@@ -461,11 +829,159 @@ impl TraceSink {
         out
     }
 
+    // ------------------------------------------------------------------
+    // Clone-family provenance (fed by the hypervisor's family tree)
+    // ------------------------------------------------------------------
+
+    /// Registers `dom` as the root of a new clone family.
+    pub fn family_root_created(&self, dom: DomId, name: &str) {
+        if let Some(buf) = &self.inner {
+            buf.borrow_mut().families.register_root(dom, name);
+        }
+    }
+
+    /// Registers `child` as a clone of `parent`, joining its family.
+    pub fn family_cloned(&self, child: DomId, parent: Option<DomId>) {
+        if let Some(buf) = &self.inner {
+            buf.borrow_mut().families.register_child(child, parent);
+        }
+    }
+
+    /// Notes that `dom` was destroyed (its family's live count drops).
+    pub fn family_destroyed(&self, dom: DomId) {
+        if let Some(buf) = &self.inner {
+            buf.borrow_mut().families.forget(dom);
+        }
+    }
+
+    /// The clone family root a live domain belongs to, if registered.
+    pub fn family_root_of(&self, dom: DomId) -> Option<u32> {
+        self.inner.as_ref().and_then(|b| b.borrow().families.root_of(dom))
+    }
+
+    /// Per-family rollup rows. Membership and gauges always come from the
+    /// streaming registry; span and counter attributions are streamed in
+    /// Aggregate mode and recomputed from the retained (family-stamped)
+    /// records in Full mode — identical either way (Full's counter rows
+    /// can undercount only if [`TraceConfig::counter_sample_cap`] evicted
+    /// attributed samples).
+    pub fn family_rows(&self) -> Vec<FamilyRow> {
+        let Some(buf) = &self.inner else {
+            return Vec::new();
+        };
+        let b = buf.borrow();
+        match b.mode {
+            TraceMode::Aggregate => b.families.rows(),
+            _ => {
+                let mut reg = b.families.clone();
+                reg.clear_flow_stats();
+                for s in &b.spans {
+                    if let (Some(root), Some(_)) = (s.family, s.end) {
+                        reg.record_span(root, s.name, s.duration_ns());
+                    }
+                }
+                for c in &b.counter_samples {
+                    if let Some(root) = c.family {
+                        reg.record_counter(root, c.name, c.delta);
+                    }
+                }
+                reg.rows()
+            }
+        }
+    }
+
+    /// The family rollups as `family,root,metric,value` CSV, sorted by
+    /// `(family, metric)`.
+    pub fn family_rollup_csv(&self) -> String {
+        render_family_csv(self.family_rows())
+    }
+
+    /// Writes [`family_rollup_csv`](Self::family_rollup_csv) to `path`,
+    /// creating parent directories as needed.
+    pub fn write_family_rollup(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        write_creating_dirs(path.as_ref(), &self.family_rollup_csv())
+    }
+
+    // ------------------------------------------------------------------
+    // Timeline + Prometheus-style exposition
+    // ------------------------------------------------------------------
+
+    /// The virtual-time slice ring as CSV (see [`Timeline::csv`]); the
+    /// header alone when disabled.
+    pub fn timeline_csv(&self) -> String {
+        self.inner
+            .as_ref()
+            .map(|b| b.borrow().timeline.csv())
+            .unwrap_or_else(|| Timeline::default().csv())
+    }
+
+    /// Retained timeline slices and slices evicted off the ring so far:
+    /// `(len, evicted)`.
+    pub fn timeline_stats(&self) -> (usize, u64) {
+        self.inner
+            .as_ref()
+            .map(|b| {
+                let b = b.borrow();
+                (b.timeline.len(), b.timeline.evicted())
+            })
+            .unwrap_or((0, 0))
+    }
+
+    /// Writes [`timeline_csv`](Self::timeline_csv) to `path`, creating
+    /// parent directories as needed.
+    pub fn write_timeline(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        write_creating_dirs(path.as_ref(), &self.timeline_csv())
+    }
+
+    /// Prometheus-style text exposition of the end-of-run state: counter
+    /// totals, last gauge values per domain, explicit latency histograms
+    /// and span-duration histograms as summaries (ns quantiles), and span
+    /// totals. Metric names are `nephele_`-prefixed with `.` mapped to
+    /// `_`. Identical across modes, seeds and thread widths.
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::new();
+        for (name, total) in self.counters() {
+            let s = sanitize(name);
+            out.push_str(&format!("# TYPE nephele_{s}_total counter\n"));
+            out.push_str(&format!("nephele_{s}_total {total}\n"));
+        }
+        let mut last_gauge: Option<&'static str> = None;
+        for ((name, dom), value) in self.gauge_last() {
+            if last_gauge != Some(name) {
+                out.push_str(&format!("# TYPE nephele_{} gauge\n", sanitize(name)));
+                last_gauge = Some(name);
+            }
+            out.push_str(&format!("nephele_{}{{dom=\"{dom}\"}} {value}\n", sanitize(name)));
+        }
+        for (name, h) in self.histograms() {
+            push_summary(&mut out, &format!("nephele_{}_ns", sanitize(name)), &h);
+        }
+        for (name, h) in self.span_hists() {
+            push_summary(&mut out, &format!("nephele_span_{}_duration_ns", sanitize(name)), &h);
+        }
+        for a in self.span_aggregates() {
+            let s = sanitize(a.name);
+            out.push_str(&format!("# TYPE nephele_span_{s}_ns_total counter\n"));
+            out.push_str(&format!("nephele_span_{s}_ns_total {}\n", a.total_ns));
+            out.push_str(&format!("# TYPE nephele_span_{s}_count counter\n"));
+            out.push_str(&format!("nephele_span_{s}_count {}\n", a.count));
+        }
+        out
+    }
+
+    /// Writes [`metrics_text`](Self::metrics_text) to `path`, creating
+    /// parent directories as needed.
+    pub fn write_metrics_text(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        write_creating_dirs(path.as_ref(), &self.metrics_text())
+    }
+
     /// Exports everything recorded so far in the Chrome trace-event JSON
     /// format. Spans become complete (`"ph":"X"`) events on one track,
     /// counters become `"ph":"C"` events, gauges become per-domain counter
     /// tracks. Timestamps are virtual microseconds with nanosecond
     /// precision; the output is byte-stable for identical recordings.
+    /// Aggregate mode yields an empty event list (raw events are dropped);
+    /// use the timeline / metrics exporters there instead.
     pub fn chrome_trace_json(&self) -> String {
         let mut events: Vec<String> = Vec::new();
         for s in &self.spans() {
@@ -485,15 +1001,13 @@ impl TraceSink {
                 args
             ));
         }
-        if let Some(buf) = &self.inner {
-            for c in &buf.borrow().counter_samples {
-                events.push(format!(
-                    "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":0,\"args\":{{\"value\":{}}}}}",
-                    json_str(c.name),
-                    fmt_us(c.at.as_ns()),
-                    c.total
-                ));
-            }
+        for c in &self.counter_samples() {
+            events.push(format!(
+                "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":0,\"args\":{{\"value\":{}}}}}",
+                json_str(c.name),
+                fmt_us(c.at.as_ns()),
+                c.total
+            ));
         }
         for g in &self.gauges() {
             events.push(format!(
@@ -527,6 +1041,25 @@ fn write_creating_dirs(path: &Path, content: &str) -> std::io::Result<()> {
         }
     }
     std::fs::write(path, content)
+}
+
+/// One Prometheus summary block: p50/p90/p99 quantiles plus `_sum` and
+/// `_count`, all in the histogram's native unit (integer ns).
+fn push_summary(out: &mut String, metric: &str, h: &Histogram) {
+    out.push_str(&format!("# TYPE {metric} summary\n"));
+    for (q, p) in [("0.5", 50.0), ("0.9", 90.0), ("0.99", 99.0)] {
+        out.push_str(&format!("{metric}{{quantile=\"{q}\"}} {}\n", h.percentile(p)));
+    }
+    out.push_str(&format!("{metric}_sum {}\n", h.sum()));
+    out.push_str(&format!("{metric}_count {}\n", h.count()));
+}
+
+/// Maps a metric name onto the Prometheus charset (`.`/other separators
+/// become `_`).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 /// Formats nanoseconds as fixed-point microseconds (`123.456`), the unit of
@@ -581,10 +1114,17 @@ mod tests {
         (clock, sink)
     }
 
+    fn aggregate_sink() -> (Clock, TraceSink) {
+        let clock = Clock::new();
+        let sink = TraceSink::new(clock.clone(), &TraceConfig::aggregate());
+        (clock, sink)
+    }
+
     #[test]
     fn disabled_sink_records_nothing() {
         let sink = TraceSink::default();
         assert!(!sink.is_enabled());
+        assert_eq!(sink.mode(), TraceMode::Off);
         {
             let g = sink.span("noop");
             g.attr("k", 1u64);
@@ -598,6 +1138,27 @@ mod tests {
         assert!(sink.histogram("h").is_none());
         assert_eq!(sink.histograms_csv(), "op,count,p50_us,p90_us,p99_us,max_us\n");
         assert_eq!(sink.chrome_trace_json(), "{\"traceEvents\":[]}\n");
+        assert_eq!(sink.overhead(), SinkOverhead::default());
+    }
+
+    #[test]
+    fn off_mode_config_builds_a_disabled_sink() {
+        let clock = Clock::new();
+        let sink = TraceSink::new(clock, &TraceConfig::with_mode(TraceMode::Off));
+        assert!(!sink.is_enabled());
+        assert_eq!(TraceConfig::enabled().effective_mode(), TraceMode::Full);
+        assert_eq!(TraceConfig::aggregate().effective_mode(), TraceMode::Aggregate);
+        assert_eq!(TraceConfig::default().effective_mode(), TraceMode::Off);
+    }
+
+    #[test]
+    fn trace_mode_parses_env_spellings() {
+        assert_eq!(TraceMode::parse("off"), Some(TraceMode::Off));
+        assert_eq!(TraceMode::parse("FULL"), Some(TraceMode::Full));
+        assert_eq!(TraceMode::parse("agg"), Some(TraceMode::Aggregate));
+        assert_eq!(TraceMode::parse("aggregate"), Some(TraceMode::Aggregate));
+        assert_eq!(TraceMode::parse("bogus"), None);
+        assert_eq!(TraceMode::Aggregate.to_string(), "aggregate");
     }
 
     #[test]
@@ -656,6 +1217,119 @@ mod tests {
         assert_eq!(sink.counter_total("missing"), 0);
         let counters = sink.counters();
         assert_eq!(counters.get("ring.tx"), Some(&3));
+        let samples = sink.counter_samples();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[1].delta, 2);
+        assert_eq!(samples[1].total, 3);
+    }
+
+    #[test]
+    fn counter_sample_cap_drops_oldest_only() {
+        let clock = Clock::new();
+        let sink = TraceSink::new(
+            clock.clone(),
+            &TraceConfig {
+                counter_sample_cap: Some(2),
+                ..TraceConfig::enabled()
+            },
+        );
+        for _ in 0..5 {
+            sink.count("c", 1);
+        }
+        assert_eq!(sink.counter_total("c"), 5, "totals never lose bumps");
+        let samples = sink.counter_samples();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].total, 4, "oldest samples were evicted");
+        let o = sink.overhead();
+        assert_eq!(o.counter_samples_dropped, 3);
+        assert_eq!(o.peak_retained_counter_samples, 2);
+    }
+
+    #[test]
+    fn aggregate_mode_drops_raw_records_but_keeps_aggregates() {
+        let (clock, sink) = aggregate_sink();
+        assert_eq!(sink.mode(), TraceMode::Aggregate);
+        for i in 0..100u64 {
+            let g = sink.span("work");
+            g.attr("i", i);
+            clock.advance(SimDuration::from_us(2));
+            drop(g);
+            sink.count("ticks", 1);
+            sink.gauge("level", DomId(3), i);
+        }
+        assert!(sink.spans().is_empty(), "raw spans are folded away");
+        assert!(sink.counter_samples().is_empty());
+        assert!(sink.gauges().is_empty());
+        assert_eq!(sink.counter_total("ticks"), 100);
+        assert_eq!(sink.gauge_last()[&("level", 3)], 99);
+        let agg = sink.span_aggregates();
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg[0].count, 100);
+        assert_eq!(agg[0].total_ns, 200_000);
+        assert_eq!(sink.span_hists()["work"].count(), 100);
+        let o = sink.overhead();
+        assert_eq!(o.span_opens, 100);
+        assert_eq!(o.peak_retained_spans, 1, "slab reuses the closed slot");
+        assert_eq!(o.retained_counter_samples, 0);
+        sink.validate_well_nested().unwrap();
+    }
+
+    #[test]
+    fn aggregate_matches_full_for_same_recording() {
+        fn drive(sink: &TraceSink, clock: &Clock) {
+            for i in 0..10u64 {
+                let g = sink.span("op.a");
+                clock.advance(SimDuration::from_us(1 + i));
+                drop(g);
+                sink.count("n", 2);
+                sink.record_ns("h", 10 * i);
+                sink.gauge("lvl", DomId(2), i);
+            }
+        }
+        let (c1, full) = enabled_sink();
+        let (c2, agg) = aggregate_sink();
+        drive(&full, &c1);
+        drive(&agg, &c2);
+        assert_eq!(full.span_aggregates(), agg.span_aggregates());
+        assert_eq!(full.span_hists(), agg.span_hists());
+        assert_eq!(full.histograms(), agg.histograms());
+        assert_eq!(full.timeline_csv(), agg.timeline_csv());
+        assert_eq!(full.metrics_text(), agg.metrics_text());
+    }
+
+    #[test]
+    fn family_rollups_attribute_spans_and_counters_to_roots() {
+        for cfg in [TraceConfig::enabled(), TraceConfig::aggregate()] {
+            let clock = Clock::new();
+            let sink = TraceSink::new(clock.clone(), &cfg);
+            sink.family_root_created(DomId(1), "web");
+            sink.family_cloned(DomId(2), Some(DomId(1)));
+            {
+                let g = sink.span("clone.child");
+                g.attr("child", 2u32);
+                clock.advance(SimDuration::from_us(3));
+            }
+            sink.count_dom("cow.fault", DomId(2), 4);
+            sink.gauge("bytes", DomId(2), 77);
+            let csv = sink.family_rollup_csv();
+            assert_eq!(
+                csv,
+                "family,root,metric,value\n\
+                 1,web,counter.cow.fault,4\n\
+                 1,web,gauge.bytes.dom2,77\n\
+                 1,web,members_live,2\n\
+                 1,web,members_total,2\n\
+                 1,web,span.clone.child.count,1\n\
+                 1,web,span.clone.child.total_ns,3000\n",
+                "mode {:?}",
+                cfg.effective_mode()
+            );
+            sink.family_destroyed(DomId(2));
+            assert!(
+                !sink.family_rollup_csv().contains("gauge.bytes"),
+                "dead members hold no bytes"
+            );
+        }
     }
 
     #[test]
@@ -717,8 +1391,9 @@ mod tests {
     }
 
     #[test]
-    fn clear_resets_but_keeps_enabled() {
+    fn clear_resets_but_keeps_enabled_and_lineage() {
         let (clock, sink) = enabled_sink();
+        sink.family_root_created(DomId(1), "web");
         {
             let _g = sink.span("x");
             clock.advance(SimDuration::from_ns(1));
@@ -730,6 +1405,9 @@ mod tests {
         assert!(sink.spans().is_empty());
         assert_eq!(sink.counter_total("c"), 0);
         assert!(sink.histogram("h").is_none());
+        assert_eq!(sink.overhead(), SinkOverhead::default());
+        assert_eq!(sink.timeline_stats(), (0, 0));
+        assert_eq!(sink.family_root_of(DomId(1)), Some(1), "lineage survives clear");
     }
 
     #[test]
@@ -756,12 +1434,39 @@ mod tests {
     }
 
     #[test]
+    fn metrics_text_exposes_end_of_run_state() {
+        let (clock, sink) = enabled_sink();
+        sink.count("xs.commits", 3);
+        sink.gauge("mem.free", DomId(0), 1024);
+        sink.record_ns("op", 50);
+        {
+            let _g = sink.span("clone.child");
+            clock.advance(SimDuration::from_us(1));
+        }
+        let text = sink.metrics_text();
+        assert!(text.contains("# TYPE nephele_xs_commits_total counter\n"));
+        assert!(text.contains("nephele_xs_commits_total 3\n"));
+        assert!(text.contains("nephele_mem_free{dom=\"0\"} 1024\n"));
+        assert!(text.contains("nephele_op_ns{quantile=\"0.5\"} 50\n"));
+        assert!(text.contains("nephele_op_ns_count 1\n"));
+        assert!(text.contains("nephele_span_clone_child_duration_ns_count 1\n"));
+        assert!(text.contains("nephele_span_clone_child_ns_total 1000\n"));
+        assert_eq!(text, sink.metrics_text(), "exposition is stable");
+    }
+
+    #[test]
     fn validate_catches_open_span() {
         let (_clock, sink) = enabled_sink();
         let g = sink.span("open");
         assert!(sink.validate_well_nested().is_err());
         drop(g);
         sink.validate_well_nested().unwrap();
+
+        let (_c2, agg) = aggregate_sink();
+        let g2 = agg.span("open");
+        assert!(agg.validate_well_nested().is_err());
+        drop(g2);
+        agg.validate_well_nested().unwrap();
     }
 
     #[test]

@@ -287,6 +287,18 @@ impl Xenstore {
         self.root.lookup(path).and_then(|node| node.value())
     }
 
+    /// Introspection-only resident bytes of the entries under `path`
+    /// (the node itself included), at the same logical per-entry cost as
+    /// [`Xenstore::resident_bytes`]. No virtual time is charged; the
+    /// family rollups use this to attribute `/local/domain/<id>` subtree
+    /// bytes to clone families. 0 for missing paths.
+    pub fn subtree_entry_bytes(&self, path: &str) -> u64 {
+        match self.root.lookup(path) {
+            Some(node) => node.entry_count() * self.resident_per_entry,
+            None => 0,
+        }
+    }
+
     /// Writes `value` at `path`, creating intermediate directories, firing
     /// watches and charging the per-request costs.
     pub fn write(&mut self, who: DomId, path: &str, value: &str) -> Result<()> {

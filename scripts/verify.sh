@@ -27,6 +27,12 @@ cargo test -q -p hypervisor --offline --test prop_clone_batch
 echo "== cargo test -q --offline --test prop_parallel_equiv (MT-vs-ST bit-identical platforms)"
 cargo test -q --offline --test prop_parallel_equiv
 
+echo "== cargo test -q --offline --test prop_trace_modes (streaming vs post-hoc aggregation equivalence)"
+cargo test -q --offline --test prop_trace_modes
+
+echo "== cargo test -q -p faas --offline scale (10^4-domain bounded-memory observability)"
+cargo test -q -p faas --offline scale
+
 echo "== cargo bench --no-run --offline"
 cargo bench --no-run --offline
 
@@ -38,6 +44,38 @@ cargo bench -p bench --bench clone_reset --offline
 
 echo "== cargo bench -p bench --bench parallel_stamp --offline (fork/join pool on batched stamping)"
 cargo bench -p bench --bench parallel_stamp --offline
+
+echo "== cargo bench -p bench --bench trace_overhead --offline (sink self-overhead per TraceMode)"
+cargo bench -p bench --bench trace_overhead --offline
+
+echo "== trace overhead budget gate (Aggregate vs Off / Full)"
+# Streaming aggregation buys bounded memory; this gate asserts it stays
+# within its host-cost budget: an Aggregate-mode instrumentation tick
+# must cost at most 60x a disabled sink's (the mixed batch is ~1k ops,
+# so that is a generous per-op budget) and at most 2x Full mode's
+# retain-everything path.
+trace_median() {
+    sed -n 's/.*"group": "trace_overhead", "name": "'"$1"'".*"median_ns": \([0-9.eE+-]*\),.*/\1/p' \
+        results/BENCH_trace_overhead.json
+}
+awk -v off="$(trace_median mixed_off)" \
+    -v full="$(trace_median mixed_full)" \
+    -v agg="$(trace_median mixed_agg)" 'BEGIN {
+    if (off + 0 <= 0 || full + 0 <= 0 || agg + 0 <= 0) {
+        print "verify.sh: missing trace_overhead medians (off=" off ", full=" full ", agg=" agg ")"
+        exit 1
+    }
+    printf "   mixed tick medians: off %.0f ns, full %.0f ns, aggregate %.0f ns (agg/off %.1fx, agg/full %.2fx)\n", \
+        off, full, agg, agg / off, agg / full
+    if (agg > 60.0 * off) {
+        print "verify.sh: Aggregate tick exceeds the 60x budget over a disabled sink"
+        exit 1
+    }
+    if (agg > 2.0 * full) {
+        print "verify.sh: Aggregate tick exceeds 2x the Full-mode cost"
+        exit 1
+    }
+}'
 
 echo "== parallel stamping speedup gate (fanout64: 4 threads vs 1 thread)"
 # The tentpole win: stamping 64 children's private pages on 4 workers
@@ -125,6 +163,24 @@ detgate() {
     fi
     rm -f "$out"
     echo "   $fig.csv reproduced byte-identical (threads=$threads)"
+    # Traced runs also regenerate the streaming exports in place
+    # (timeline slices, family rollups, Prometheus exposition); any
+    # drift from the committed copies fails the gate.
+    if [[ "$trace" == trace ]]; then
+        local f
+        for f in "results/${fig}_timeline.csv" "results/${fig}_families.csv" "results/${fig}_metrics.prom"; do
+            if ! git ls-files --error-unmatch "$f" >/dev/null 2>&1; then
+                echo "verify.sh: $f is not committed (streaming exports must be tracked)"
+                exit 1
+            fi
+            if ! git diff --quiet -- "$f"; then
+                echo "verify.sh: $f drifted from the committed streaming export (threads=$threads):"
+                git diff -- "$f" | head -20
+                exit 1
+            fi
+        done
+        echo "   $fig streaming exports reproduced byte-identical (threads=$threads)"
+    fi
 }
 detgate fig4 trace
 detgate fig5 notrace

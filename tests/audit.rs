@@ -119,9 +119,6 @@ fn audit_is_clean_after_random_lifecycle_sequences() {
 #[test]
 fn corrupted_refcount_is_detected_and_named() {
     let dir = "target/test-audit-dump";
-    let dump = Path::new(dir).join("flightrec-audit-fail.json");
-    let _ = std::fs::remove_file(&dump);
-
     let mut p = Platform::new(
         PlatformConfig::builder()
             .guest_pool_mib(256)
@@ -129,6 +126,10 @@ fn corrupted_refcount_is_detected_and_named() {
             .flightrec_dir(dir)
             .build(),
     );
+    // Dump filenames carry the platform seed so runs cannot clobber
+    // each other's evidence.
+    let dump = Path::new(dir).join(format!("flightrec-audit-fail-seed{:x}.json", p.seed()));
+    let _ = std::fs::remove_file(&dump);
     let img = KernelImage::minios("victim");
     let parent = p.launch_plain(&guest_cfg("victim"), &img).expect("boot");
     p.clone_domain(parent, 2).expect("clone");
