@@ -8,6 +8,7 @@
 //! index and `EXPERIMENTS.md` for recorded paper-vs-measured results.
 
 pub mod fig10;
+pub mod fig10scale;
 pub mod fig11;
 pub mod fig4;
 pub mod fig5;

@@ -181,15 +181,25 @@ pub struct DeviceManager {
     costs: Rc<CostModel>,
     /// The Dom0 ramdisk filesystem (9pfs exports live here).
     pub fs: MemFs,
-    vifs: HashMap<(u32, u32), Vif>,
+    /// Keyed `(owner, devid)` in a BTreeMap so one domain's devices form
+    /// a contiguous range: teardown removes exactly that range instead of
+    /// retaining over every live domain's devices.
+    vifs: BTreeMap<(u32, u32), Vif>,
     iface_map: HashMap<IfaceId, (DomId, u32)>,
     next_iface: u32,
     console: ConsoleBackend,
-    qemus: Vec<QemuProcess>,
+    /// QEMU processes by pid; resolved through [`Self::served_by`], never
+    /// by scanning.
+    qemus: BTreeMap<u32, QemuProcess>,
+    /// Served domain → pid of the QEMU process hosting its 9pfs backend.
+    /// One process serves a whole clone family (§5.2.1), so without this
+    /// index every 9p RPC and every destroy searched all processes and
+    /// their (family-sized) serve lists.
+    served_by: HashMap<u32, u32>,
     next_pid: u32,
-    vbds: HashMap<(u32, u32), Vbd>,
+    vbds: BTreeMap<(u32, u32), Vbd>,
     vsocks: HashMap<u32, VsockConn>,
-    usbs: HashMap<(u32, u32), UsbPassthrough>,
+    usbs: BTreeMap<(u32, u32), UsbPassthrough>,
     bus: DeviceBus,
     trace: TraceSink,
 }
@@ -201,15 +211,16 @@ impl DeviceManager {
             clock,
             costs,
             fs: MemFs::new(),
-            vifs: HashMap::new(),
+            vifs: BTreeMap::new(),
             iface_map: HashMap::new(),
             next_iface: 1,
             console: ConsoleBackend::new(),
-            qemus: Vec::new(),
+            qemus: BTreeMap::new(),
+            served_by: HashMap::new(),
             next_pid: 1000,
-            vbds: HashMap::new(),
+            vbds: BTreeMap::new(),
             vsocks: HashMap::new(),
-            usbs: HashMap::new(),
+            usbs: BTreeMap::new(),
             bus: DeviceBus::new(),
             trace: TraceSink::default(),
         }
@@ -481,16 +492,13 @@ impl DeviceManager {
         self.vifs.get(&(dom.0, devid))
     }
 
-    /// Device ids of the vifs a domain owns (sorted).
+    /// Device ids of the vifs a domain owns (sorted). O(own vifs): the
+    /// key order yields the domain's range directly, already sorted.
     pub fn vif_devids(&self, dom: DomId) -> Vec<u32> {
-        let mut ids: Vec<u32> = self
-            .vifs
-            .keys()
-            .filter(|(d, _)| *d == dom.0)
-            .map(|(_, i)| *i)
-            .collect();
-        ids.sort_unstable();
-        ids
+        self.vifs
+            .range((dom.0, 0)..=(dom.0, u32::MAX))
+            .map(|((_, i), _)| *i)
+            .collect()
     }
 
     /// Total vifs registered.
@@ -498,15 +506,9 @@ impl DeviceManager {
         self.vifs.len()
     }
 
-    /// All `(domain, devid)` vif keys, sorted.
+    /// All `(domain, devid)` vif keys, sorted (the map's key order).
     pub fn all_vif_keys(&self) -> Vec<(DomId, u32)> {
-        let mut keys: Vec<(DomId, u32)> = self
-            .vifs
-            .keys()
-            .map(|(d, i)| (DomId(*d), *i))
-            .collect();
-        keys.sort_unstable_by_key(|(d, i)| (d.0, *i));
-        keys
+        self.vifs.keys().map(|(d, i)| (DomId(*d), *i)).collect()
     }
 
     /// Whether a vif has pending TX entries.
@@ -614,7 +616,12 @@ impl DeviceManager {
         let pid = self.next_pid;
         self.next_pid += 1;
         self.fs.mkdir_p(export_root).map_err(|_| DevError::NoBackend(dom))?;
-        self.qemus.push(QemuProcess::launch(pid, dom, export_root));
+        debug_assert!(
+            !self.served_by.contains_key(&dom.0),
+            "domain {dom} already has a 9pfs backend process"
+        );
+        self.qemus.insert(pid, QemuProcess::launch(pid, dom, export_root));
+        self.served_by.insert(dom.0, pid);
         self.bus.register(Rc::new(P9fsDev { dom }));
         Ok(())
     }
@@ -659,12 +666,10 @@ impl DeviceManager {
             xs.xs_clone(DomId::DOM0, XsCloneOp::Dev9pfs, parent, child, &pb, &cb)?;
         }
         self.clock.advance(self.costs.qmp_request);
-        let q = self
-            .qemus
-            .iter_mut()
-            .find(|q| q.serves(parent))
-            .ok_or(DevError::NoBackend(parent))?;
+        let pid = *self.served_by.get(&parent.0).ok_or(DevError::NoBackend(parent))?;
+        let q = self.qemus.get_mut(&pid).ok_or(DevError::NoBackend(parent))?;
         let fids = q.qmp(QmpRequest::CloneP9 { parent, child });
+        self.served_by.insert(child.0, pid);
         self.clock
             .advance(self.costs.qmp_clone_per_fid.saturating_mul(fids as u64));
         span.attr("fids", fids);
@@ -674,7 +679,7 @@ impl DeviceManager {
 
     /// Whether any backend process serves `dom`'s 9pfs.
     pub fn p9_served(&self, dom: DomId) -> bool {
-        self.qemus.iter().any(|q| q.serves(dom))
+        self.served_by.contains_key(&dom.0)
     }
 
     /// Number of QEMU backend processes alive.
@@ -691,11 +696,8 @@ impl DeviceManager {
             self.clock
                 .advance(self.costs.p9fs_write_per_page.saturating_mul(pages));
         }
-        let q = self
-            .qemus
-            .iter_mut()
-            .find(|q| q.serves(dom))
-            .ok_or(DevError::NoBackend(dom))?;
+        let pid = *self.served_by.get(&dom.0).ok_or(DevError::NoBackend(dom))?;
+        let q = self.qemus.get_mut(&pid).ok_or(DevError::NoBackend(dom))?;
         Ok(q.p9.handle(&mut self.fs, dom, req))
     }
 
@@ -1062,29 +1064,41 @@ impl DeviceManager {
         Ok(())
     }
 
-    /// Releases every device of a destroyed domain.
+    /// Releases every device of a destroyed domain. Every step is
+    /// O(devices the domain owns), never O(devices on the host): the
+    /// `(owner, devid)` BTreeMap keys make each domain's devices one
+    /// contiguous range, and the `served_by` index names the one QEMU
+    /// process whose serve set mentions the domain.
     pub fn forget_domain(&mut self, udev: &mut UdevBus, dom: DomId) {
-        let owned: Vec<(u32, u32)> = self
-            .vifs
-            .keys()
-            .filter(|(d, _)| *d == dom.0)
-            .copied()
-            .collect();
-        for key in owned {
+        for key in Self::owned_range(&self.vifs, dom) {
             if let Some(v) = self.vifs.remove(&key) {
                 self.iface_map.remove(&v.iface);
                 udev.emit(UdevEvent::VifRemoved { dom, devid: key.1 });
             }
         }
         self.console.detach(dom);
-        for q in &mut self.qemus {
-            q.forget_domain(dom);
+        if let Some(pid) = self.served_by.remove(&dom.0) {
+            if let Some(q) = self.qemus.get_mut(&pid) {
+                q.forget_domain(dom);
+                if q.is_idle() {
+                    self.qemus.remove(&pid);
+                }
+            }
         }
-        self.qemus.retain(|q| !q.is_idle());
-        self.vbds.retain(|(d, _), _| *d != dom.0);
+        for key in Self::owned_range(&self.vbds, dom) {
+            self.vbds.remove(&key);
+        }
         self.vsocks.remove(&dom.0);
-        self.usbs.retain(|(d, _), _| *d != dom.0);
+        for key in Self::owned_range(&self.usbs, dom) {
+            self.usbs.remove(&key);
+        }
         self.bus.forget_domain(dom);
+    }
+
+    /// The `(owner, devid)` keys `dom` holds in a device map — one
+    /// contiguous BTreeMap range.
+    fn owned_range<V>(map: &BTreeMap<(u32, u32), V>, dom: DomId) -> Vec<(u32, u32)> {
+        map.range((dom.0, 0)..=(dom.0, u32::MAX)).map(|(k, _)| *k).collect()
     }
 
     /// Modelled Dom0 resident memory for backend state, in bytes (Fig. 5's
@@ -1098,7 +1112,7 @@ impl DeviceManager {
         const PER_VBD: u64 = 64 * 1024;
         const PER_VSOCK: u64 = 16 * 1024;
         const PER_USB: u64 = 32 * 1024;
-        let served: u64 = self.qemus.iter().map(|q| q.serves.len() as u64).sum();
+        let served: u64 = self.qemus.values().map(|q| q.serves.len() as u64).sum();
         // Vbd storage is resident once per distinct blob, however many
         // devices share it.
         let mut blobs: HashMap<usize, u64> = HashMap::new();

@@ -7,6 +7,8 @@
 //! per clone (§5.2.1: the per-clone-process alternative "stresses the
 //! limits of the host system when reaching a high density of clones").
 
+use std::collections::BTreeSet;
+
 use sim_core::DomId;
 
 use crate::p9fs::P9Backend;
@@ -30,8 +32,10 @@ pub struct QemuProcess {
     pub pid: u32,
     /// The family root this process was launched for.
     pub family_root: DomId,
-    /// Domains currently served.
-    pub serves: Vec<DomId>,
+    /// Domains currently served. A set, not a list: one process serves a
+    /// whole clone family, so membership tests and removals must not
+    /// scale with family size.
+    pub serves: BTreeSet<DomId>,
     /// The 9pfs backend state.
     pub p9: P9Backend,
 }
@@ -42,7 +46,7 @@ impl QemuProcess {
         QemuProcess {
             pid,
             family_root: root,
-            serves: vec![root],
+            serves: BTreeSet::from([root]),
             p9: P9Backend::new(export_root),
         }
     }
@@ -57,9 +61,7 @@ impl QemuProcess {
         match req {
             QmpRequest::CloneP9 { parent, child } => {
                 debug_assert!(self.serves(parent), "QMP clone for foreign domain");
-                if !self.serves(child) {
-                    self.serves.push(child);
-                }
+                self.serves.insert(child);
                 self.p9.clone_fids(parent, child)
             }
         }
@@ -67,7 +69,7 @@ impl QemuProcess {
 
     /// Drops a destroyed domain's state.
     pub fn forget_domain(&mut self, dom: DomId) {
-        self.serves.retain(|d| *d != dom);
+        self.serves.remove(&dom);
         self.p9.forget_domain(dom);
     }
 

@@ -14,6 +14,10 @@
 
 pub mod scale;
 pub mod sim;
+pub mod traffic;
 
 pub use scale::{run_scale, ScaleConfig, ScaleReport};
 pub use sim::{run_faas, Backend, FaasConfig, FaasReport};
+pub use traffic::{
+    generate, run_macro, Arrival, MacroConfig, MacroReport, Policy, PolicyOutcome, TrafficConfig,
+};

@@ -11,6 +11,8 @@
 //! * a new virtual interrupt, [`Virq::Cloned`], used by the hypervisor to
 //!   wake the `xencloned` daemon when clone notifications are pending.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use sim_core::DomId;
 
 use crate::error::{HvError, Result};
@@ -59,6 +61,12 @@ pub struct EventChannels {
     channels: Vec<Channel>,
     /// Pending (unacknowledged) notification flags, indexed by port.
     pending: Vec<bool>,
+    /// Reverse index: peer domain → local ports of interdomain channels
+    /// naming it. Maintained on every slot transition so that
+    /// [`EventChannels::close_peer`] costs O(matching ports), not
+    /// O(table) — on Dom0 the table grows with every live domain, which
+    /// made peer teardown O(live domains).
+    peers: BTreeMap<DomId, BTreeSet<Port>>,
 }
 
 impl EventChannels {
@@ -67,8 +75,31 @@ impl EventChannels {
         EventChannels::default()
     }
 
+    /// Removes `port` from the peer index if its current channel is
+    /// interdomain. Must run *before* the slot is overwritten.
+    fn index_remove(&mut self, port: Port) {
+        if let Some(Channel::Interdomain { remote_dom, .. }) = self.channels.get(port as usize) {
+            let dom = *remote_dom;
+            if let Some(ports) = self.peers.get_mut(&dom) {
+                ports.remove(&port);
+                if ports.is_empty() {
+                    self.peers.remove(&dom);
+                }
+            }
+        }
+    }
+
+    /// Adds `port` to the peer index if its current channel is
+    /// interdomain. Must run *after* the slot is written.
+    fn index_add(&mut self, port: Port) {
+        if let Some(Channel::Interdomain { remote_dom, .. }) = self.channels.get(port as usize) {
+            let dom = *remote_dom;
+            self.peers.entry(dom).or_default().insert(port);
+        }
+    }
+
     fn alloc_slot(&mut self, ch: Channel) -> Port {
-        if let Some(idx) = self
+        let port = if let Some(idx) = self
             .channels
             .iter()
             .position(|c| matches!(c, Channel::Free))
@@ -79,7 +110,9 @@ impl EventChannels {
             self.channels.push(ch);
             self.pending.push(false);
             (self.channels.len() - 1) as Port
-        }
+        };
+        self.index_add(port);
+        port
     }
 
     /// Allocates an unbound channel that `remote_allowed` may later bind.
@@ -116,13 +149,13 @@ impl EventChannels {
     /// Replaces the channel behind `port` wholesale (used by the cloning
     /// path to re-wire a child's copied channels).
     pub fn replace(&mut self, port: Port, ch: Channel) -> Result<()> {
-        match self.channels.get_mut(port as usize) {
-            Some(slot) => {
-                *slot = ch;
-                Ok(())
-            }
-            None => Err(HvError::BadPort(port)),
+        if self.channels.get(port as usize).is_none() {
+            return Err(HvError::BadPort(port));
         }
+        self.index_remove(port);
+        self.channels[port as usize] = ch;
+        self.index_add(port);
+        Ok(())
     }
 
     /// Completes an unbound channel once the peer is known.
@@ -133,6 +166,7 @@ impl EventChannels {
                     remote_dom,
                     remote_port,
                 };
+                self.index_add(port);
                 Ok(())
             }
             _ => Err(HvError::BadPort(port)),
@@ -146,16 +180,16 @@ impl EventChannels {
 
     /// Closes a channel.
     pub fn close(&mut self, port: Port) -> Result<()> {
-        match self.channels.get_mut(port as usize) {
-            Some(c) if !matches!(c, Channel::Free) => {
-                *c = Channel::Free;
-                if let Some(p) = self.pending.get_mut(port as usize) {
-                    *p = false;
-                }
-                Ok(())
-            }
-            _ => Err(HvError::BadPort(port)),
+        match self.channels.get(port as usize) {
+            Some(c) if !matches!(c, Channel::Free) => {}
+            _ => return Err(HvError::BadPort(port)),
         }
+        self.index_remove(port);
+        self.channels[port as usize] = Channel::Free;
+        if let Some(p) = self.pending.get_mut(port as usize) {
+            *p = false;
+        }
+        Ok(())
     }
 
     /// Marks a port pending; returns `true` if it was not already pending
@@ -207,18 +241,42 @@ impl EventChannels {
     /// Closes every interdomain channel whose remote end is `peer` and
     /// returns how many were closed. Used when `peer` is destroyed so no
     /// live table keeps a binding to a dead domain.
+    ///
+    /// Cost: O(channels actually naming `peer`) via the reverse index —
+    /// independent of table size, hence of live-domain count.
     pub fn close_peer(&mut self, peer: DomId) -> usize {
-        let mut closed = 0;
-        for (i, c) in self.channels.iter_mut().enumerate() {
-            if matches!(c, Channel::Interdomain { remote_dom, .. } if *remote_dom == peer) {
-                *c = Channel::Free;
-                if let Some(p) = self.pending.get_mut(i) {
-                    *p = false;
-                }
-                closed += 1;
+        let Some(ports) = self.peers.remove(&peer) else {
+            return 0;
+        };
+        let closed = ports.len();
+        for port in ports {
+            debug_assert!(
+                matches!(
+                    self.channels.get(port as usize),
+                    Some(Channel::Interdomain { remote_dom, .. }) if *remote_dom == peer
+                ),
+                "peer index out of sync with channel table at port {port}"
+            );
+            self.channels[port as usize] = Channel::Free;
+            if let Some(p) = self.pending.get_mut(port as usize) {
+                *p = false;
             }
         }
+        debug_assert!(
+            !self
+                .channels
+                .iter()
+                .any(|c| matches!(c, Channel::Interdomain { remote_dom, .. } if *remote_dom == peer)),
+            "close_peer left a channel naming the dead peer"
+        );
         closed
+    }
+
+    /// Per-peer count of interdomain channels naming each remote domain,
+    /// read from the maintained reverse index (O(distinct peers)). Used
+    /// by the platform auditor to cross-check the index against a scan.
+    pub fn peer_counts(&self) -> impl Iterator<Item = (DomId, u64)> + '_ {
+        self.peers.iter().map(|(d, ports)| (*d, ports.len() as u64))
     }
 
     /// Produces a child's channel table at clone time. Interdomain channels
@@ -228,6 +286,7 @@ impl EventChannels {
         EventChannels {
             channels: self.channels.clone(),
             pending: vec![false; self.pending.len()],
+            peers: self.peers.clone(),
         }
     }
 }
@@ -278,6 +337,39 @@ mod tests {
         let b = t.alloc_unbound(DomId::CHILD);
         assert_eq!(a, b);
         assert!(t.close(99).is_err());
+    }
+
+    #[test]
+    fn peer_index_tracks_every_transition() {
+        let mut t = EventChannels::new();
+        let a = t.bind_interdomain(DomId(3), 0);
+        let b = t.alloc_unbound(DomId(3));
+        t.connect(b, DomId(3), 1).unwrap();
+        let c = t.bind_interdomain(DomId(4), 0);
+        t.replace(
+            c,
+            Channel::Interdomain {
+                remote_dom: DomId(3),
+                remote_port: 2,
+            },
+        )
+        .unwrap();
+        t.close(a).unwrap();
+        // a closed, b and c still name DomId(3); the replace moved c off
+        // DomId(4)'s index entry.
+        assert_eq!(t.close_peer(DomId(4)), 0);
+        assert_eq!(t.close_peer(DomId(3)), 2);
+        assert_eq!(t.close_peer(DomId(3)), 0);
+        assert_eq!(t.active_channels(), 0);
+    }
+
+    #[test]
+    fn clone_keeps_peer_index() {
+        let mut t = EventChannels::new();
+        t.bind_interdomain(DomId(7), 1);
+        let c = t.clone_for_child();
+        let counts: Vec<_> = c.peer_counts().collect();
+        assert_eq!(counts, vec![(DomId(7), 1)]);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! established before any clone exists (§5.1). On cloning, the child is
 //! implicitly allowed to use all of the parent's IDC grants.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use sim_core::{DomId, Mfn};
 
 use crate::error::{HvError, Result};
@@ -36,14 +38,17 @@ pub enum GrantEntry {
 #[derive(Debug, Clone, Default)]
 pub struct GrantTable {
     entries: Vec<GrantEntry>,
+    /// Reverse index: grantee domain → references granting to it.
+    /// Maintained on grant/revoke so [`GrantTable::revoke_grantee`]
+    /// costs O(matching grants), not O(table) — Dom0's table grows with
+    /// every live domain, which made grantee teardown O(live domains).
+    grantees: BTreeMap<DomId, BTreeSet<GrantRef>>,
 }
 
 impl GrantTable {
     /// Creates an empty grant table.
     pub fn new() -> Self {
-        GrantTable {
-            entries: Vec::new(),
-        }
+        GrantTable::default()
     }
 
     /// Grants `grantee` access to `mfn`, returning the grant reference.
@@ -54,7 +59,7 @@ impl GrantTable {
             readonly,
             mapped: 0,
         };
-        if let Some(idx) = self
+        let gref = if let Some(idx) = self
             .entries
             .iter()
             .position(|e| matches!(e, GrantEntry::Unused))
@@ -64,17 +69,34 @@ impl GrantTable {
         } else {
             self.entries.push(entry);
             (self.entries.len() - 1) as GrantRef
+        };
+        self.grantees.entry(grantee).or_default().insert(gref);
+        gref
+    }
+
+    /// Removes `gref` from the grantee index. Must run before the entry
+    /// is overwritten.
+    fn index_remove(&mut self, gref: GrantRef) {
+        if let Some(GrantEntry::Access { grantee, .. }) = self.entries.get(gref as usize) {
+            let g = *grantee;
+            if let Some(refs) = self.grantees.get_mut(&g) {
+                refs.remove(&gref);
+                if refs.is_empty() {
+                    self.grantees.remove(&g);
+                }
+            }
         }
     }
 
     /// Revokes a grant. Fails if mappings are still active.
     pub fn end_access(&mut self, gref: GrantRef) -> Result<()> {
-        match self.entries.get_mut(gref as usize) {
+        match self.entries.get(gref as usize) {
             Some(GrantEntry::Access { mapped, .. }) if *mapped > 0 => {
                 Err(HvError::BadGrant(gref))
             }
-            Some(e @ GrantEntry::Access { .. }) => {
-                *e = GrantEntry::Unused;
+            Some(GrantEntry::Access { .. }) => {
+                self.index_remove(gref);
+                self.entries[gref as usize] = GrantEntry::Unused;
                 Ok(())
             }
             _ => Err(HvError::BadGrant(gref)),
@@ -146,15 +168,39 @@ impl GrantTable {
     /// mapping counts, and returns how many were dropped. Used when the
     /// grantee domain is destroyed: its mappings die with it, so the
     /// entries must not keep naming a dead domain.
+    ///
+    /// Cost: O(grants actually naming `grantee`) via the reverse index —
+    /// independent of table size, hence of live-domain count.
     pub fn revoke_grantee(&mut self, grantee: DomId) -> usize {
-        let mut dropped = 0;
-        for e in &mut self.entries {
-            if matches!(e, GrantEntry::Access { grantee: g, .. } if *g == grantee) {
-                *e = GrantEntry::Unused;
-                dropped += 1;
-            }
+        let Some(refs) = self.grantees.remove(&grantee) else {
+            return 0;
+        };
+        let dropped = refs.len();
+        for gref in refs {
+            debug_assert!(
+                matches!(
+                    self.entries.get(gref as usize),
+                    Some(GrantEntry::Access { grantee: g, .. }) if *g == grantee
+                ),
+                "grantee index out of sync with grant table at ref {gref}"
+            );
+            self.entries[gref as usize] = GrantEntry::Unused;
         }
+        debug_assert!(
+            !self
+                .entries
+                .iter()
+                .any(|e| matches!(e, GrantEntry::Access { grantee: g, .. } if *g == grantee)),
+            "revoke_grantee left an entry naming the dead grantee"
+        );
         dropped
+    }
+
+    /// Per-grantee count of active entries naming each domain, read from
+    /// the maintained reverse index (O(distinct grantees)). Used by the
+    /// platform auditor to cross-check the index against a scan.
+    pub fn grantee_counts(&self) -> impl Iterator<Item = (DomId, u64)> + '_ {
+        self.grantees.iter().map(|(d, refs)| (*d, refs.len() as u64))
     }
 
     /// Produces the child's grant table at clone time: all entries are
@@ -231,6 +277,23 @@ mod tests {
         t.end_access(a).unwrap();
         let b = t.grant_access(D1, Mfn(2), false);
         assert_eq!(a, b, "freed slot should be reused");
+    }
+
+    #[test]
+    fn grantee_index_tracks_grant_and_revoke() {
+        let mut t = GrantTable::new();
+        let a = t.grant_access(D1, Mfn(1), false);
+        t.grant_access(D1, Mfn(2), false);
+        t.grant_access(D2, Mfn(3), false);
+        t.end_access(a).unwrap();
+        // The freed slot is reused for a different grantee; the index
+        // must follow it.
+        let b = t.grant_access(D2, Mfn(4), false);
+        assert_eq!(a, b);
+        assert_eq!(t.revoke_grantee(D1), 1);
+        assert_eq!(t.revoke_grantee(D1), 0);
+        assert_eq!(t.revoke_grantee(D2), 2);
+        assert_eq!(t.active_entries(), 0);
     }
 
     #[test]

@@ -106,8 +106,27 @@ pub struct Hypervisor {
     cloning_enabled: bool,
     pending_events: VecDeque<PendingEvent>,
     /// Fan-out registry for parent-side `DOMID_CHILD` channels:
-    /// (parent, parent_port) → [(child, child_port)].
-    child_bindings: HashMap<(u32, Port), Vec<(DomId, Port)>>,
+    /// (parent, parent_port) → registration-ordered (child, child_port)
+    /// targets. Keyed by a global registration sequence so iteration
+    /// order is exactly the bind order (what the old `Vec` gave).
+    child_bindings: HashMap<(u32, Port), BTreeMap<u64, (DomId, Port)>>,
+    /// Next registration sequence for `child_bindings`.
+    binding_seq: u64,
+    /// Reverse index: child → `child_bindings` entries naming it, so a
+    /// child's destruction unlinks its bindings in O(own bindings)
+    /// instead of scanning every fan-out list (O(total bindings)).
+    binding_memberships: HashMap<u32, Vec<((u32, Port), u64)>>,
+    /// Reverse index: parent → its registered fan-out ports, so a
+    /// parent's destruction drops its registry keys without a key scan.
+    owned_binding_ports: HashMap<u32, BTreeSet<Port>>,
+    /// Referrer index: referenced domain → (referring domain → number
+    /// of channel + grant entries in the referrer's tables naming it).
+    /// Maintained on channel-pair wiring, grant creation, clone
+    /// insertion and destruction; only real domain ids are tracked
+    /// (wildcards like `DOMID_CHILD` never need a death sweep). This is
+    /// what makes [`Hypervisor::destroy_domain`] O(actual references)
+    /// instead of a walk over every live domain.
+    peer_refs: HashMap<u32, BTreeMap<u32, u64>>,
     cpu_pool: CpuPool,
     trace: TraceSink,
     /// Deterministic fork/join pool for host-parallel batch stamping
@@ -131,6 +150,10 @@ impl Hypervisor {
             cloning_enabled: false,
             pending_events: VecDeque::new(),
             child_bindings: HashMap::new(),
+            binding_seq: 0,
+            binding_memberships: HashMap::new(),
+            owned_binding_ports: HashMap::new(),
+            peer_refs: HashMap::new(),
             cpu_pool: CpuPool::new(config.cores),
             trace: TraceSink::default(),
             par_pool: sim_core::par::Pool::single(),
@@ -375,24 +398,96 @@ impl Hypervisor {
         self.clock
             .advance(self.costs.mem_free_per_page.saturating_mul(freed));
 
-        // Unlink from the family tree and the CHILD fan-out registry.
+        // Unlink from the family tree and the CHILD fan-out registry —
+        // the reverse indices make both O(the domain's own bindings),
+        // not O(every binding ever registered).
         if let Some(parent) = dom.parent {
             if let Some(p) = self.domains.get_mut(&parent.0) {
                 p.children.retain(|c| *c != id);
             }
         }
-        for targets in self.child_bindings.values_mut() {
-            targets.retain(|(d, _)| *d != id);
+        if let Some(memberships) = self.binding_memberships.remove(&id.0) {
+            for (key, seq) in memberships {
+                if let Some(targets) = self.child_bindings.get_mut(&key) {
+                    targets.remove(&seq);
+                }
+            }
         }
-        self.child_bindings.retain(|(owner, _), _| *owner != id.0);
+        if let Some(ports) = self.owned_binding_ports.remove(&id.0) {
+            for port in ports {
+                self.child_bindings.remove(&(id.0, port));
+            }
+        }
 
-        // Sweep the survivors' tables: close interdomain channels whose
-        // remote end just died and revoke grants naming it as grantee, so
-        // no live table keeps a binding to a dead domain (the liveness
-        // invariants the state auditor enforces).
-        for peer in self.domains.values_mut() {
-            peer.evtchn.close_peer(id);
-            peer.grants.revoke_grantee(id);
+        // Sweep the tables that actually reference the dead domain:
+        // close interdomain channels whose remote end just died and
+        // revoke grants naming it as grantee, so no live table keeps a
+        // binding to a dead domain (the liveness invariants the state
+        // auditor enforces). The referrer index names exactly the
+        // holders, so this is O(references to the dead domain) instead
+        // of a walk over every live domain; holders are visited in
+        // ascending id order, the same order the old full walk used.
+        if let Some(holders) = self.peer_refs.remove(&id.0) {
+            for (holder, refs) in holders {
+                let Some(peer) = self.domains.get_mut(&holder) else {
+                    debug_assert!(false, "referrer index names dead holder {holder}");
+                    continue;
+                };
+                let dropped =
+                    (peer.evtchn.close_peer(id) + peer.grants.revoke_grantee(id)) as u64;
+                debug_assert_eq!(
+                    dropped, refs,
+                    "referrer index out of sync: dom {holder} held {dropped} refs to dead {}, index said {refs}",
+                    id.0
+                );
+            }
+        }
+        // The dead domain's own references to others die with its
+        // tables; drop them from the referrer index so destroyed ids
+        // never leave stale holder entries behind (domids are reused).
+        for (peer, n) in dom
+            .evtchn
+            .peer_counts()
+            .chain(dom.grants.grantee_counts())
+        {
+            if !peer.is_real() || peer == id {
+                continue;
+            }
+            if let Some(holders) = self.peer_refs.get_mut(&peer.0) {
+                if let Some(count) = holders.get_mut(&id.0) {
+                    *count = count.saturating_sub(n);
+                    if *count == 0 {
+                        holders.remove(&id.0);
+                    }
+                }
+                if holders.is_empty() {
+                    self.peer_refs.remove(&peer.0);
+                }
+            }
+        }
+        // Debug builds re-check what the release path now skips: no
+        // survivor's table may still name the dead domain. This restores
+        // the old O(live domains) sweep as a pure assertion.
+        #[cfg(debug_assertions)]
+        for peer in self.domains.values() {
+            debug_assert!(
+                !peer.evtchn.iter_active().any(|(_, c)| matches!(
+                    c,
+                    Channel::Interdomain { remote_dom, .. } if *remote_dom == id
+                )),
+                "destroy left dom {}'s channel table naming dead {}",
+                peer.id.0,
+                id.0
+            );
+            debug_assert!(
+                !peer.grants.iter_active().any(|(_, e)| matches!(
+                    e,
+                    grant::GrantEntry::Access { grantee, .. } if *grantee == id
+                )),
+                "destroy left dom {}'s grant table naming dead {}",
+                peer.id.0,
+                id.0
+            );
         }
         // Orphaned pending notifications for the dead domain are dropped,
         // and the id goes back to the allocator for deterministic reuse.
@@ -694,10 +789,12 @@ impl Hypervisor {
             .domain(dom)?
             .lookup(pfn)
             .ok_or(HvError::NotMapped(dom, pfn))?;
-        Ok(self
+        let gref = self
             .domain_mut(dom)?
             .grants
-            .grant_access(grantee, mfn, readonly))
+            .grant_access(grantee, mfn, readonly);
+        self.note_peer_ref(grantee, dom);
+        Ok(gref)
     }
 
     /// Maps a grant from `owner`'s table on behalf of `mapper`.
@@ -734,6 +831,8 @@ impl Hypervisor {
         let port_a = self.domain_mut(a)?.evtchn.bind_interdomain(b, 0);
         let port_b = self.domain_mut(b)?.evtchn.bind_interdomain(a, port_a);
         self.domain_mut(a)?.evtchn.set_remote_port(port_a, port_b)?;
+        self.note_peer_ref(b, a);
+        self.note_peer_ref(a, b);
         Ok((port_a, port_b))
     }
 
@@ -764,10 +863,11 @@ impl Hypervisor {
             } => {
                 self.clock.advance(self.costs.event_delivery);
                 if remote_dom == DomId::CHILD {
-                    let targets = self
+                    // Registration (seq) order — exactly the bind order.
+                    let targets: Vec<(DomId, Port)> = self
                         .child_bindings
                         .get(&(sender.0, port))
-                        .cloned()
+                        .map(|m| m.values().copied().collect())
                         .unwrap_or_default();
                     for (child, child_port) in targets {
                         self.deliver(child, child_port);
@@ -843,10 +943,39 @@ impl Hypervisor {
         self.free_domids.insert(id);
     }
 
+    /// Records that `holder`'s tables gained one entry naming `peer` in
+    /// the referrer index. Wildcard peers ([`DomId::CHILD`] etc.) and
+    /// self references are skipped — neither needs a death sweep.
+    fn note_peer_ref(&mut self, peer: DomId, holder: DomId) {
+        if peer.is_real() && peer != holder {
+            *self
+                .peer_refs
+                .entry(peer.0)
+                .or_default()
+                .entry(holder.0)
+                .or_default() += 1;
+        }
+    }
+
     /// Inserts a fully built domain (cloning path), joining it to its
-    /// parent's clone family in the provenance registry.
+    /// parent's clone family in the provenance registry. The child's
+    /// tables were stamped while detached, so its references to real
+    /// peers (the parent behind re-wired IDC ports, Dom0 behind copied
+    /// console/Xenstore channels) are registered here, from the tables'
+    /// own reverse indices — O(the child's table), not O(domains).
     pub(crate) fn insert_domain(&mut self, d: Domain) {
         self.trace.family_cloned(d.id, d.parent);
+        let holder = d.id;
+        for (peer, n) in d.evtchn.peer_counts().chain(d.grants.grantee_counts()) {
+            if peer.is_real() && peer != holder {
+                *self
+                    .peer_refs
+                    .entry(peer.0)
+                    .or_default()
+                    .entry(holder.0)
+                    .or_default() += n;
+            }
+        }
         self.domains.insert(d.id.0, d);
     }
 
@@ -859,19 +988,160 @@ impl Hypervisor {
         child: DomId,
         child_port: Port,
     ) {
+        let seq = self.binding_seq;
+        self.binding_seq += 1;
+        let key = (parent.0, parent_port);
         self.child_bindings
-            .entry((parent.0, parent_port))
+            .entry(key)
             .or_default()
-            .push((child, child_port));
+            .insert(seq, (child, child_port));
+        self.binding_memberships
+            .entry(child.0)
+            .or_default()
+            .push((key, seq));
+        self.owned_binding_ports
+            .entry(parent.0)
+            .or_default()
+            .insert(parent_port);
     }
 
     /// Read-only view of the `DOMID_CHILD` fan-out registry:
-    /// `((parent, parent_port), [(child, child_port)])`. The state auditor
-    /// cross-checks these against live domains and their channel tables.
-    pub fn child_bindings(&self) -> impl Iterator<Item = ((u32, Port), &[(DomId, Port)])> {
+    /// `((parent, parent_port), [(child, child_port)])` in registration
+    /// order. The state auditor cross-checks these against live domains
+    /// and their channel tables.
+    pub fn child_bindings(
+        &self,
+    ) -> impl Iterator<Item = ((u32, Port), Vec<(DomId, Port)>)> + '_ {
         self.child_bindings
             .iter()
-            .map(|(k, v)| (*k, v.as_slice()))
+            .map(|(k, m)| (*k, m.values().copied().collect()))
+    }
+
+    /// Cross-checks every scan-replacing index against the ground truth
+    /// it replaced, returning one human-readable detail per divergence
+    /// (empty when consistent). Checked per table: the event-channel
+    /// peer index and grant grantee index versus full table scans; and
+    /// globally: the referrer index versus a recount over every live
+    /// domain's tables, and the fan-out registry's reverse indices
+    /// versus the registry itself. The state auditor surfaces these as
+    /// its index-consistency invariant; the property tests drive random
+    /// lifecycle tapes through it.
+    pub fn audit_ref_indices(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        let mut expect: BTreeMap<u32, BTreeMap<u32, u64>> = BTreeMap::new();
+        for d in self.domains.values() {
+            let mut chan_scan: BTreeMap<DomId, u64> = BTreeMap::new();
+            for (_, c) in d.evtchn.iter_active() {
+                if let Channel::Interdomain { remote_dom, .. } = c {
+                    *chan_scan.entry(*remote_dom).or_default() += 1;
+                }
+            }
+            let chan_idx: BTreeMap<DomId, u64> = d.evtchn.peer_counts().collect();
+            if chan_idx != chan_scan {
+                bad.push(format!(
+                    "dom {}: evtchn peer index {chan_idx:?} != table scan {chan_scan:?}",
+                    d.id.0
+                ));
+            }
+            let mut grant_scan: BTreeMap<DomId, u64> = BTreeMap::new();
+            for (_, e) in d.grants.iter_active() {
+                if let grant::GrantEntry::Access { grantee, .. } = e {
+                    *grant_scan.entry(*grantee).or_default() += 1;
+                }
+            }
+            let grant_idx: BTreeMap<DomId, u64> = d.grants.grantee_counts().collect();
+            if grant_idx != grant_scan {
+                bad.push(format!(
+                    "dom {}: grant grantee index {grant_idx:?} != table scan {grant_scan:?}",
+                    d.id.0
+                ));
+            }
+            for (peer, n) in chan_scan.into_iter().chain(grant_scan) {
+                if peer.is_real() && peer != d.id {
+                    *expect.entry(peer.0).or_default().entry(d.id.0).or_default() += n;
+                }
+            }
+        }
+        let actual: BTreeMap<u32, BTreeMap<u32, u64>> = self
+            .peer_refs
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        if actual != expect {
+            bad.push(format!(
+                "referrer index {actual:?} != recount over live tables {expect:?}"
+            ));
+        }
+        // Fan-out registry reverse indices: every registry entry must be
+        // indexed under its child and its owner port, and vice versa.
+        let mut expect_members: BTreeMap<u32, BTreeSet<((u32, Port), u64)>> = BTreeMap::new();
+        let mut expect_owned: BTreeMap<u32, BTreeSet<Port>> = BTreeMap::new();
+        for (key, targets) in &self.child_bindings {
+            expect_owned.entry(key.0).or_default().insert(key.1);
+            for (seq, (child, _)) in targets {
+                expect_members.entry(child.0).or_default().insert((*key, *seq));
+            }
+        }
+        for (child, entries) in &self.binding_memberships {
+            for entry in entries {
+                // Stale memberships to registry keys removed by a
+                // parent's destruction (or to seqs already unlinked)
+                // are tolerated — they are no-ops on the next unlink.
+                let live = self
+                    .child_bindings
+                    .get(&entry.0)
+                    .is_some_and(|m| m.contains_key(&entry.1));
+                if live && !expect_members.get(child).is_some_and(|s| s.contains(entry)) {
+                    bad.push(format!(
+                        "binding membership {entry:?} of child {child} not in the registry"
+                    ));
+                }
+            }
+        }
+        for (child, entries) in expect_members {
+            for entry in entries {
+                let indexed = self
+                    .binding_memberships
+                    .get(&child)
+                    .is_some_and(|v| v.contains(&entry));
+                if !indexed {
+                    bad.push(format!(
+                        "registry binding {entry:?} of child {child} missing from the membership index"
+                    ));
+                }
+            }
+        }
+        for (owner, ports) in expect_owned {
+            for port in ports {
+                let indexed = self
+                    .owned_binding_ports
+                    .get(&owner)
+                    .is_some_and(|s| s.contains(&port));
+                if !indexed {
+                    bad.push(format!(
+                        "registry key ({owner}, {port}) missing from the owned-port index"
+                    ));
+                }
+            }
+        }
+        bad
+    }
+
+    /// Test-only: drifts the referrer index for (`peer`, `holder`) by
+    /// `delta` without touching any channel or grant table, so the
+    /// index-consistency audit can prove it detects divergence from the
+    /// scans the index replaced. A zero resulting count removes the
+    /// entry, mirroring the maintenance paths.
+    pub fn corrupt_peer_ref_for_test(&mut self, peer: DomId, holder: DomId, delta: i64) {
+        let holders = self.peer_refs.entry(peer.0).or_default();
+        let count = holders.entry(holder.0).or_default();
+        *count = count.saturating_add_signed(delta);
+        if *count == 0 {
+            holders.remove(&holder.0);
+        }
+        if self.peer_refs.get(&peer.0).is_some_and(|h| h.is_empty()) {
+            self.peer_refs.remove(&peer.0);
+        }
     }
 
     /// The clone notification ring (consumed by `xencloned`).

@@ -53,6 +53,15 @@
 //!     the global stats. Catches compensated drift — two shards off in
 //!     opposite directions — that the global check (invariant 2) cannot
 //!     see.
+//! 13. **Scan-replacing indices vs the scans they replaced.** The hot
+//!     paths look up maintained indices instead of scanning: the
+//!     per-table event-channel peer and grant grantee indices, the
+//!     hypervisor's referrer index (which domains' tables name which),
+//!     the `DOMID_CHILD` fan-out registry's reverse indices, and the
+//!     toolstack's name index. Each must agree exactly with a fresh
+//!     recount over the ground-truth state — any divergence means a
+//!     destroy or create would tear down the wrong (or miss the right)
+//!     references.
 //!
 //! The checks are read-only and O(total frames + domains + devices); they
 //! run on demand, after every clone/destroy in debug builds, and after
@@ -526,7 +535,7 @@ pub(crate) fn run(p: &Platform) -> AuditReport {
     for ((parent, port), bindings) in hv.child_bindings() {
         for (child, child_port) in bindings {
             report.checks += 1;
-            if !hv.domain_exists(DomId(parent)) || !hv.domain_exists(*child) {
+            if !hv.domain_exists(DomId(parent)) || !hv.domain_exists(child) {
                 report.violations.push(AuditViolation {
                     invariant: "child-binding",
                     detail: format!(
@@ -672,6 +681,18 @@ pub(crate) fn run(p: &Platform) -> AuditReport {
             invariant: "xenstore-count",
             detail: e,
         });
+    }
+
+    // 13. Scan-replacing indices vs the scans they replaced: the
+    // hypervisor's per-table and referrer indices, the fan-out
+    // registry's reverse indices, and the toolstack's name index.
+    report.checks += 1;
+    for detail in hv.audit_ref_indices() {
+        report.violations.push(AuditViolation { invariant: "index-consistency", detail });
+    }
+    report.checks += 1;
+    for detail in p.xl.audit_name_index() {
+        report.violations.push(AuditViolation { invariant: "index-consistency", detail });
     }
 
     report

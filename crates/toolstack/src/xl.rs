@@ -15,7 +15,7 @@
 //!   that is actually used by the VM", making restore slightly slower than
 //!   boot.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::rc::Rc;
 
@@ -137,6 +137,15 @@ pub struct Xl {
     /// matching the paper's baseline methodology in §6.1).
     pub validate_names: bool,
     records: HashMap<u32, DomRecord>,
+    /// Name → registered domain ids. Maintained on create, clone
+    /// registration, restore, rename and destroy so the uniqueness
+    /// check is an O(1) lookup on the host, not a registry scan — the
+    /// §5 scan's *virtual-time* cost is still charged when
+    /// `validate_names` is on (that is vanilla `xl`'s modelled
+    /// behavior), but the simulator itself no longer pays O(live
+    /// domains) per create. Duplicate names are legal while validation
+    /// is off, hence the id *set*.
+    names: HashMap<String, BTreeSet<u32>>,
     saved: HashMap<String, SavedGuest>,
     trace: TraceSink,
 }
@@ -149,6 +158,7 @@ impl Xl {
             costs,
             validate_names: false,
             records: HashMap::new(),
+            names: HashMap::new(),
             saved: HashMap::new(),
             trace: TraceSink::default(),
         }
@@ -188,17 +198,50 @@ impl Xl {
 
     fn check_name(&self, name: &str) -> Result<()> {
         if self.validate_names {
-            // Vanilla xl iterates every running VM's name.
+            // Vanilla xl iterates every running VM's name; that modelled
+            // virtual-time cost is preserved. The host-side answer comes
+            // from the name index in O(1), debug-asserted against the
+            // scan it replaced.
             self.clock.advance(
                 self.costs
                     .xl_name_check_per_domain
                     .saturating_mul(self.records.len() as u64),
             );
-            if self.records.values().any(|r| r.name == name) {
+            let taken = self.names.get(name).is_some_and(|ids| !ids.is_empty());
+            debug_assert_eq!(
+                taken,
+                self.records.values().any(|r| r.name == name),
+                "name index disagrees with the registry scan for {name:?}"
+            );
+            if taken {
                 return Err(XlError::NameExists(name.to_string()));
             }
         }
         Ok(())
+    }
+
+    /// Removes one id from a name's index entry, dropping the entry when
+    /// it empties.
+    fn unindex_name(&mut self, name: &str, id: u32) {
+        if let Some(ids) = self.names.get_mut(name) {
+            ids.remove(&id);
+            if ids.is_empty() {
+                self.names.remove(name);
+            }
+        }
+    }
+
+    /// Registers a record, keeping the name index in lockstep (including
+    /// when an id is re-registered under a different name).
+    fn insert_record(&mut self, rec: DomRecord) {
+        let id = rec.id.0;
+        let name = rec.name.clone();
+        if let Some(old) = self.records.insert(id, rec) {
+            if old.name != name {
+                self.unindex_name(&old.name, id);
+            }
+        }
+        self.names.entry(name).or_default().insert(id);
     }
 
     fn write_base_entries(
@@ -364,16 +407,13 @@ impl Xl {
 
         self.clock.advance(self.costs.guest_boot_fixed);
         hv.unpause(dom)?;
-        self.records.insert(
-            dom.0,
-            DomRecord {
-                id: dom,
-                name: cfg.name.clone(),
-                config: cfg.clone(),
-                layout,
-                ifaces: ifaces.clone(),
-            },
-        );
+        self.insert_record(DomRecord {
+            id: dom,
+            name: cfg.name.clone(),
+            config: cfg.clone(),
+            layout,
+            ifaces: ifaces.clone(),
+        });
         Ok(CreatedDomain { id: dom, layout, ifaces })
     }
 
@@ -381,17 +421,38 @@ impl Xl {
     /// (name uniqueness is guaranteed by construction — no scan).
     pub fn register_clone(&mut self, parent: DomId, child: DomId, name: &str, ifaces: Vec<IfaceId>) {
         if let Some(p) = self.records.get(&parent.0).cloned() {
-            self.records.insert(
-                child.0,
-                DomRecord {
-                    id: child,
-                    name: name.to_string(),
-                    config: p.config.clone(),
-                    layout: p.layout,
-                    ifaces,
-                },
-            );
+            self.insert_record(DomRecord {
+                id: child,
+                name: name.to_string(),
+                config: p.config.clone(),
+                layout: p.layout,
+                ifaces,
+            });
         }
+    }
+
+    /// `xl rename`: renames a live domain, updating the registry, the
+    /// name index and the domain's Xenstore name node. Renaming to the
+    /// current name is a no-op; with `validate_names` on, the target
+    /// name is checked for uniqueness exactly like a create.
+    pub fn rename(&mut self, xs: &mut Xenstore, dom: DomId, new_name: &str) -> Result<()> {
+        let Some(rec) = self.records.get(&dom.0) else {
+            return Err(XlError::NoSuchDomain(dom));
+        };
+        if rec.name == new_name {
+            return Ok(());
+        }
+        self.check_name(new_name)?;
+        xs.write(
+            DomId::DOM0,
+            &format!("/local/domain/{}/name", dom.0),
+            new_name,
+        )?;
+        let rec = self.records.get_mut(&dom.0).expect("checked above");
+        let old = std::mem::replace(&mut rec.name, new_name.to_string());
+        self.unindex_name(&old, dom.0);
+        self.names.entry(new_name.to_string()).or_default().insert(dom.0);
+        Ok(())
     }
 
     /// `xl destroy`: tears down a domain across all components.
@@ -410,7 +471,9 @@ impl Xl {
         dm.forget_domain(udev, dom);
         xs.forget_domain(dom);
         hv.destroy_domain(dom)?;
-        self.records.remove(&dom.0);
+        if let Some(rec) = self.records.remove(&dom.0) {
+            self.unindex_name(&rec.name, dom.0);
+        }
         udev.drain();
         Ok(())
     }
@@ -504,16 +567,13 @@ impl Xl {
             },
         )?;
         hv.unpause(dom)?;
-        self.records.insert(
-            dom.0,
-            DomRecord {
-                id: dom,
-                name: config.name.clone(),
-                config,
-                layout,
-                ifaces: ifaces.clone(),
-            },
-        );
+        self.insert_record(DomRecord {
+            id: dom,
+            name: config.name.clone(),
+            config,
+            layout,
+            ifaces: ifaces.clone(),
+        });
         Ok(CreatedDomain { id: dom, layout, ifaces })
     }
 
@@ -527,6 +587,44 @@ impl Xl {
     pub fn resident_bytes(&self) -> u64 {
         const PER_DOMAIN: u64 = 24 * 1024;
         self.records.len() as u64 * PER_DOMAIN
+    }
+
+    /// Cross-checks the name index against a full registry scan; one
+    /// detail string per divergence (empty when consistent). The state
+    /// auditor surfaces these as its index-consistency invariant.
+    pub fn audit_name_index(&self) -> Vec<String> {
+        let mut expect: BTreeMap<&str, BTreeSet<u32>> = BTreeMap::new();
+        for r in self.records.values() {
+            expect.entry(r.name.as_str()).or_default().insert(r.id.0);
+        }
+        let mut bad = Vec::new();
+        for (name, ids) in &self.names {
+            match expect.get(name.as_str()) {
+                Some(e) if e == ids => {}
+                other => bad.push(format!(
+                    "name index {name:?} -> {ids:?} != registry scan {other:?}"
+                )),
+            }
+        }
+        for (name, ids) in expect {
+            if !self.names.contains_key(name) {
+                bad.push(format!(
+                    "registry name {name:?} -> {ids:?} missing from the name index"
+                ));
+            }
+        }
+        bad
+    }
+
+    /// Test-only: plants (or removes) a name-index entry without touching
+    /// the registry, so the index-consistency audit can prove it detects
+    /// drift between the index and the scan it replaced.
+    pub fn corrupt_name_index_for_test(&mut self, name: &str, id: u32, insert: bool) {
+        if insert {
+            self.names.entry(name.to_string()).or_default().insert(id);
+        } else {
+            self.unindex_name(name, id);
+        }
     }
 }
 
@@ -619,6 +717,56 @@ mod tests {
             .xl
             .create(&mut w.hv, &mut w.xs, &mut w.dm, &mut w.udev, &udp_cfg("dup"), &img);
         assert!(matches!(r, Err(XlError::NameExists(_))));
+    }
+
+    fn plain_cfg(name: &str) -> DomainConfig {
+        DomainConfig::builder(name).memory_mib(4).build()
+    }
+
+    /// Pins the name index across the sequences that historically break
+    /// maintained indexes: destroy-then-recreate under the same name
+    /// (with domid reuse), rename chains, and duplicate rejection.
+    #[test]
+    fn name_index_survives_create_destroy_reuse_and_rename() {
+        let mut w = world();
+        w.xl.validate_names = true;
+        let img = KernelImage::unikraft("fn");
+        let create = |w: &mut World, name: &str| {
+            w.xl
+                .create(&mut w.hv, &mut w.xs, &mut w.dm, &mut w.udev, &plain_cfg(name), &img)
+                .map(|c| c.id)
+        };
+
+        let a = create(&mut w, "one").unwrap();
+        let b = create(&mut w, "two").unwrap();
+        assert!(matches!(create(&mut w, "one"), Err(XlError::NameExists(_))));
+
+        // Destroy frees the name; the recreate reuses the freed domid.
+        w.xl.destroy(&mut w.hv, &mut w.xs, &mut w.dm, &mut w.udev, a).unwrap();
+        let a2 = create(&mut w, "one").unwrap();
+        assert_eq!(a2, a, "lowest freed domid is reused");
+        assert!(w.xl.audit_name_index().is_empty());
+
+        // Rename frees the old name and claims the new one.
+        w.xl.rename(&mut w.xs, a2, "three").unwrap();
+        assert_eq!(
+            w.xs.read(DomId::DOM0, &format!("/local/domain/{}/name", a2.0)).unwrap(),
+            "three"
+        );
+        let c = create(&mut w, "one").unwrap();
+        assert!(matches!(
+            w.xl.rename(&mut w.xs, c, "two"),
+            Err(XlError::NameExists(_))
+        ));
+        w.xl.rename(&mut w.xs, c, "one").unwrap(); // same-name no-op
+        assert!(matches!(
+            w.xl.rename(&mut w.xs, DomId(999), "x"),
+            Err(XlError::NoSuchDomain(_))
+        ));
+
+        w.xl.destroy(&mut w.hv, &mut w.xs, &mut w.dm, &mut w.udev, b).unwrap();
+        assert!(w.xl.audit_name_index().is_empty());
+        assert_eq!(w.xl.list().len(), 2);
     }
 
     #[test]

@@ -33,6 +33,9 @@ cargo test -q --offline --test prop_trace_modes
 echo "== cargo test -q -p faas --offline scale (10^4-domain bounded-memory observability)"
 cargo test -q -p faas --offline scale
 
+echo "== cargo test -q -p faas --offline traffic (seeded traffic replay + request-cloning policies)"
+cargo test -q -p faas --offline traffic
+
 echo "== cargo bench --no-run --offline"
 cargo bench --no-run --offline
 
@@ -47,6 +50,31 @@ cargo bench -p bench --bench parallel_stamp --offline
 
 echo "== cargo bench -p bench --bench trace_overhead --offline (sink self-overhead per TraceMode)"
 cargo bench -p bench --bench trace_overhead --offline
+
+echo "== cargo bench -p bench --bench clone_density --offline (per-clone cost vs live-domain count)"
+cargo bench -p bench --bench clone_density --offline
+
+echo "== clone density gate (10^4-domain clone+destroy median <= 2x the 10^2-domain median)"
+# The index work's contract: per-clone and per-destroy host cost must
+# not scale with the number of concurrently live domains. Before the
+# name index, the referrer index and the range-keyed device maps, the
+# 10^4 median sat at ~3.5x the 10^2 one.
+density_median() {
+    sed -n 's/.*"group": "density_'"$1"'", "name": "clone_destroy_batch16".*"median_ns": \([0-9.eE+-]*\),.*/\1/p' \
+        results/BENCH_clone_density.json
+}
+awk -v d100="$(density_median 100)" -v d10k="$(density_median 10000)" 'BEGIN {
+    if (d100 + 0 <= 0 || d10k + 0 <= 0) {
+        print "verify.sh: missing clone_density medians (d100=" d100 ", d10k=" d10k ")"
+        exit 1
+    }
+    ratio = d10k / d100
+    printf "   clone+destroy batch16 median: %.0f ns at 100 domains vs %.0f ns at 10000 (%.2fx)\n", d100, d10k, ratio
+    if (ratio > 2.0) {
+        print "verify.sh: per-clone cost grows " ratio "x from 10^2 to 10^4 live domains (gate: 2x)"
+        exit 1
+    }
+}'
 
 echo "== trace overhead budget gate (Aggregate vs Off / Full)"
 # Streaming aggregation buys bounded memory; this gate asserts it stays
@@ -187,6 +215,7 @@ detgate fig5 notrace
 detgate fig6 notrace
 detgate fig7 trace
 detgate fig9 notrace
+detgate fig10scale notrace
 
 echo "== figure determinism gate under NEPHELE_THREADS=4 (host parallelism must be invisible)"
 # The same figures, re-run with the fork/join pool at 4 workers: every
@@ -197,6 +226,15 @@ detgate fig5 notrace 4
 detgate fig6 notrace 4
 detgate fig7 trace 4
 detgate fig9 notrace 4
+detgate fig10scale notrace 4
+
+echo "== scale100k (10^5 concurrently live clones, churn, and policy replay must complete)"
+# The acceptance run for the density work: ramping to 100 000 live
+# vif-less clones, churning 1 562 of them through destroy, and replaying
+# 20 000 requests per policy. Any O(live domains) cost left on the
+# create/clone/destroy path makes this run crawl; the binary asserts
+# the scenario's invariants itself.
+cargo run -q -p bench --release --offline --bin scale100k
 
 echo "== cargo doc --no-deps --offline (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace --quiet

@@ -327,6 +327,144 @@ fn corrupted_overlay_is_detected_and_named() {
     assert!(p.audit().is_clean());
 }
 
+/// One step of a random toolstack lifecycle tape for the
+/// index-consistency property: create and rename draw from a small name
+/// vocabulary so collisions (rejected when `validate_names` is on) are
+/// common.
+#[derive(Debug, Clone)]
+enum NameOp {
+    /// Launch a fresh domain named `n<tag>` (fails on a name collision).
+    Create { tag: u64 },
+    /// Clone domain `idx` into `nr` children.
+    Clone { idx: u64, nr: u64 },
+    /// Destroy domain `idx`.
+    Destroy { idx: u64 },
+    /// Rename domain `idx` to `r<tag>` (fails on a collision).
+    Rename { idx: u64, tag: u64 },
+}
+
+fn name_ops_gen() -> impl Gen<Value = Vec<NameOp>> {
+    vecs(
+        (ranges(0u64..4), ranges(0u64..64), ranges(0u64..6)).map(|(kind, idx, tag)| match kind {
+            0 => NameOp::Create { tag },
+            1 => NameOp::Clone { idx, nr: 1 + tag % 3 },
+            2 => NameOp::Destroy { idx },
+            _ => NameOp::Rename { idx, tag },
+        }),
+        1..16,
+    )
+}
+
+/// The scan-replacing indices (xl's name index, the hypervisor's
+/// referrer and fan-out indices) must equal the scans they replaced
+/// after any random create/clone/destroy/rename tape — checked both
+/// directly and through the full audit (which runs the same comparison
+/// as invariant 13, at every op under `AuditMode::EveryOp`).
+#[test]
+fn indices_match_scans_after_random_name_lifecycle_tapes() {
+    let img = KernelImage::minios("indexed");
+    check(25, |g| {
+        let ops = g.draw(&name_ops_gen());
+        let mut p = audited_platform("target/test-flightrec");
+        p.xl.validate_names = true;
+        let root = p.launch_plain(&guest_cfg("root"), &img).expect("root boot");
+        let mut live = vec![root];
+        for op in &ops {
+            match op {
+                NameOp::Create { tag } => {
+                    let cfg = DomainConfig::builder(&format!("n{tag}")).memory_mib(4).build();
+                    if let Ok(dom) = p.launch_plain(&cfg, &img) {
+                        live.push(dom);
+                    }
+                }
+                NameOp::Clone { idx, nr } => {
+                    let parent = live[(*idx as usize) % live.len()];
+                    if let Ok(kids) = p.clone_domain(parent, *nr as u32) {
+                        live.extend(kids);
+                    }
+                }
+                NameOp::Destroy { idx } => {
+                    if live.len() > 1 {
+                        let dom = live.remove((*idx as usize) % live.len());
+                        p.destroy(dom).expect("destroy live domain");
+                    }
+                }
+                NameOp::Rename { idx, tag } => {
+                    let dom = live[(*idx as usize) % live.len()];
+                    let _ = p.xl.rename(&mut p.xs, dom, &format!("r{tag}"));
+                }
+            }
+        }
+        assert_eq!(p.hv.audit_ref_indices(), Vec::<String>::new(), "after {ops:?}");
+        assert_eq!(p.xl.audit_name_index(), Vec::<String>::new(), "after {ops:?}");
+        let report = p.audit();
+        assert!(report.is_clean(), "after {ops:?}:\n{report}");
+    });
+}
+
+/// A name-index entry planted without a registry record is invisible to
+/// every lookup that happens to probe other names, so only the
+/// index-consistency invariant can catch it — and the report must name
+/// the ghost entry.
+#[test]
+fn corrupted_name_index_is_detected_and_named() {
+    let mut p = Platform::new(
+        PlatformConfig::builder()
+            .guest_pool_mib(256)
+            .audit(AuditMode::Off)
+            .flightrec_dir("target/test-flightrec")
+            .build(),
+    );
+    let img = KernelImage::minios("ghost");
+    let parent = p.launch_plain(&guest_cfg("ghost"), &img).expect("boot");
+    p.clone_domain(parent, 1).expect("clone");
+    assert!(p.audit().is_clean(), "pre-corruption state must be clean");
+
+    p.xl.corrupt_name_index_for_test("ghost-name", 4242, true);
+    let report = p.audit();
+    assert!(!report.is_clean(), "index drift must fail the audit");
+    assert!(
+        report.violations.iter().all(|v| v.invariant == "index-consistency"),
+        "only the index invariant can see a planted name entry:\n{report}"
+    );
+    assert!(
+        report.violations.iter().any(|v| v.detail.contains("ghost-name")),
+        "violation must name the ghost entry:\n{report}"
+    );
+
+    p.xl.corrupt_name_index_for_test("ghost-name", 4242, false);
+    assert!(p.audit().is_clean());
+}
+
+/// A drifted referrer-index count (one extra reference charged to Dom0)
+/// leaves every channel and grant table untouched, so only the
+/// index-vs-recount comparison can see it.
+#[test]
+fn corrupted_peer_ref_index_is_detected() {
+    let mut p = Platform::new(
+        PlatformConfig::builder()
+            .guest_pool_mib(256)
+            .audit(AuditMode::Off)
+            .flightrec_dir("target/test-flightrec")
+            .build(),
+    );
+    let img = KernelImage::minios("refdrift");
+    let parent = p.launch_plain(&guest_cfg("refdrift"), &img).expect("boot");
+    p.clone_domain(parent, 1).expect("clone");
+    assert!(p.audit().is_clean(), "pre-corruption state must be clean");
+
+    p.hv.corrupt_peer_ref_for_test(parent, DomId::DOM0, 1);
+    let report = p.audit();
+    assert!(!report.is_clean(), "referrer drift must fail the audit");
+    assert!(
+        report.violations.iter().all(|v| v.invariant == "index-consistency"),
+        "only the index invariant can see referrer drift:\n{report}"
+    );
+
+    p.hv.corrupt_peer_ref_for_test(parent, DomId::DOM0, -1);
+    assert!(p.audit().is_clean());
+}
+
 /// Dom0 alone (a freshly booted platform) audits clean, and the report's
 /// check count grows with platform size.
 #[test]
